@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches.
+ *
+ * Every paper figure gets one binary that prints the same rows or
+ * series the paper plots.  Environment knobs:
+ *   SB_BENCH_MISSES  — misses simulated per run (default 20000)
+ *   SB_BENCH_QUICK   — set to 1 to cut workloads/misses for smoke
+ *                      runs (CI)
+ */
+
+#ifndef SBORAM_BENCH_BENCHUTIL_HH
+#define SBORAM_BENCH_BENCHUTIL_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/Stats.hh"
+#include "common/Table.hh"
+#include "sim/System.hh"
+#include "workload/SpecProfiles.hh"
+
+namespace sboram::bench {
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("SB_BENCH_QUICK");
+    return q && q[0] == '1';
+}
+
+inline std::uint64_t
+missesPerRun()
+{
+    if (const char *m = std::getenv("SB_BENCH_MISSES"))
+        return std::strtoull(m, nullptr, 10);
+    return quickMode() ? 4000 : 8000;
+}
+
+/** Workload list for per-benchmark figures. */
+inline std::vector<std::string>
+benchWorkloads()
+{
+    if (quickMode())
+        return {"mcf", "sjeng", "namd"};
+    return specNames();
+}
+
+/** The default experimental platform (scaled Table I, DESIGN.md). */
+inline SystemConfig
+paperSystem()
+{
+    SystemConfig cfg;
+    cfg.oram.dataBlocks = std::uint64_t(1) << 20;  // 64 MB data ORAM
+    cfg.oram.slotsPerBucket = 5;
+    cfg.oram.evictionRate = 5;
+    cfg.oram.posMapMode = PosMapMode::Recursive;
+    cfg.oram.plbBytes = 64 * 1024;
+    cfg.oram.stashCapacity = 200;
+    return cfg;
+}
+
+/** Workload seed shared across all benches. */
+inline constexpr std::uint64_t kBenchSeed = 12345;
+
+/** Named scheme points used across figures. */
+inline SystemConfig
+withScheme(SystemConfig base, Scheme scheme,
+           ShadowMode mode = ShadowMode::DynamicPartition,
+           unsigned staticLevel = 7, unsigned driBits = 3)
+{
+    base.scheme = scheme;
+    base.shadow.mode = mode;
+    base.shadow.staticLevel = staticLevel;
+    base.shadow.driCounterBits = driBits;
+    return base;
+}
+
+/** Run one (config, workload) point with the shared trace seed. */
+inline RunMetrics
+runPoint(const SystemConfig &cfg, const std::string &workload)
+{
+    return runWorkload(cfg, workload, missesPerRun(), kBenchSeed);
+}
+
+/**
+ * Paper-style normalized Data/Interval decomposition of a run,
+ * normalized to a baseline's total execution time (Figs. 8/9/10/13/14).
+ */
+struct NormalizedTime
+{
+    double data = 0.0;
+    double interval = 0.0;
+    double total = 0.0;
+};
+
+inline NormalizedTime
+normalize(const RunMetrics &m, const RunMetrics &base)
+{
+    NormalizedTime n;
+    const double ref = static_cast<double>(base.execTime);
+    n.data = m.dataAccessTime / ref;
+    n.interval = m.driTime / ref;
+    n.total = static_cast<double>(m.execTime) / ref;
+    return n;
+}
+
+} // namespace sboram::bench
+
+#endif // SBORAM_BENCH_BENCHUTIL_HH

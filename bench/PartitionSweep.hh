@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared implementation of the static-partitioning sweeps
+ * (Fig. 9 without timing protection, Fig. 14 with).
+ */
+
+#ifndef SBORAM_BENCH_PARTITIONSWEEP_HH
+#define SBORAM_BENCH_PARTITIONSWEEP_HH
+
+#include "BenchUtil.hh"
+
+namespace sboram::bench {
+
+inline int
+runPartitionSweep(bool timingProtection)
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = timingProtection;
+    const char *figure = timingProtection ? "Fig. 14" : "Fig. 9";
+
+    const unsigned leafLevel = base.oram.deriveLevels();
+    std::vector<unsigned> levels{0, 2, 4, 7, 10, 13, 16};
+    while (!levels.empty() && levels.back() > leafLevel)
+        levels.pop_back();
+    if (levels.back() != leafLevel)
+        levels.push_back(leafLevel);
+
+    const auto spotlights = quickMode()
+        ? std::vector<std::string>{"sjeng", "namd"}
+        : std::vector<std::string>{"sjeng", "h264ref", "namd"};
+
+    Table t(std::string(figure) +
+            " — static partitioning level sweep (" +
+            (timingProtection ? "with" : "without") +
+            " timing protection)");
+    std::vector<std::string> header{"series"};
+    for (unsigned lvl : levels)
+        header.push_back("P=" + std::to_string(lvl));
+    t.header(header);
+
+    for (const std::string &wl : spotlights) {
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        std::vector<NormalizedTime> points;
+        for (unsigned lvl : levels) {
+            RunMetrics m = runPoint(
+                withScheme(base, Scheme::Shadow,
+                           ShadowMode::StaticPartition, lvl),
+                wl);
+            points.push_back(normalize(m, tiny));
+        }
+        t.beginRow(wl + " Interval");
+        for (const NormalizedTime &n : points)
+            t.cell(n.interval);
+        t.beginRow(wl + " Data");
+        for (const NormalizedTime &n : points)
+            t.cell(n.data);
+        t.beginRow(wl + " Total");
+        for (const NormalizedTime &n : points)
+            t.cell(n.total);
+    }
+
+    // Geometric mean of Total over the full workload set.
+    std::vector<std::vector<double>> totals(levels.size());
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            RunMetrics m = runPoint(
+                withScheme(base, Scheme::Shadow,
+                           ShadowMode::StaticPartition, levels[i]),
+                wl);
+            totals[i].push_back(static_cast<double>(m.execTime) /
+                                static_cast<double>(tiny.execTime));
+        }
+    }
+    t.beginRow("Gmean Total");
+    double best = 1e300;
+    unsigned bestLevel = 0;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const double g = gmean(totals[i]);
+        t.cell(g);
+        if (g < best) {
+            best = g;
+            bestLevel = levels[i];
+        }
+    }
+    t.print();
+
+    std::printf("\npaper: best partitioning level %s\n",
+                timingProtection ? "4" : "7");
+    std::printf("measured: best level %u (total %.3f of Tiny)\n",
+                bestLevel, best);
+    return 0;
+}
+
+} // namespace sboram::bench
+
+#endif // SBORAM_BENCH_PARTITIONSWEEP_HH

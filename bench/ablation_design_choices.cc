@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation of the design choices this implementation makes on top of
+ * the paper's letter (DESIGN.md §3):
+ *   - shadow recirculation (re-offering vacuumed shadow copies so
+ *     they survive bucket rewrites),
+ *   - multi-duplication (queue refill: several shadow copies of one
+ *     candidate per path write),
+ *   - serving read hits from stash-resident shadow copies.
+ * Each row disables one mechanism; "full" is the shipped design,
+ * "paper-literal" disables all three.
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = true;
+
+    struct Variant
+    {
+        const char *name;
+        bool recirculate;
+        bool refill;
+        bool serveShadow;
+    };
+    const std::vector<Variant> variants{
+        {"full design", true, true, true},
+        {"no recirculation", false, true, true},
+        {"no multi-dup", true, false, true},
+        {"no shadow stash hits", true, true, false},
+        {"paper-literal", false, false, false},
+    };
+
+    const auto workloads = quickMode()
+        ? std::vector<std::string>{"sjeng", "namd"}
+        : std::vector<std::string>{"sjeng", "namd", "h264ref",
+                                   "gobmk", "astar"};
+
+    Table t("Ablation — execution time vs Tiny ORAM "
+            "(dynamic-3, with timing protection)");
+    std::vector<std::string> header{"variant"};
+    for (const auto &wl : workloads)
+        header.push_back(wl);
+    header.push_back("gmean");
+    t.header(header);
+
+    for (const Variant &v : variants) {
+        t.beginRow(v.name);
+        std::vector<double> ratios;
+        for (const std::string &wl : workloads) {
+            RunMetrics tiny =
+                runPoint(withScheme(base, Scheme::Tiny), wl);
+            SystemConfig cfg = withScheme(
+                base, Scheme::Shadow, ShadowMode::DynamicPartition,
+                4, 3);
+            cfg.oram.recirculateShadows = v.recirculate;
+            cfg.oram.serveFromShadow = v.serveShadow;
+            cfg.shadow.refillQueues = v.refill;
+            RunMetrics m = runPoint(cfg, wl);
+            const double ratio = static_cast<double>(m.execTime) /
+                                 static_cast<double>(tiny.execTime);
+            t.cell(ratio, 3);
+            ratios.push_back(ratio);
+        }
+        t.cell(gmean(ratios), 3);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Fig. 9 — static partitioning sweep without timing protection:
+ * normalized Interval / Data / Total vs partitioning level for
+ * sjeng, h264ref, namd and the geometric mean over all ten
+ * workloads.  Levels [0, P) are HD-Dup's, [P, L] RD-Dup's, so a
+ * larger P assigns more dummy slots to HD-Dup.
+ */
+
+#include "PartitionSweep.hh"
+
+int
+main()
+{
+    return sboram::bench::runPartitionSweep(false);
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 10 — dynamic partitioning: normalized access time vs the
+ * width of the DRI counter (1..8 bits).  Short counters chase noise,
+ * long ones adapt too slowly; the paper finds 3 bits optimal.
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = false;
+
+    const std::vector<unsigned> widths{1, 2, 3, 4, 5, 6, 7, 8};
+    const auto spotlights = quickMode()
+        ? std::vector<std::string>{"sjeng", "namd"}
+        : std::vector<std::string>{"sjeng", "h264ref", "namd"};
+
+    Table t("Fig. 10 — dynamic partitioning vs DRI counter width");
+    std::vector<std::string> header{"series"};
+    for (unsigned w : widths)
+        header.push_back(std::to_string(w) + "-bit");
+    t.header(header);
+
+    for (const std::string &wl : spotlights) {
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        std::vector<NormalizedTime> points;
+        for (unsigned w : widths) {
+            RunMetrics m = runPoint(
+                withScheme(base, Scheme::Shadow,
+                           ShadowMode::DynamicPartition, 7, w),
+                wl);
+            points.push_back(normalize(m, tiny));
+        }
+        t.beginRow(wl + " Interval");
+        for (const NormalizedTime &n : points)
+            t.cell(n.interval);
+        t.beginRow(wl + " Data");
+        for (const NormalizedTime &n : points)
+            t.cell(n.data);
+        t.beginRow(wl + " Total");
+        for (const NormalizedTime &n : points)
+            t.cell(n.total);
+    }
+
+    std::vector<std::vector<double>> totals(widths.size());
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            RunMetrics m = runPoint(
+                withScheme(base, Scheme::Shadow,
+                           ShadowMode::DynamicPartition, 7,
+                           widths[i]),
+                wl);
+            totals[i].push_back(static_cast<double>(m.execTime) /
+                                static_cast<double>(tiny.execTime));
+        }
+    }
+    t.beginRow("Gmean Total");
+    double best = 1e300;
+    unsigned bestWidth = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const double g = gmean(totals[i]);
+        t.cell(g);
+        if (g < best) {
+            best = g;
+            bestWidth = widths[i];
+        }
+    }
+    t.print();
+
+    std::printf("\npaper: 3-bit counter is best (80%% of Tiny)\n");
+    std::printf("measured: %u-bit best (%.3f of Tiny)\n", bestWidth,
+                best);
+    return 0;
+}

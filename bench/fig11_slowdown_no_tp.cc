@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 11 — slowdown over the insecure system, without timing
+ * protection: Tiny ORAM, static-7 and dynamic-3 shadow block
+ * designs.  Paper: Tiny ~2.8x, static-7 2.35x, dynamic-3 2.21x
+ * on average; mcf/libquantum/omnetpp stand out (memory intensity).
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = false;
+
+    Table t("Fig. 11 — slowdown vs insecure system (no timing "
+            "protection)");
+    t.header({"workload", "Tiny", "static-7", "dynamic-3",
+              "insecure"});
+
+    std::vector<double> tinyS, st7S, dyn3S;
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics ins =
+            runPoint(withScheme(base, Scheme::Insecure), wl);
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        RunMetrics st7 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::StaticPartition, 7),
+            wl);
+        RunMetrics dyn3 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::DynamicPartition, 7, 3),
+            wl);
+
+        const double insT = static_cast<double>(ins.execTime);
+        t.beginRow(wl);
+        t.cell(static_cast<double>(tiny.execTime) / insT, 2);
+        t.cell(static_cast<double>(st7.execTime) / insT, 2);
+        t.cell(static_cast<double>(dyn3.execTime) / insT, 2);
+        t.cell(1.0, 2);
+        tinyS.push_back(static_cast<double>(tiny.execTime) / insT);
+        st7S.push_back(static_cast<double>(st7.execTime) / insT);
+        dyn3S.push_back(static_cast<double>(dyn3.execTime) / insT);
+    }
+    t.beginRow("gmean");
+    t.cell(gmean(tinyS), 2);
+    t.cell(gmean(st7S), 2);
+    t.cell(gmean(dyn3S), 2);
+    t.cell(1.0, 2);
+    t.print();
+
+    std::printf("\npaper: Tiny ~2.8x, static-7 2.35x (85%% of Tiny), "
+                "dynamic-3 2.21x (80%% of Tiny)\n");
+    std::printf("measured: Tiny %.2fx, static-7 %.2fx (%.0f%%), "
+                "dynamic-3 %.2fx (%.0f%%)\n",
+                gmean(tinyS), gmean(st7S),
+                100.0 * gmean(st7S) / gmean(tinyS), gmean(dyn3S),
+                100.0 * gmean(dyn3S) / gmean(tinyS));
+    return 0;
+}

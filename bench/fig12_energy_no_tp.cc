@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 12 — memory-system energy normalized to the insecure system,
+ * without timing protection.  Shadow block reduces both the number
+ * of ORAM requests (dynamic energy) and the execution time (static
+ * energy); the paper reports -14% (static-7) and -18% (dynamic-3)
+ * vs Tiny ORAM.
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = false;
+
+    Table t("Fig. 12 — energy vs insecure system (no timing "
+            "protection)");
+    t.header({"workload", "Tiny", "static-7", "dynamic-3"});
+
+    std::vector<double> tinyE, st7E, dyn3E;
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics ins =
+            runPoint(withScheme(base, Scheme::Insecure), wl);
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        RunMetrics st7 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::StaticPartition, 7),
+            wl);
+        RunMetrics dyn3 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::DynamicPartition, 7, 3),
+            wl);
+
+        t.beginRow(wl);
+        t.cell(tiny.energy / ins.energy, 1);
+        t.cell(st7.energy / ins.energy, 1);
+        t.cell(dyn3.energy / ins.energy, 1);
+        tinyE.push_back(tiny.energy / ins.energy);
+        st7E.push_back(st7.energy / ins.energy);
+        dyn3E.push_back(dyn3.energy / ins.energy);
+    }
+    t.beginRow("gmean");
+    t.cell(gmean(tinyE), 1);
+    t.cell(gmean(st7E), 1);
+    t.cell(gmean(dyn3E), 1);
+    t.print();
+
+    std::printf("\npaper: static-7 saves 14%%, dynamic-3 saves 18%% "
+                "energy vs Tiny\n");
+    std::printf("measured: static-7 saves %.0f%%, dynamic-3 saves "
+                "%.0f%% vs Tiny\n",
+                100.0 * (1.0 - gmean(st7E) / gmean(tinyE)),
+                100.0 * (1.0 - gmean(dyn3E) / gmean(tinyE)));
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fig. 14 — static partitioning sweep WITH timing protection.  The
+ * DRI share is much larger under constant-rate requests, so the
+ * optimum shifts toward more RD-Dup (a lower partitioning level)
+ * than Fig. 9's.
+ */
+
+#include "PartitionSweep.hh"
+
+int
+main()
+{
+    return sboram::bench::runPartitionSweep(true);
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 15 — slowdown over the insecure system WITH timing
+ * protection: Tiny ORAM, static-4 and dynamic-3.  The paper's
+ * headline: static partitioning cuts 30% and dynamic partitioning
+ * 32% of the execution time vs Tiny ORAM.
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = true;
+
+    Table t("Fig. 15 — slowdown vs insecure system (with timing "
+            "protection)");
+    t.header({"workload", "Tiny", "static-4", "dynamic-3",
+              "insecure"});
+
+    std::vector<double> tinyS, st4S, dyn3S;
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics ins =
+            runPoint(withScheme(base, Scheme::Insecure), wl);
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        RunMetrics st4 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::StaticPartition, 4),
+            wl);
+        RunMetrics dyn3 = runPoint(
+            withScheme(base, Scheme::Shadow,
+                       ShadowMode::DynamicPartition, 4, 3),
+            wl);
+
+        const double insT = static_cast<double>(ins.execTime);
+        t.beginRow(wl);
+        t.cell(static_cast<double>(tiny.execTime) / insT, 2);
+        t.cell(static_cast<double>(st4.execTime) / insT, 2);
+        t.cell(static_cast<double>(dyn3.execTime) / insT, 2);
+        t.cell(1.0, 2);
+        tinyS.push_back(static_cast<double>(tiny.execTime) / insT);
+        st4S.push_back(static_cast<double>(st4.execTime) / insT);
+        dyn3S.push_back(static_cast<double>(dyn3.execTime) / insT);
+    }
+    t.beginRow("gmean");
+    t.cell(gmean(tinyS), 2);
+    t.cell(gmean(st4S), 2);
+    t.cell(gmean(dyn3S), 2);
+    t.cell(1.0, 2);
+    t.print();
+
+    std::printf("\npaper: static-4 cuts 30%%, dynamic-3 cuts 32%% of "
+                "Tiny's execution time\n");
+    std::printf("measured: static-4 cuts %.0f%%, dynamic-3 cuts "
+                "%.0f%%\n",
+                100.0 * (1.0 - gmean(st4S) / gmean(tinyS)),
+                100.0 * (1.0 - gmean(dyn3S) / gmean(tinyS)));
+    return 0;
+}

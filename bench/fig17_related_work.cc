@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 17 — comparison with related work, all with timing
+ * protection: speedup over Tiny ORAM of XOR compression [12][31][34],
+ * the shadow block design (dynamic-3), and shadow block combined
+ * with treetop-3 / treetop-7 caching.
+ */
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    SystemConfig base = paperSystem();
+    base.timingProtection = true;
+
+    Table t("Fig. 17 — speedup over Tiny ORAM (with timing "
+            "protection)");
+    t.header({"workload", "XOR compr.", "Shadow Block", "SB+treetop-3",
+              "SB+treetop-7"});
+
+    std::vector<double> xorS, sbS, sb3S, sb7S;
+    for (const std::string &wl : benchWorkloads()) {
+        RunMetrics tiny =
+            runPoint(withScheme(base, Scheme::Tiny), wl);
+        const double tinyT = static_cast<double>(tiny.execTime);
+
+        SystemConfig xorCfg = withScheme(base, Scheme::Tiny);
+        xorCfg.oram.xorCompression = true;
+        RunMetrics xr = runPoint(xorCfg, wl);
+
+        SystemConfig sb = withScheme(base, Scheme::Shadow,
+                                     ShadowMode::DynamicPartition, 4,
+                                     3);
+        RunMetrics sbm = runPoint(sb, wl);
+
+        SystemConfig sb3 = sb;
+        sb3.oram.treetopLevels = 3;
+        RunMetrics sb3m = runPoint(sb3, wl);
+
+        SystemConfig sb7 = sb;
+        sb7.oram.treetopLevels = 7;
+        RunMetrics sb7m = runPoint(sb7, wl);
+
+        t.beginRow(wl);
+        t.cell(tinyT / static_cast<double>(xr.execTime), 2);
+        t.cell(tinyT / static_cast<double>(sbm.execTime), 2);
+        t.cell(tinyT / static_cast<double>(sb3m.execTime), 2);
+        t.cell(tinyT / static_cast<double>(sb7m.execTime), 2);
+        xorS.push_back(tinyT / static_cast<double>(xr.execTime));
+        sbS.push_back(tinyT / static_cast<double>(sbm.execTime));
+        sb3S.push_back(tinyT / static_cast<double>(sb3m.execTime));
+        sb7S.push_back(tinyT / static_cast<double>(sb7m.execTime));
+    }
+    t.beginRow("gmean");
+    t.cell(gmean(xorS), 2);
+    t.cell(gmean(sbS), 2);
+    t.cell(gmean(sb3S), 2);
+    t.cell(gmean(sb7S), 2);
+    t.print();
+
+    std::printf("\npaper: shadow block beats XOR compression by 23%%; "
+                "treetop-3/-7 add 8.2%%/23%%\n");
+    std::printf("measured: shadow/XOR = %.2f; treetop-3 adds %.1f%%, "
+                "treetop-7 adds %.1f%%\n",
+                gmean(sbS) / gmean(xorS),
+                100.0 * (gmean(sb3S) / gmean(sbS) - 1.0),
+                100.0 * (gmean(sb7S) / gmean(sbS) - 1.0));
+    return 0;
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrates: PRF/OTP codec,
+ * DRAM path scheduling, stash operations, PLB, recursive position
+ * map resolution, duplication queues, workload generation, and a
+ * whole ORAM access.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/Rng.hh"
+#include "crypto/Otp.hh"
+#include "mem/AddressMap.hh"
+#include "mem/DramModel.hh"
+#include "oram/Plb.hh"
+#include "oram/RecursivePosMap.hh"
+#include "oram/Stash.hh"
+#include "oram/TinyOram.hh"
+#include "shadow/DupQueues.hh"
+#include "shadow/ShadowPolicy.hh"
+#include "workload/SpecProfiles.hh"
+
+using namespace sboram;
+
+namespace {
+
+void
+BM_Prf64(benchmark::State &state)
+{
+    PrfKey key;
+    std::uint64_t n = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(prf64(key, ++n, n & 7));
+}
+BENCHMARK(BM_Prf64);
+
+void
+BM_OtpEncryptBlock(benchmark::State &state)
+{
+    OtpCodec codec;
+    std::vector<std::uint64_t> block(8, 0x1234567890abcdefULL);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.encrypt(block));
+}
+BENCHMARK(BM_OtpEncryptBlock);
+
+void
+BM_DramPathRead(benchmark::State &state)
+{
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    const unsigned leafLevel = 18, z = 5;
+    AddressMap map(DramGeometry{}, leafLevel + 1, z);
+    std::vector<DramCoord> coords;
+    for (unsigned level = 0; level <= leafLevel; ++level) {
+        BucketIndex b = ((BucketIndex(1) << level) - 1) +
+                        (0x15555u >> (leafLevel - level));
+        for (unsigned s = 0; s < z; ++s)
+            coords.push_back(map.mapSlot(b, s));
+    }
+    Cycles t = 0;
+    for (auto _ : state) {
+        BatchTiming bt = dram.accessBatch(t, coords, false);
+        t = bt.finish;
+        benchmark::DoNotOptimize(bt.finish);
+    }
+}
+BENCHMARK(BM_DramPathRead);
+
+void
+BM_StashInsertFind(benchmark::State &state)
+{
+    Stash stash(200);
+    Rng rng(1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        StashEntry e;
+        e.addr = i++ % 512;
+        e.type = BlockType::Shadow;
+        stash.insert(std::move(e));
+        benchmark::DoNotOptimize(stash.find(rng.below(512)));
+    }
+}
+BENCHMARK(BM_StashInsertFind);
+
+void
+BM_StashEligibleScan(benchmark::State &state)
+{
+    Stash stash(200);
+    Rng rng(2);
+    for (int i = 0; i < 180; ++i) {
+        StashEntry e;
+        e.addr = static_cast<Addr>(i);
+        e.leaf = rng.below(1 << 18);
+        e.type = i % 3 ? BlockType::Real : BlockType::Shadow;
+        stash.insert(std::move(e));
+    }
+    for (auto _ : state) {
+        auto v = stash.eligibleForLevel(
+            4, [](LeafLabel leaf) {
+                return static_cast<unsigned>(leaf % 19);
+            });
+        benchmark::DoNotOptimize(v.size());
+    }
+}
+BENCHMARK(BM_StashEligibleScan);
+
+void
+BM_PlbLookup(benchmark::State &state)
+{
+    Plb plb(64 * 1024, 64);
+    Rng rng(3);
+    for (Addr a = 0; a < 1024; ++a)
+        plb.insert(a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(plb.lookup(rng.below(2048)));
+}
+BENCHMARK(BM_PlbLookup);
+
+void
+BM_RecursiveResolve(benchmark::State &state)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 20;
+    RecursivePosMap rec(cfg);
+    Plb plb(64 * 1024, 64);
+    Rng rng(4);
+    for (auto _ : state) {
+        auto chain = rec.resolve(rng.below(1 << 20), plb);
+        benchmark::DoNotOptimize(chain.size());
+    }
+}
+BENCHMARK(BM_RecursiveResolve);
+
+void
+BM_DupQueuePushPop(benchmark::State &state)
+{
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    Rng rng(5);
+    for (auto _ : state) {
+        for (int i = 0; i < 40; ++i) {
+            DupCandidate c;
+            c.addr = i;
+            c.rearLevel = static_cast<unsigned>(rng.below(19));
+            c.maxLevel = c.rearLevel;
+            c.seq = static_cast<std::uint64_t>(i);
+            q.push(c);
+        }
+        for (int i = 0; i < 40; ++i)
+            benchmark::DoNotOptimize(q.popFor(i % 12));
+        q.clear();
+    }
+}
+BENCHMARK(BM_DupQueuePushPop);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        WorkloadGenerator gen(specProfile("hmmer"), 1);
+        benchmark::DoNotOptimize(gen.generate(1000).size());
+    }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_OramAccess(benchmark::State &state)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 14;
+    cfg.posMapMode = PosMapMode::OnChip;
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    auto policy = std::make_unique<ShadowPolicy>(
+        ShadowConfig{}, cfg.deriveLevels());
+    TinyOram oram(cfg, dram, std::move(policy));
+    Rng rng(6);
+    Cycles t = 0;
+    for (auto _ : state) {
+        AccessResult r =
+            oram.access(rng.below(1 << 14), Op::Read, t + 100);
+        t = r.completeAt;
+        benchmark::DoNotOptimize(r.forwardAt);
+    }
+}
+BENCHMARK(BM_OramAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Demonstrates WHY shadow blocks are safe where naive reordering is
+ * not (paper Section III), using the security toolkit on live
+ * simulator traces.
+ *
+ * Two programs run: a linear scan and a tight cyclic loop.  An
+ * attacker records the externally visible path accesses of each and
+ * tries to tell them apart (RRWP-k statistic).  The demo then shows
+ * the counterfactual: the intended block's tree level — which a
+ * reordering design would reveal through its access order — separates
+ * the two programs immediately.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mem/DramModel.hh"
+#include "oram/TinyOram.hh"
+#include "security/Distinguisher.hh"
+#include "security/TraceRecorder.hh"
+#include "shadow/ShadowPolicy.hh"
+
+using namespace sboram;
+
+namespace {
+
+struct Observation
+{
+    std::vector<double> rrwpRates;  ///< What the attacker can see.
+    std::vector<double> levels;     ///< What reordering would leak.
+};
+
+Observation
+observe(const std::vector<Addr> &addrs)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 10;
+    cfg.posMapMode = PosMapMode::OnChip;
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    auto policy = std::make_unique<ShadowPolicy>(
+        ShadowConfig{}, cfg.deriveLevels());
+    TinyOram oram(cfg, dram, std::move(policy));
+
+    TraceRecorder recorder;
+    oram.setTraceSink(&recorder);
+
+    Observation obs;
+    Cycles t = 0;
+    for (Addr a : addrs) {
+        if (oram.wouldHitStash(a, Op::Read)) {
+            oram.access(a, Op::Read, t + 100);
+            continue;
+        }
+        AccessResult r = oram.access(a, Op::Read, t + 100);
+        t = r.completeAt;
+        obs.levels.push_back(static_cast<double>(r.forwardLevel));
+    }
+
+    const auto &ev = recorder.events();
+    const std::size_t chunk = 300;
+    for (std::size_t s = 0; s + chunk <= ev.size(); s += chunk) {
+        std::vector<TraceEvent> part(ev.begin() + s,
+                                     ev.begin() + s + chunk);
+        obs.rrwpRates.push_back(rrwpRate(part, 32));
+    }
+    return obs;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Program 1: scan a large array.  Program 2: loop over a working
+    // set of 600 blocks.  (A really tight loop — tens of blocks —
+    // would be absorbed entirely by shadow copies in the stash and
+    // generate no memory traffic at all, which hides the pattern
+    // trivially; 600 blocks exceed the stash so the ORAM still gets
+    // exercised.)
+    std::vector<Addr> scan, cyclic;
+    for (int i = 0; i < 2500; ++i) {
+        scan.push_back(static_cast<Addr>(i % 1024));
+        cyclic.push_back(static_cast<Addr>(i % 600));
+    }
+
+    std::printf("running scan and cyclic programs through the shadow "
+                "block ORAM...\n");
+    Observation s = observe(scan);
+    Observation c = observe(cyclic);
+
+    const double zTrace =
+        meanDistinguisherZ(s.rrwpRates, c.rrwpRates);
+    std::printf("\nattacker's view (RRWP-32 over path labels):\n");
+    std::printf("  distinguisher z = %.2f  →  %s\n", zTrace,
+                std::fabs(zTrace) < 4.0
+                    ? "indistinguishable (secure)"
+                    : "DISTINGUISHABLE (insecure!)");
+
+    const double zLeak = meanDistinguisherZ(s.levels, c.levels);
+    std::printf("\ncounterfactual reordering design (leaks the "
+                "intended block's level):\n");
+    std::printf("  distinguisher z = %.2f  →  access order must NOT "
+                "depend on the intended block\n",
+                zLeak);
+
+    std::printf("\nconclusion: duplication advances data without "
+                "changing the access order — z stays small while the "
+                "level leak is blatant.\n");
+    return std::fabs(zTrace) < 4.0 && std::fabs(zLeak) > 4.0 ? 0 : 1;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A pattern-oblivious key-value store built on the Shadow Block ORAM.
+ *
+ * The scenario the paper's introduction motivates: a program whose
+ * *data-dependent* access pattern would leak secrets (here, lookups
+ * keyed by sensitive identifiers) runs them through the ORAM so an
+ * external observer sees only uniformly random path accesses — while
+ * shadow blocks keep the popular keys fast.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/Rng.hh"
+#include "mem/DramModel.hh"
+#include "oram/TinyOram.hh"
+#include "shadow/ShadowPolicy.hh"
+
+using namespace sboram;
+
+namespace {
+
+/** Tiny fixed-capacity KV layer: key → block via open addressing. */
+class ObliviousKvStore
+{
+  public:
+    ObliviousKvStore(TinyOram &oram, std::uint64_t capacity)
+        : _oram(oram), _capacity(capacity) {}
+
+    void
+    put(const std::string &key, std::uint64_t value)
+    {
+        const Addr slot = findSlot(key);
+        std::vector<std::uint64_t> payload(8, 0);
+        payload[0] = hashKey(key);
+        payload[1] = value;
+        _clock = _oram.access(slot, Op::Write, _clock + 10, &payload)
+                     .completeAt;
+        _directory[key] = slot;
+    }
+
+    std::uint64_t
+    get(const std::string &key)
+    {
+        const Addr slot = findSlot(key);
+        AccessResult r = _oram.access(slot, Op::Read, _clock + 10);
+        _clock = std::max(_clock, r.completeAt);
+        _lastLatency = r.forwardAt - (_clock > r.forwardAt
+                                          ? r.start
+                                          : r.start);
+        _lastLatency = r.forwardAt - r.start;
+        _lastFromShadow = r.usedShadow;
+        auto payload = _oram.peekPayload(slot);
+        return payload[1];
+    }
+
+    Cycles lastLatency() const { return _lastLatency; }
+    bool lastFromShadow() const { return _lastFromShadow; }
+
+  private:
+    std::uint64_t
+    hashKey(const std::string &key) const
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+        for (char c : key)
+            h = (h ^ static_cast<unsigned char>(c)) *
+                1099511628211ULL;
+        return h;
+    }
+
+    Addr
+    findSlot(const std::string &key)
+    {
+        auto it = _directory.find(key);
+        if (it != _directory.end())
+            return it->second;
+        return hashKey(key) % _capacity;
+    }
+
+    TinyOram &_oram;
+    std::uint64_t _capacity;
+    std::map<std::string, Addr> _directory;
+    Cycles _clock = 0;
+    Cycles _lastLatency = 0;
+    bool _lastFromShadow = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 10;
+    cfg.posMapMode = PosMapMode::OnChip;
+    cfg.payloadEnabled = true;
+
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    ShadowConfig scfg;
+    scfg.mode = ShadowMode::DynamicPartition;
+    auto policy =
+        std::make_unique<ShadowPolicy>(scfg, cfg.deriveLevels());
+    TinyOram oram(cfg, dram, std::move(policy));
+
+    ObliviousKvStore kv(oram, 1 << 10);
+
+    // Populate patient records (the classic motivating example: the
+    // *sequence* of record lookups is itself sensitive).
+    std::printf("populating 200 records...\n");
+    for (int i = 0; i < 200; ++i)
+        kv.put("patient-" + std::to_string(i),
+               900000 + static_cast<std::uint64_t>(i));
+
+    // A skewed lookup workload: a few hot records, a long tail.
+    Rng rng(2024);
+    std::uint64_t checks = 0, shadowServed = 0;
+    double totalLatency = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        int id = rng.chance(0.7)
+            ? static_cast<int>(rng.below(10))       // hot records
+            : static_cast<int>(rng.below(200));     // tail
+        std::uint64_t v = kv.get("patient-" + std::to_string(id));
+        if (v != 900000 + static_cast<std::uint64_t>(id)) {
+            std::printf("CORRUPTION at record %d\n", id);
+            return 1;
+        }
+        ++checks;
+        totalLatency += static_cast<double>(kv.lastLatency());
+        if (kv.lastFromShadow())
+            ++shadowServed;
+    }
+
+    std::printf("verified %llu lookups, mean latency %.0f cycles\n",
+                static_cast<unsigned long long>(checks),
+                totalLatency / static_cast<double>(checks));
+    std::printf("%llu lookups served from shadow copies; %llu shadow "
+                "blocks written in total\n",
+                static_cast<unsigned long long>(shadowServed),
+                static_cast<unsigned long long>(
+                    oram.stats().shadowsWritten));
+    std::printf("external observer saw %llu indistinguishable path "
+                "reads and %llu path writes\n",
+                static_cast<unsigned long long>(
+                    oram.stats().pathReads),
+                static_cast<unsigned long long>(
+                    oram.stats().pathWrites));
+    return 0;
+}

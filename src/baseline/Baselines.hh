@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Index of the comparison systems of Section VI-D.
+ *
+ * - Insecure baseline: InsecureMemory.hh (this directory).
+ * - XOR compression [12], [31], [34]: modelled inside the controller
+ *   and DRAM model (`OramConfig::xorCompression`).  All blocks of a
+ *   path are still read from the cells and column commands keep their
+ *   tCCD spacing, but only one block's worth of data crosses the
+ *   CPU–memory bus per path, and the intended block is available only
+ *   once the whole path has been read and the XOR undone (no early
+ *   forwarding).  This reproduces the paper's observation that the
+ *   internal DRAM bandwidth, not the bus, bounds XOR's benefit.
+ * - Treetop caching [15]: `OramConfig::treetopLevels` holds the top
+ *   k levels of the tree on chip; path accesses skip them in DRAM and
+ *   requests served out of those levels count as on-chip hits
+ *   (Fig. 16).
+ */
+
+#ifndef SBORAM_BASELINE_BASELINES_HH
+#define SBORAM_BASELINE_BASELINES_HH
+
+#include "InsecureMemory.hh"
+
+#endif // SBORAM_BASELINE_BASELINES_HH

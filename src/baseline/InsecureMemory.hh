@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The insecure baseline: a plain DRAM system with no ORAM.
+ *
+ * Every LLC miss becomes a single 64 B DRAM access through the same
+ * DDR3 model.  Figures 11, 12 and 15 normalise against this system.
+ */
+
+#ifndef SBORAM_BASELINE_INSECUREMEMORY_HH
+#define SBORAM_BASELINE_INSECUREMEMORY_HH
+
+#include <algorithm>
+
+#include "common/Types.hh"
+#include "mem/AddressMap.hh"
+#include "mem/DramModel.hh"
+
+namespace sboram {
+
+class InsecureMemory
+{
+  public:
+    /**
+     * @param dram DDR3 model (not owned).
+     * @param frontEndLatency Fixed controller pipeline latency added
+     *        to every access.
+     */
+    InsecureMemory(DramModel &dram, Cycles frontEndLatency = 10)
+        : _dram(dram),
+          _map(dram.geometry(), 1, 1),
+          _frontEndLatency(frontEndLatency)
+    {
+    }
+
+    /** Result of one memory access. */
+    struct Result
+    {
+        Cycles forwardAt = 0;
+        Cycles completeAt = 0;
+    };
+
+    Result
+    access(Addr addr, Op op, Cycles issueTime)
+    {
+        const Cycles start = std::max(issueTime, _freeAt);
+        const Cycles done = _dram.accessSingle(
+            start + _frontEndLatency, _map.mapFlat(addr),
+            op == Op::Write);
+        _freeAt = done;
+        return Result{done, done};
+    }
+
+    Cycles freeAt() const { return _freeAt; }
+
+  private:
+    DramModel &_dram;
+    AddressMap _map;
+    Cycles _frontEndLatency;
+    Cycles _freeAt = 0;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_BASELINE_INSECUREMEMORY_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible bit-for-bit given a seed (the
+ * security regression tests compare whole external access traces
+ * between two controller variants run from the same seed), so all
+ * randomness flows through this xoshiro256** implementation rather
+ * than std::mt19937 whose distributions are not portable.
+ */
+
+#ifndef SBORAM_COMMON_RNG_HH
+#define SBORAM_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace sboram {
+
+/** splitmix64 step; also used as a cheap PRF building block. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with helpers for the distributions the
+ * simulator needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialise the full state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : _state)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased via rejection on the top of the range.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish positive integer with the given mean, used for
+     * compute-cycle gaps between LLC misses.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double u = uniform();
+        // Inverse CDF of a shifted geometric distribution.
+        double p = 1.0 / mean;
+        double val = 1.0;
+        if (u < 1.0) {
+            val = 1.0 + std::floor(std::log1p(-u) / std::log1p(-p));
+        }
+        return static_cast<std::uint64_t>(val);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_RNG_HH

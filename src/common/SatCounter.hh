@@ -1,0 +1,67 @@
+/**
+ * @file
+ * N-bit saturating counter, as used by the Data Request Interval (DRI)
+ * counter of the dynamic partitioning scheme (paper Section IV-D2).
+ */
+
+#ifndef SBORAM_COMMON_SATCOUNTER_HH
+#define SBORAM_COMMON_SATCOUNTER_HH
+
+#include <cstdint>
+
+#include "Logging.hh"
+
+namespace sboram {
+
+/** Saturating up/down counter over [0, 2^bits - 1]. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits, std::uint32_t initial = 0)
+        : _bits(bits), _max((1u << bits) - 1u),
+          _value(initial > _max ? _max : initial)
+    {
+        SB_ASSERT(bits >= 1 && bits <= 31, "counter width %u", bits);
+    }
+
+    /** Increment, saturating at the maximum value. */
+    void
+    increment()
+    {
+        if (_value < _max)
+            ++_value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (_value > 0)
+            --_value;
+    }
+
+    std::uint32_t value() const { return _value; }
+    std::uint32_t max() const { return _max; }
+    unsigned bits() const { return _bits; }
+
+    /** True when the counter sits strictly below half of its range. */
+    bool
+    belowHalf() const
+    {
+        return _value < (_max + 1u) / 2u;
+    }
+
+    /** True when saturated at either end. */
+    bool saturated() const { return _value == 0 || _value == _max; }
+
+    void set(std::uint32_t v) { _value = v > _max ? _max : v; }
+
+  private:
+    unsigned _bits;
+    std::uint32_t _max;
+    std::uint32_t _value;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_SATCOUNTER_HH

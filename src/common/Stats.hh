@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar accumulators, histograms
+ * and the mean helpers the evaluation section relies on (arithmetic
+ * and geometric means across workloads).
+ */
+
+#ifndef SBORAM_COMMON_STATS_HH
+#define SBORAM_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sboram {
+
+/** Running scalar statistic: count, sum, min, max, mean, variance. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++_n;
+        _sum += v;
+        _sumSq += v * v;
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
+
+    std::uint64_t count() const { return _n; }
+    double sum() const { return _sum; }
+    double mean() const { return _n ? _sum / static_cast<double>(_n) : 0.0; }
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+
+    double
+    variance() const
+    {
+        if (_n < 2)
+            return 0.0;
+        double m = mean();
+        return _sumSq / static_cast<double>(_n) - m * m;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    void
+    reset()
+    {
+        _n = 0;
+        _sum = _sumSq = 0.0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t _n = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bin histogram over [0, bins*width) with an overflow bin. */
+class Histogram
+{
+  public:
+    Histogram(std::size_t bins, double width)
+        : _width(width), _counts(bins + 1, 0) {}
+
+    void
+    sample(double v)
+    {
+        std::size_t bin = v < 0 ? 0
+            : static_cast<std::size_t>(v / _width);
+        if (bin >= _counts.size() - 1)
+            bin = _counts.size() - 1;
+        ++_counts[bin];
+        _acc.sample(v);
+    }
+
+    const std::vector<std::uint64_t> &counts() const { return _counts; }
+    const Accumulator &summary() const { return _acc; }
+    double binWidth() const { return _width; }
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _counts;
+    Accumulator _acc;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double gmean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &values);
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_STATS_HH

@@ -1,0 +1,57 @@
+#include "Table.hh"
+
+#include <algorithm>
+
+namespace sboram {
+
+void
+Table::print(std::FILE *out) const
+{
+    std::fprintf(out, "\n== %s ==\n", _title.c_str());
+
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(_header);
+    for (const auto &r : _rows)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::fprintf(out, "%-*s", static_cast<int>(widths[i]) + 2,
+                         cells[i].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    std::fflush(out);
+}
+
+void
+Table::printCsv(std::FILE *out) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::fprintf(out, "%s%s", i ? "," : "", cells[i].c_str());
+        std::fprintf(out, "\n");
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+    std::fflush(out);
+}
+
+} // namespace sboram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text table / CSV emitter used by the benchmark harnesses to
+ * print the rows and series of each paper table and figure.
+ */
+
+#ifndef SBORAM_COMMON_TABLE_HH
+#define SBORAM_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sboram {
+
+/**
+ * Column-aligned table with a title, a header row and string cells.
+ * Numeric convenience setters format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    void header(std::vector<std::string> cols) { _header = std::move(cols); }
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    void row(std::vector<std::string> cells) { _rows.push_back(std::move(cells)); }
+
+    void
+    beginRow(const std::string &label)
+    {
+        _rows.push_back({label});
+    }
+
+    void cell(const std::string &s) { _rows.back().push_back(s); }
+
+    void
+    cell(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        _rows.back().push_back(buf);
+    }
+
+    void
+    cell(std::uint64_t v)
+    {
+        _rows.back().push_back(std::to_string(v));
+    }
+
+    /** Print as an aligned plain-text table to the given stream. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Print as CSV (comma-separated, no alignment). */
+    void printCsv(std::FILE *out = stdout) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_TABLE_HH

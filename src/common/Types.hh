@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the Shadow Block
+ * ORAM simulator.
+ */
+
+#ifndef SBORAM_COMMON_TYPES_HH
+#define SBORAM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sboram {
+
+/** Program (block-granularity) address as seen by the LLC. */
+using Addr = std::uint64_t;
+
+/** Leaf label of the ORAM tree, in [0, 2^L). */
+using LeafLabel = std::uint64_t;
+
+/** Index of a bucket in the heap-ordered ORAM tree array. */
+using BucketIndex = std::uint64_t;
+
+/** Simulated time in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated energy in picojoules. */
+using PicoJoules = double;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** Sentinel for "no cycle time yet". */
+inline constexpr Cycles kNoCycles = ~static_cast<Cycles>(0);
+
+/** Operation type of an LLC request reaching the ORAM controller. */
+enum class Op : std::uint8_t { Read, Write };
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_TYPES_HH

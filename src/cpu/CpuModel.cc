@@ -1,0 +1,107 @@
+#include "CpuModel.hh"
+
+#include <algorithm>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+CpuRunResult
+InOrderCpu::run(const std::vector<LlcMissRecord> &trace,
+                MemoryPort &port) const
+{
+    CpuRunResult result;
+    Cycles t = 0;
+    for (const LlcMissRecord &rec : trace) {
+        t += rec.computeGap;
+        const Op op = rec.isWrite ? Op::Write : Op::Read;
+        MemoryReply reply = port.request(rec.addr, op, t);
+        if (op == Op::Read) {
+            // In-order core: stall until the data returns.
+            t = std::max(t, reply.forwardAt);
+            ++result.reads;
+        } else {
+            ++result.writes;
+        }
+        result.finishTime = std::max(result.finishTime, t);
+        result.finishTime = std::max(result.finishTime,
+                                     reply.forwardAt);
+    }
+    return result;
+}
+
+CpuRunResult
+OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
+            MemoryPort &port) const
+{
+    SB_ASSERT(traces.size() == _cores, "need one trace per core");
+
+    struct Core
+    {
+        std::size_t idx = 0;
+        Cycles lastIssue = 0;
+        Cycles lastForward = 0;
+        std::vector<Cycles> forwards;  ///< Ring of window entries.
+    };
+
+    std::vector<Core> cores(_cores);
+    for (Core &c : cores)
+        c.forwards.assign(_window, 0);
+
+    CpuRunResult result;
+
+    auto readyTime = [&](unsigned ci) -> Cycles {
+        const Core &c = cores[ci];
+        const LlcMissRecord &rec = traces[ci][c.idx];
+        Cycles ready;
+        if (rec.dependsOnPrev) {
+            // Consumer of the previous miss's data.
+            ready = c.lastForward + rec.computeGap;
+        } else {
+            // Independent: limited only by fetch rate and the
+            // reorder window (the miss `window` back must have
+            // completed before this one can occupy an entry).
+            ready = c.lastIssue + rec.computeGap / _window + 1;
+        }
+        ready = std::max(ready, c.forwards[c.idx % _window]);
+        return ready;
+    };
+
+    for (;;) {
+        // Pick the core whose next miss is ready earliest.
+        unsigned best = _cores;
+        Cycles bestReady = kNoCycles;
+        for (unsigned ci = 0; ci < _cores; ++ci) {
+            if (cores[ci].idx >= traces[ci].size())
+                continue;
+            const Cycles r = readyTime(ci);
+            if (r < bestReady) {
+                bestReady = r;
+                best = ci;
+            }
+        }
+        if (best == _cores)
+            break;  // All traces drained.
+
+        Core &c = cores[best];
+        const LlcMissRecord &rec = traces[best][c.idx];
+        const Op op = rec.isWrite ? Op::Write : Op::Read;
+        MemoryReply reply = port.request(rec.addr, op, bestReady);
+
+        c.lastIssue = bestReady;
+        const Cycles fwd = op == Op::Read ? reply.forwardAt
+                                          : bestReady;
+        c.forwards[c.idx % _window] = fwd;
+        c.lastForward = fwd;
+        ++c.idx;
+
+        if (op == Op::Read)
+            ++result.reads;
+        else
+            ++result.writes;
+        result.finishTime = std::max(result.finishTime, fwd);
+    }
+    return result;
+}
+
+} // namespace sboram

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace-driven CPU models.
+ *
+ * The paper's Table I evaluates two front-ends: a single in-order
+ * Alpha core (default) and a quad-core out-of-order configuration
+ * (Section VI-E, Fig. 18).  Both are modelled at LLC-miss granularity:
+ * the workload supplies compute gaps between misses and dependency
+ * flags; the CPU model decides when each miss issues and how reads
+ * stall the pipeline.
+ */
+
+#ifndef SBORAM_CPU_CPUMODEL_HH
+#define SBORAM_CPU_CPUMODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Types.hh"
+#include "workload/Workload.hh"
+
+namespace sboram {
+
+/** What the CPU sees back from the memory system. */
+struct MemoryReply
+{
+    Cycles forwardAt = 0;  ///< When the data reached the LLC.
+};
+
+/** Abstract memory system the CPU issues misses into. */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+    virtual MemoryReply request(Addr addr, Op op, Cycles issueTime) = 0;
+};
+
+/** Outcome of running a trace through a CPU model. */
+struct CpuRunResult
+{
+    Cycles finishTime = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Single in-order core: stalls on every read miss until the data is
+ * forwarded; writes retire through a write buffer without stalling.
+ */
+class InOrderCpu
+{
+  public:
+    CpuRunResult run(const std::vector<LlcMissRecord> &trace,
+                     MemoryPort &port) const;
+};
+
+/**
+ * Out-of-order multi-core model: each core overlaps independent
+ * misses within a reorder window; dependent misses (pointer chases)
+ * serialise on the producer's forward time.  Cores share one memory
+ * port, which raises memory intensity — the effect Fig. 18 studies.
+ */
+class OooCpu
+{
+  public:
+    OooCpu(unsigned cores = 4, unsigned window = 8)
+        : _cores(cores), _window(window) {}
+
+    /** @param traces One trace per core. */
+    CpuRunResult run(const std::vector<std::vector<LlcMissRecord>>
+                         &traces,
+                     MemoryPort &port) const;
+
+  private:
+    unsigned _cores;
+    unsigned _window;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_CPU_CPUMODEL_HH

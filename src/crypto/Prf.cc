@@ -1,0 +1,27 @@
+#include "Prf.hh"
+
+namespace sboram {
+
+namespace {
+
+inline std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+prf64(const PrfKey &key, std::uint64_t nonce, std::uint64_t counter)
+{
+    std::uint64_t z = key.lo ^ (nonce * 0xd6e8feb86659fd93ULL);
+    z = mix(z + counter * 0x9e3779b97f4a7c15ULL);
+    z = mix(z ^ key.hi);
+    z = mix(z + (nonce << 32 | (counter & 0xffffffffULL)));
+    return z;
+}
+
+} // namespace sboram

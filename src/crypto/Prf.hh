@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Keyed pseudo-random function used as the keystream generator for the
+ * one-time-pad block encryption (paper Section II-C: "both data blocks
+ * and dummy blocks are probabilistically encrypted with One Time
+ * Pad").
+ *
+ * This is NOT a cryptographically strong primitive — the simulator
+ * needs the *structure* of probabilistic encryption (fresh nonce per
+ * write, ciphertext indistinguishability in the statistical tests, a
+ * real encrypt/decrypt code path whose latency is modelled), not
+ * production AES.  The construction is a 4-round splitmix-style mix of
+ * (key, nonce, counter), which passes the avalanche/uniformity tests
+ * in tests/crypto.
+ */
+
+#ifndef SBORAM_CRYPTO_PRF_HH
+#define SBORAM_CRYPTO_PRF_HH
+
+#include <cstdint>
+
+namespace sboram {
+
+/** 128-bit key for the pad PRF. */
+struct PrfKey
+{
+    std::uint64_t lo = 0x5bd1e9955bd1e995ULL;
+    std::uint64_t hi = 0x9e3779b97f4a7c15ULL;
+};
+
+/**
+ * Deterministic 64-bit PRF output for (key, nonce, counter).
+ * Each 64-bit lane of a block pad is prf(key, nonce, laneIndex).
+ */
+std::uint64_t prf64(const PrfKey &key, std::uint64_t nonce,
+                    std::uint64_t counter);
+
+} // namespace sboram
+
+#endif // SBORAM_CRYPTO_PRF_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory-subsystem energy accounting (paper Fig. 12).
+ *
+ * Energy = dynamic (activates, reads, writes counted by the DRAM
+ * model) + background power integrated over execution time.  The paper
+ * normalises to the insecure system, so only ratios matter; the
+ * constants live in DramEnergy (DramTiming.hh).
+ */
+
+#ifndef SBORAM_MEM_ENERGYMODEL_HH
+#define SBORAM_MEM_ENERGYMODEL_HH
+
+#include "DramModel.hh"
+#include "DramTiming.hh"
+#include "common/Types.hh"
+
+namespace sboram {
+
+/** Computes total memory energy from DRAM stats and execution time. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(DramEnergy params = DramEnergy{},
+                         unsigned channels = 2)
+        : _params(params), _channels(channels) {}
+
+    PicoJoules
+    dynamicEnergy(const DramStats &stats) const
+    {
+        return static_cast<double>(stats.activates) * _params.eActivate +
+               static_cast<double>(stats.reads) * _params.eRead +
+               static_cast<double>(stats.writes) * _params.eWrite;
+    }
+
+    PicoJoules
+    backgroundEnergy(Cycles executionTime) const
+    {
+        return static_cast<double>(executionTime) *
+               _params.pBackground * _channels;
+    }
+
+    PicoJoules
+    totalEnergy(const DramStats &stats, Cycles executionTime) const
+    {
+        return dynamicEnergy(stats) + backgroundEnergy(executionTime);
+    }
+
+  private:
+    DramEnergy _params;
+    unsigned _channels;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_MEM_ENERGYMODEL_HH

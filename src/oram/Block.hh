@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Block representation.
+ *
+ * Every slot of the ORAM tree holds exactly one of: a dummy block, a
+ * real data block, or a shadow block — a dummy slot carrying a *copy*
+ * of a real block's data (paper Section IV-A).  The on-chip view of a
+ * block is (shadowBit, data, label, addr) as in Fig. 7(a); this struct
+ * adds a version number used by the consistency invariants ("there is
+ * only one version of data for different copies", Rule-1/Rule-2
+ * discussion) and by the functional payload checks.
+ */
+
+#ifndef SBORAM_ORAM_BLOCK_HH
+#define SBORAM_ORAM_BLOCK_HH
+
+#include <cstdint>
+
+#include "common/Types.hh"
+
+namespace sboram {
+
+/** What a tree slot or stash entry holds. */
+enum class BlockType : std::uint8_t { Dummy = 0, Real = 1, Shadow = 2 };
+
+/**
+ * Compact tree-slot metadata (16 bytes).  Payload ciphertext, when
+ * enabled, lives in a side table keyed by slot index so that the
+ * metadata array stays small enough for paper-scale trees.
+ */
+struct Slot
+{
+    std::uint32_t addr = 0;
+    std::uint32_t leaf = 0;
+    std::uint32_t version = 0;
+    BlockType type = BlockType::Dummy;
+
+    bool valid() const { return type != BlockType::Dummy; }
+    bool isReal() const { return type == BlockType::Real; }
+    bool isShadow() const { return type == BlockType::Shadow; }
+
+    void
+    clear()
+    {
+        type = BlockType::Dummy;
+        addr = 0;
+        leaf = 0;
+        version = 0;
+    }
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_BLOCK_HH

@@ -1,0 +1,51 @@
+#include "OramConfig.hh"
+
+namespace sboram {
+
+std::uint64_t
+OramConfig::totalBlocks() const
+{
+    std::uint64_t total = dataBlocks;
+    if (posMapMode == PosMapMode::Recursive) {
+        const std::uint64_t fanout = posMapFanout();
+        std::uint64_t entries = dataBlocks;
+        while (entries > onChipPosMapEntries) {
+            std::uint64_t blocks = (entries + fanout - 1) / fanout;
+            total += blocks;
+            entries = blocks;
+        }
+    }
+    return total;
+}
+
+unsigned
+OramConfig::deriveLevels() const
+{
+    SB_ASSERT(utilization > 0.0 && utilization <= 1.0,
+              "utilization %f out of range", utilization);
+    const std::uint64_t needed = totalBlocks();
+    for (unsigned leafLevel = 1; leafLevel <= 40; ++leafLevel) {
+        const std::uint64_t buckets =
+            (std::uint64_t(2) << leafLevel) - 1;
+        const double capacity = static_cast<double>(buckets) *
+                                slotsPerBucket * utilization;
+        if (capacity >= static_cast<double>(needed))
+            return leafLevel;
+    }
+    SB_FATAL("cannot size an ORAM tree for %llu blocks",
+             static_cast<unsigned long long>(needed));
+}
+
+OramGeometry
+OramGeometry::derive(const OramConfig &cfg)
+{
+    OramGeometry geo;
+    geo.leafLevel = cfg.deriveLevels();
+    geo.numLeaves = std::uint64_t(1) << geo.leafLevel;
+    geo.numBuckets = (std::uint64_t(2) << geo.leafLevel) - 1;
+    geo.numSlots = geo.numBuckets * cfg.slotsPerBucket;
+    geo.totalBlocks = cfg.totalBlocks();
+    return geo;
+}
+
+} // namespace sboram

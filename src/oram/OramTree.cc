@@ -1,0 +1,34 @@
+#include "OramTree.hh"
+
+namespace sboram {
+
+OramTree::OramTree(const OramGeometry &geo, unsigned slotsPerBucket,
+                   bool payloadEnabled, std::uint64_t payloadWords)
+    : _leafLevel(geo.leafLevel), _slots(slotsPerBucket),
+      _numBuckets(geo.numBuckets), _numLeaves(geo.numLeaves),
+      _payloadEnabled(payloadEnabled), _payloadWords(payloadWords),
+      _store(geo.numSlots)
+{
+}
+
+std::uint64_t
+OramTree::countOccupied() const
+{
+    std::uint64_t n = 0;
+    for (const Slot &s : _store)
+        if (s.valid())
+            ++n;
+    return n;
+}
+
+std::uint64_t
+OramTree::countReal() const
+{
+    std::uint64_t n = 0;
+    for (const Slot &s : _store)
+        if (s.isReal())
+            ++n;
+    return n;
+}
+
+} // namespace sboram

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The external-memory ORAM tree (paper Section II-C).
+ *
+ * A binary tree of L+1 levels (level 0 = root, level L = leaves), each
+ * bucket holding Z slots.  Buckets are heap-ordered in one flat slot
+ * array.  Optionally a ciphertext side table stores one-time-pad
+ * encrypted payloads so functional tests can verify the full
+ * encrypt/store/decrypt path.
+ */
+
+#ifndef SBORAM_ORAM_ORAMTREE_HH
+#define SBORAM_ORAM_ORAMTREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "Block.hh"
+#include "OramConfig.hh"
+#include "common/Logging.hh"
+#include "common/Types.hh"
+#include "crypto/Otp.hh"
+
+namespace sboram {
+
+class OramTree
+{
+  public:
+    OramTree(const OramGeometry &geo, unsigned slotsPerBucket,
+             bool payloadEnabled, std::uint64_t payloadWords);
+
+    unsigned leafLevel() const { return _leafLevel; }
+    unsigned slotsPerBucket() const { return _slots; }
+    std::uint64_t numBuckets() const { return _numBuckets; }
+    std::uint64_t numLeaves() const { return _numLeaves; }
+
+    /** Heap index of the bucket at @p level on the path to @p leaf. */
+    BucketIndex
+    bucketOnPath(LeafLabel leaf, unsigned level) const
+    {
+        SB_ASSERT(level <= _leafLevel, "level %u beyond leaf", level);
+        return ((BucketIndex(1) << level) - 1) +
+               (leaf >> (_leafLevel - level));
+    }
+
+    /**
+     * Deepest level at which a block with label @p blockLeaf may be
+     * placed on the path to @p pathLeaf (length of the common prefix).
+     */
+    unsigned
+    commonLevel(LeafLabel blockLeaf, LeafLabel pathLeaf) const
+    {
+        const std::uint64_t diff = blockLeaf ^ pathLeaf;
+        if (diff == 0)
+            return _leafLevel;
+        const unsigned bits = 64 - __builtin_clzll(diff);
+        SB_ASSERT(bits <= _leafLevel, "label out of range");
+        return _leafLevel - bits;
+    }
+
+    /** Flat index of a slot. */
+    std::uint64_t
+    slotIndex(BucketIndex bucket, unsigned slot) const
+    {
+        return bucket * _slots + slot;
+    }
+
+    Slot &
+    slot(BucketIndex bucket, unsigned slot_)
+    {
+        return _store[slotIndex(bucket, slot_)];
+    }
+
+    const Slot &
+    slot(BucketIndex bucket, unsigned slot_) const
+    {
+        return _store[slotIndex(bucket, slot_)];
+    }
+
+    bool payloadEnabled() const { return _payloadEnabled; }
+    std::uint64_t payloadWords() const { return _payloadWords; }
+
+    /** Store an encrypted payload for an occupied slot. */
+    void
+    storeCipher(std::uint64_t slotIdx, CipherText ct)
+    {
+        _cipher[slotIdx] = std::move(ct);
+    }
+
+    /** Fetch the ciphertext of an occupied slot. */
+    const CipherText &
+    cipherAt(std::uint64_t slotIdx) const
+    {
+        auto it = _cipher.find(slotIdx);
+        SB_ASSERT(it != _cipher.end(), "no ciphertext at slot %llu",
+                  static_cast<unsigned long long>(slotIdx));
+        return it->second;
+    }
+
+    void eraseCipher(std::uint64_t slotIdx) { _cipher.erase(slotIdx); }
+
+    /** Mutable ciphertext access — only for fault-injection tests
+     *  (an attacker tampering with untrusted memory). */
+    CipherText &
+    mutableCipherAt(std::uint64_t slotIdx)
+    {
+        auto it = _cipher.find(slotIdx);
+        SB_ASSERT(it != _cipher.end(), "no ciphertext at slot %llu",
+                  static_cast<unsigned long long>(slotIdx));
+        return it->second;
+    }
+
+    /** Count of occupied (real or shadow) slots in the whole tree. */
+    std::uint64_t countOccupied() const;
+    /** Count of real slots only. */
+    std::uint64_t countReal() const;
+
+  private:
+    unsigned _leafLevel;
+    unsigned _slots;
+    std::uint64_t _numBuckets;
+    std::uint64_t _numLeaves;
+    bool _payloadEnabled;
+    std::uint64_t _payloadWords;
+    std::vector<Slot> _store;
+    std::unordered_map<std::uint64_t, CipherText> _cipher;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_ORAMTREE_HH

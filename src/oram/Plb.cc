@@ -1,0 +1,62 @@
+#include "Plb.hh"
+
+namespace sboram {
+
+Plb::Plb(std::uint64_t capacityBytes, std::uint64_t blockBytes,
+         unsigned associativity)
+    : _assoc(associativity)
+{
+    std::uint64_t entries = capacityBytes / blockBytes;
+    SB_ASSERT(entries >= associativity, "PLB too small");
+    _numSets = static_cast<unsigned>(entries / associativity);
+    // Round down to a power of two for cheap set indexing.
+    while (_numSets & (_numSets - 1))
+        _numSets &= _numSets - 1;
+    _ways.resize(static_cast<std::size_t>(_numSets) * _assoc);
+}
+
+bool
+Plb::lookup(Addr pmBlockAddr)
+{
+    const unsigned set =
+        static_cast<unsigned>(pmBlockAddr % _numSets);
+    Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].tag == pmBlockAddr) {
+            base[w].lastUse = ++_useCounter;
+            ++_hits;
+            return true;
+        }
+    }
+    ++_misses;
+    return false;
+}
+
+void
+Plb::insert(Addr pmBlockAddr)
+{
+    const unsigned set =
+        static_cast<unsigned>(pmBlockAddr % _numSets);
+    Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = pmBlockAddr;
+    victim->lastUse = ++_useCounter;
+}
+
+void
+Plb::clear()
+{
+    for (Way &w : _ways)
+        w = Way{};
+}
+
+} // namespace sboram

@@ -1,0 +1,62 @@
+#include "RecursivePosMap.hh"
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+RecursivePosMap::RecursivePosMap(const OramConfig &cfg)
+    : _dataBlocks(cfg.dataBlocks), _fanout(cfg.posMapFanout())
+{
+    _totalBlocks = _dataBlocks;
+    if (cfg.posMapMode == PosMapMode::Recursive) {
+        std::uint64_t entries = _dataBlocks;
+        while (entries > cfg.onChipPosMapEntries) {
+            Level lvl;
+            lvl.base = _totalBlocks;
+            lvl.blocks = (entries + _fanout - 1) / _fanout;
+            _levels.push_back(lvl);
+            _totalBlocks += lvl.blocks;
+            entries = lvl.blocks;
+        }
+    }
+}
+
+Addr
+RecursivePosMap::pmBlockFor(unsigned level, Addr lowerAddr) const
+{
+    SB_ASSERT(level < _levels.size(), "recursion level %u", level);
+    const Level &lvl = _levels[level];
+    // Level 0 indexes data addresses; level k indexes the block
+    // addresses of level k-1 relative to that region's base.
+    const Addr lowerIndex =
+        level == 0 ? lowerAddr : lowerAddr - _levels[level - 1].base;
+    const Addr idx = lowerIndex / _fanout;
+    SB_ASSERT(idx < lvl.blocks, "pm index out of range");
+    return lvl.base + idx;
+}
+
+std::vector<Addr>
+RecursivePosMap::resolve(Addr dataAddr, Plb &plb)
+{
+    std::vector<Addr> chain;
+    if (_levels.empty())
+        return chain;
+
+    // Walk up from the first position-map level until the PLB hits
+    // (or we reach the on-chip top level).  Blocks collected on the
+    // way must be fetched, highest level first.
+    Addr lower = dataAddr;
+    for (unsigned level = 0; level < _levels.size(); ++level) {
+        const Addr pmAddr = pmBlockFor(level, lower);
+        if (plb.lookup(pmAddr))
+            break;
+        chain.push_back(pmAddr);
+        plb.insert(pmAddr);
+        lower = pmAddr;
+    }
+    // Highest recursion level must be accessed first.
+    std::vector<Addr> ordered(chain.rbegin(), chain.rend());
+    return ordered;
+}
+
+} // namespace sboram

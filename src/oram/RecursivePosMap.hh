@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unified recursive position map (Freecursive ORAM [14]), used by the
+ * paper's Tiny ORAM baseline.
+ *
+ * The position map of a large ORAM does not fit on chip, so it is
+ * itself stored as blocks inside the same ORAM tree (a "unified
+ * program address space").  Looking up a data address may therefore
+ * require fetching a chain of position-map blocks — each a normal
+ * ORAM access — until the PLB (or the small on-chip top-level map)
+ * supplies a label.
+ *
+ * This class owns the address-space layout (data blocks first, then
+ * one region per recursion level) and, given a data address and the
+ * PLB state, yields the ordered list of extra block addresses that
+ * must be fetched before the data block itself.
+ */
+
+#ifndef SBORAM_ORAM_RECURSIVEPOSMAP_HH
+#define SBORAM_ORAM_RECURSIVEPOSMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "OramConfig.hh"
+#include "Plb.hh"
+#include "common/Types.hh"
+
+namespace sboram {
+
+class RecursivePosMap
+{
+  public:
+    RecursivePosMap(const OramConfig &cfg);
+
+    /** Number of recursion levels stored in the tree (0 = none). */
+    unsigned depth() const { return static_cast<unsigned>(_levels.size()); }
+
+    /** Total blocks in the unified address space. */
+    std::uint64_t totalBlocks() const { return _totalBlocks; }
+
+    /** True when @p addr is a position-map (not data) block. */
+    bool
+    isPosMapBlock(Addr addr) const
+    {
+        return addr >= _dataBlocks;
+    }
+
+    /**
+     * Compute the position-map block addresses that must be fetched
+     * from the ORAM before accessing @p dataAddr, ordered from the
+     * highest recursion level down (the order they must be accessed).
+     * Probes and fills the PLB as a side effect.
+     */
+    std::vector<Addr> resolve(Addr dataAddr, Plb &plb);
+
+    /** Position-map block (at recursion level @p level) covering @p addr
+     *  of the level below. Level 0 covers data addresses. */
+    Addr pmBlockFor(unsigned level, Addr lowerAddr) const;
+
+  private:
+    struct Level
+    {
+        Addr base = 0;            ///< First block address of region.
+        std::uint64_t blocks = 0; ///< Blocks in this region.
+    };
+
+    std::uint64_t _dataBlocks;
+    std::uint64_t _fanout;
+    std::uint64_t _totalBlocks;
+    std::vector<Level> _levels;  ///< [0] covers data addresses.
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_RECURSIVEPOSMAP_HH

@@ -1,0 +1,127 @@
+#include "Stash.hh"
+
+#include <algorithm>
+
+namespace sboram {
+
+void
+Stash::enforceCapacity()
+{
+    // The stash is a fixed-size CAM: shadow entries are replaceable
+    // and get displaced (oldest first) when the structure fills up;
+    // real entries beyond the capacity are an overflow (counted by
+    // trackOccupancy — functionally we keep them so the simulation
+    // can proceed).
+    while (_entries.size() > _capacity) {
+        Addr victim = kInvalidAddr;
+        std::uint32_t coldest = ~std::uint32_t(0);
+        std::uint64_t oldest = ~std::uint64_t(0);
+        for (const auto &kv : _entries) {
+            if (!kv.second.isShadow())
+                continue;
+            const std::uint32_t hot =
+                _hotness ? _hotness(kv.first) : 0;
+            if (hot < coldest ||
+                (hot == coldest && kv.second.seq < oldest)) {
+                coldest = hot;
+                oldest = kv.second.seq;
+                victim = kv.first;
+            }
+        }
+        if (victim == kInvalidAddr)
+            break;  // Only real entries left; overflow accounting.
+        _entries.erase(victim);
+    }
+}
+
+bool
+Stash::insert(StashEntry entry)
+{
+    SB_ASSERT(entry.type != BlockType::Dummy,
+              "dummy blocks are discarded, not stashed");
+    entry.seq = _nextSeq++;
+
+    auto it = _entries.find(entry.addr);
+    if (it == _entries.end()) {
+        if (entry.type == BlockType::Real)
+            ++_realCount;
+        _entries.emplace(entry.addr, std::move(entry));
+        enforceCapacity();
+        trackOccupancy();
+        return true;
+    }
+
+    StashEntry &existing = it->second;
+    if (entry.type == BlockType::Shadow) {
+        // Merge: a real copy wins; duplicate shadows collapse.
+        if (existing.type == BlockType::Real) {
+            ++_stats.mergesRealWins;
+        } else {
+            SB_ASSERT(existing.version == entry.version,
+                      "divergent shadow versions for addr %llu "
+                      "(%u vs %u)",
+                      static_cast<unsigned long long>(entry.addr),
+                      existing.version, entry.version);
+            ++_stats.mergesShadowDup;
+        }
+        return false;
+    }
+
+    // Incoming real block.  A real copy can only meet a shadow here:
+    // two real copies of one address never coexist (invariant 2).
+    SB_ASSERT(existing.type == BlockType::Shadow,
+              "two real copies of addr %llu",
+              static_cast<unsigned long long>(entry.addr));
+    SB_ASSERT(existing.version == entry.version,
+              "stale shadow survived for addr %llu",
+              static_cast<unsigned long long>(entry.addr));
+    ++_stats.mergesRealWins;
+    existing = std::move(entry);
+    ++_realCount;
+    trackOccupancy();
+    return true;
+}
+
+const StashEntry *
+Stash::find(Addr addr) const
+{
+    auto it = _entries.find(addr);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+StashEntry *
+Stash::find(Addr addr)
+{
+    auto it = _entries.find(addr);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+void
+Stash::remove(Addr addr)
+{
+    auto it = _entries.find(addr);
+    SB_ASSERT(it != _entries.end(), "removing absent addr %llu",
+              static_cast<unsigned long long>(addr));
+    if (it->second.type == BlockType::Real)
+        --_realCount;
+    _entries.erase(it);
+}
+
+void
+Stash::dropShadowOf(Addr addr)
+{
+    auto it = _entries.find(addr);
+    if (it != _entries.end() && it->second.type == BlockType::Shadow)
+        _entries.erase(it);
+}
+
+void
+Stash::trackOccupancy()
+{
+    if (_realCount > _stats.peakReal)
+        _stats.peakReal = _realCount;
+    if (_realCount > _capacity)
+        ++_stats.overflowEvents;
+}
+
+} // namespace sboram

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The on-chip stash (paper Section II-C / V-A).
+ *
+ * Modelled after the CAM-based stash of Phantom [15]: content
+ * addressable by program address, with an evicted/replaceable bit.  In
+ * this implementation "replaceable" entries are simply removed (their
+ * slot is free); shadow-block entries are kept but are always
+ * replaceable, so they never count against the stash capacity — this
+ * is what preserves the baseline stash-overflow probability (paper
+ * Rule-3 and Section IV-B2).
+ *
+ * The merge operation of Section IV-A is enforced structurally: the
+ * stash holds at most one entry per address, a real entry always wins
+ * over a shadow entry, and multiple shadows collapse into one.
+ */
+
+#ifndef SBORAM_ORAM_STASH_HH
+#define SBORAM_ORAM_STASH_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "Block.hh"
+#include "common/Logging.hh"
+#include "common/Types.hh"
+
+namespace sboram {
+
+/** One stash entry; at most one per address after merging. */
+struct StashEntry
+{
+    Addr addr = kInvalidAddr;
+    LeafLabel leaf = 0;
+    std::uint32_t version = 0;
+    BlockType type = BlockType::Dummy;
+    std::uint64_t seq = 0;  ///< Insertion order, for determinism.
+    std::vector<std::uint64_t> payload;
+
+    bool isShadow() const { return type == BlockType::Shadow; }
+};
+
+/** Aggregate stash statistics. */
+struct StashStats
+{
+    std::uint64_t peakReal = 0;     ///< Max real occupancy observed.
+    std::uint64_t overflowEvents = 0;
+    std::uint64_t mergesRealWins = 0;  ///< Shadow discarded for real.
+    std::uint64_t mergesShadowDup = 0; ///< Shadow collapsed w/ shadow.
+};
+
+class Stash
+{
+  public:
+    explicit Stash(unsigned capacity) : _capacity(capacity) {}
+
+    /**
+     * Insert a block, applying the merge rules.  Returns false when
+     * the incoming block was discarded by a merge.
+     */
+    bool insert(StashEntry entry);
+
+    /** Find the entry (real or shadow) for an address, or nullptr. */
+    const StashEntry *find(Addr addr) const;
+    StashEntry *find(Addr addr);
+
+    /** Remove the entry for an address (after eviction placement). */
+    void remove(Addr addr);
+
+    /** Discard any shadow entry for this address (merge case 1). */
+    void dropShadowOf(Addr addr);
+
+    /** Number of real (capacity-counting) entries. */
+    std::uint64_t realCount() const { return _realCount; }
+    /** Number of shadow (replaceable) entries. */
+    std::uint64_t
+    shadowCount() const
+    {
+        return _entries.size() - _realCount;
+    }
+
+    std::uint64_t size() const { return _entries.size(); }
+    unsigned capacity() const { return _capacity; }
+
+    const StashStats &stats() const { return _stats; }
+
+    /**
+     * Collect entries eligible for placement at @p level of a path
+     * write, i.e. whose common prefix with the eviction leaf is at
+     * least @p level, ordered deterministically: real entries first,
+     * then shadows, each in insertion order.  @p commonLevelFn maps a
+     * block leaf to the common prefix length.
+     */
+    template <typename CommonLevelFn>
+    std::vector<Addr>
+    eligibleForLevel(unsigned level, CommonLevelFn &&commonLevelFn) const
+    {
+        std::vector<const StashEntry *> picked;
+        for (const auto &kv : _entries) {
+            if (commonLevelFn(kv.second.leaf) >= level)
+                picked.push_back(&kv.second);
+        }
+        std::sort(picked.begin(), picked.end(),
+                  [](const StashEntry *a, const StashEntry *b) {
+                      const bool as = a->isShadow();
+                      const bool bs = b->isShadow();
+                      if (as != bs)
+                          return !as;  // reals first
+                      return a->seq < b->seq;
+                  });
+        std::vector<Addr> addrs;
+        addrs.reserve(picked.size());
+        for (const StashEntry *e : picked)
+            addrs.push_back(e->addr);
+        return addrs;
+    }
+
+    /** Visit every entry (order unspecified). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : _entries)
+            fn(kv.second);
+    }
+
+    /**
+     * Install a hotness oracle used to pick shadow-displacement
+     * victims: when the CAM fills up, the coldest shadow goes first
+     * (HD-Dup's Hot Address Cache provides the ranking).  Without an
+     * oracle, displacement is oldest-first.
+     */
+    void
+    setHotnessOracle(std::function<std::uint32_t(Addr)> fn)
+    {
+        _hotness = std::move(fn);
+    }
+
+  private:
+    void trackOccupancy();
+    void enforceCapacity();
+
+    unsigned _capacity;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _realCount = 0;
+    std::unordered_map<Addr, StashEntry> _entries;
+    std::function<std::uint32_t(Addr)> _hotness;
+    StashStats _stats;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_STASH_HH

@@ -1,0 +1,609 @@
+#include "TinyOram.hh"
+
+#include <algorithm>
+
+namespace sboram {
+
+namespace {
+
+/** Marker for "real copy currently lives in the stash". */
+constexpr std::uint8_t kInStash = 0xff;
+
+} // namespace
+
+TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
+                   std::unique_ptr<DuplicationPolicy> policy)
+    : _cfg(cfg), _geo(OramGeometry::derive(cfg)),
+      _tree(_geo, cfg.slotsPerBucket, cfg.payloadEnabled,
+            cfg.blockBytes / 8),
+      _stash(cfg.stashCapacity),
+      _posMap(_geo.totalBlocks),
+      _recursion(cfg),
+      _plb(cfg.plbBytes, cfg.blockBytes),
+      _dram(dram),
+      _addressMap(dram.geometry(), _geo.leafLevel + 1,
+                  cfg.slotsPerBucket),
+      _policy(policy ? std::move(policy)
+                     : std::make_unique<NullDuplicationPolicy>()),
+      _remapRng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0x1234),
+      _dummyRng(cfg.seed * 0xd6e8feb86659fd93ULL + 0x5678)
+{
+    SB_ASSERT(_recursion.totalBlocks() == _geo.totalBlocks,
+              "address space mismatch");
+    if (cfg.payloadEnabled) {
+        SB_ASSERT(_geo.totalBlocks <= (std::uint64_t(1) << 18),
+                  "payload mode is for functional-scale trees");
+    }
+    SB_ASSERT(cfg.treetopLevels <= _geo.leafLevel,
+              "treetop deeper than the tree");
+    _realLevel.assign(_geo.totalBlocks, kInStash);
+    _stash.setHotnessOracle(
+        [this](Addr addr) { return _policy->hotnessOf(addr); });
+    initializeTree();
+}
+
+std::vector<std::uint64_t>
+TinyOram::patternPayload(Addr addr, std::uint32_t version) const
+{
+    std::vector<std::uint64_t> words(_cfg.blockBytes / 8);
+    PrfKey key{0xfeedfacecafebeefULL, 0x0123456789abcdefULL};
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] = prf64(key, (addr << 20) ^ version, i);
+    return words;
+}
+
+void
+TinyOram::initializeTree()
+{
+    // Assign every block a random leaf and place it greedily from the
+    // leaf level upwards; anything that does not fit starts in the
+    // stash (rare at 50 % utilisation).
+    for (Addr addr = 0; addr < _geo.totalBlocks; ++addr) {
+        const LeafLabel leaf = randomLeaf();
+        _posMap.update(addr, leaf);
+        bool placed = false;
+        for (int level = static_cast<int>(_geo.leafLevel);
+             level >= 0 && !placed; --level) {
+            const BucketIndex b =
+                _tree.bucketOnPath(leaf, static_cast<unsigned>(level));
+            for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+                Slot &slot = _tree.slot(b, s);
+                if (slot.valid())
+                    continue;
+                slot.type = BlockType::Real;
+                slot.addr = static_cast<std::uint32_t>(addr);
+                slot.leaf = static_cast<std::uint32_t>(leaf);
+                slot.version = 0;
+                _realLevel[addr] = static_cast<std::uint8_t>(level);
+                if (_cfg.payloadEnabled) {
+                    _tree.storeCipher(
+                        _tree.slotIndex(b, s),
+                        _codec.encrypt(patternPayload(addr, 0)));
+                }
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            StashEntry e;
+            e.addr = addr;
+            e.leaf = leaf;
+            e.version = 0;
+            e.type = BlockType::Real;
+            if (_cfg.payloadEnabled)
+                e.payload = patternPayload(addr, 0);
+            _stash.insert(std::move(e));
+            _realLevel[addr] = kInStash;
+        }
+    }
+}
+
+LeafLabel
+TinyOram::nextEvictionLeaf()
+{
+    // Reverse-lexicographic order [18], [34]: bit-reverse a counter
+    // over L bits so successive evictions spread over the tree.
+    std::uint64_t g = _evictionCounter++;
+    LeafLabel leaf = 0;
+    for (unsigned bit = 0; bit < _geo.leafLevel; ++bit) {
+        leaf = (leaf << 1) | (g & 1);
+        g >>= 1;
+    }
+    return leaf;
+}
+
+Cycles
+TinyOram::estimatePathReadLatency()
+{
+    DramModel probe(_dram.timing(), _dram.geometry());
+    std::vector<DramCoord> coords;
+    for (unsigned level = _cfg.treetopLevels;
+         level <= _geo.leafLevel; ++level) {
+        const BucketIndex b = _tree.bucketOnPath(0, level);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s)
+            coords.push_back(_addressMap.mapSlot(b, s));
+    }
+    BatchTiming t = probe.accessBatch(0, coords, false);
+    return t.finish + _cfg.aesLatency;
+}
+
+TinyOram::PathReadOutcome
+TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
+                   Cycles startTime)
+{
+    ++_stats.pathReads;
+    if (_traceSink)
+        _traceSink->onPathAccess(leaf, false);
+
+    const unsigned ttl = _cfg.treetopLevels;
+    std::vector<DramCoord> coords;
+    coords.reserve((_geo.leafLevel + 1 - ttl) * _cfg.slotsPerBucket);
+    for (unsigned level = ttl; level <= _geo.leafLevel; ++level) {
+        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s)
+            coords.push_back(_addressMap.mapSlot(b, s));
+    }
+    BatchTiming batch = _dram.accessBatch(
+        startTime, coords, false, _cfg.xorCompression,
+        _cfg.slotsPerBucket);
+
+    PathReadOutcome out;
+    out.finish = std::max(batch.finish,
+                          startTime + _cfg.onChipLatency) +
+                 _cfg.aesLatency;
+
+    std::size_t dramIdx = 0;
+    for (unsigned level = 0; level <= _geo.leafLevel; ++level) {
+        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+            const bool onChip = level < ttl;
+            const Cycles ready = onChip
+                ? startTime + _cfg.onChipLatency
+                : batch.completion[dramIdx++];
+            Slot &slot = _tree.slot(b, s);
+            if (!slot.valid())
+                continue;
+
+            // Early forwarding of the intended block (or a shadow
+            // copy of it): record the earliest matching slot.  XOR
+            // compression cannot forward early — the intended block
+            // is reconstructed only after the whole path is read.
+            if (mode == ReadMode::Request && slot.addr == wantAddr) {
+                const Cycles fwd = _cfg.xorCompression
+                    ? out.finish
+                    : ready + _cfg.aesLatency;
+                if (fwd < out.forwardAt) {
+                    out.forwardAt = fwd;
+                    out.forwardLevel = level;
+                    out.usedShadow =
+                        !_cfg.xorCompression && slot.isShadow();
+                    out.foundInTreetop = onChip;
+                }
+            }
+
+            if (mode == ReadMode::Dummy)
+                continue;  // Contents discarded, tree untouched.
+
+            const std::uint64_t slotIdx = _tree.slotIndex(b, s);
+            const bool consume =
+                mode == ReadMode::Evict ||
+                (mode == ReadMode::Request && slot.addr == wantAddr);
+            const bool copyShadow =
+                mode == ReadMode::Request && slot.isShadow();
+
+            if (!consume && !copyShadow)
+                continue;  // RAW read-only: leave other blocks alone.
+
+            StashEntry e;
+            e.addr = slot.addr;
+            e.leaf = slot.leaf;
+            e.version = slot.version;
+            e.type = slot.type;
+            if (_cfg.payloadEnabled) {
+                // Integrity verification (Tiny ORAM baseline [18]):
+                // a tampered ciphertext is an active attack and
+                // stops the machine.
+                if (!_codec.verifyDecrypt(_tree.cipherAt(slotIdx),
+                                          e.payload)) {
+                    SB_PANIC("integrity violation at bucket %llu "
+                             "slot %u",
+                             static_cast<unsigned long long>(b), s);
+                }
+            }
+            if (mode == ReadMode::Evict && e.isShadow()) {
+                // Keep eviction-path shadows in the path buffer for
+                // the imminent path write (deduplicated by address).
+                bool seen = false;
+                for (const StashEntry &buf : _evictShadows) {
+                    if (buf.addr == e.addr) {
+                        seen = true;
+                        break;
+                    }
+                }
+                if (!seen)
+                    _evictShadows.push_back(std::move(e));
+            } else {
+                _stash.insert(std::move(e));
+            }
+
+            if (consume) {
+                if (slot.isReal())
+                    _realLevel[slot.addr] = kInStash;
+                slot.clear();
+                if (_cfg.payloadEnabled)
+                    _tree.eraseCipher(slotIdx);
+            }
+            // copyShadow without consume: the tree copy stays valid;
+            // the stash now holds an identical (replaceable) copy.
+        }
+    }
+    return out;
+}
+
+Cycles
+TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
+{
+    ++_stats.pathWrites;
+    if (_traceSink)
+        _traceSink->onPathAccess(leaf, true);
+    _policy->beginPathWrite(leaf);
+
+    const unsigned ttl = _cfg.treetopLevels;
+    std::vector<DramCoord> coords;
+
+    // Payloads of duplication candidates (blocks placed in this path
+    // write and offered stash shadows), so shadow slots can be
+    // filled with real data in payload mode.
+    std::unordered_map<Addr, std::vector<std::uint64_t>> placedPayload;
+
+    // Shadow copies sitting in the stash are offered to the
+    // duplication policy: Rule-1 bounds them by their label's common
+    // prefix with this path, Rule-2 by their real copy's tree level.
+    if (_cfg.recirculateShadows) {
+        _stash.forEach([&](const StashEntry &e) {
+        if (!e.isShadow())
+            return;
+        const std::uint8_t realLvl = _realLevel[e.addr];
+        SB_ASSERT(realLvl != kInStash,
+                  "stash shadow coexists with a stash real copy");
+        const unsigned maxLevel = std::min<unsigned>(
+            _tree.commonLevel(e.leaf, leaf), realLvl);
+        if (_cfg.payloadEnabled)
+            placedPayload[e.addr] = e.payload;
+        _policy->offerStashShadow(e.addr, e.leaf, e.version, realLvl,
+                                  maxLevel);
+        });
+
+        // Shadows vacuumed by this eviction's path read circulate
+        // the same way.  If the real copy came off this same path
+        // into the stash, its final location is only known after the
+        // greedy placements, so the offer uses the label bound and
+        // the write pass re-checks Rule-2 before committing a slot.
+        for (const StashEntry &e : _evictShadows) {
+            const std::uint8_t realLvl = _realLevel[e.addr];
+            const bool realInStash = realLvl == kInStash;
+            const unsigned rearLevel =
+                realInStash ? _geo.leafLevel : realLvl;
+            const unsigned maxLevel = std::min<unsigned>(
+                _tree.commonLevel(e.leaf, leaf),
+                realInStash ? _geo.leafLevel + 1 : realLvl);
+            if (_cfg.payloadEnabled)
+                placedPayload[e.addr] = e.payload;
+            _policy->offerStashShadow(e.addr, e.leaf, e.version,
+                                      rearLevel, maxLevel);
+        }
+    }
+
+    // Pass 1 — plan and perform the greedy placements, leaf to root
+    // (deepest-possible placement), collecting the dummy slots.
+    struct DummySlot
+    {
+        BucketIndex bucket;
+        unsigned slot;
+        unsigned level;
+    };
+    std::vector<DummySlot> dummies;
+
+    for (int levelI = static_cast<int>(_geo.leafLevel); levelI >= 0;
+         --levelI) {
+        const unsigned level = static_cast<unsigned>(levelI);
+        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+
+        // Candidates from the stash that may live at this level.
+        std::vector<Addr> eligible = _stash.eligibleForLevel(
+            level, [&](LeafLabel blockLeaf) {
+                return _tree.commonLevel(blockLeaf, leaf);
+            });
+
+        unsigned slotCursor = 0;
+        for (Addr cand : eligible) {
+            if (slotCursor >= _cfg.slotsPerBucket)
+                break;
+            const StashEntry *entry = _stash.find(cand);
+            SB_ASSERT(entry != nullptr, "eligible entry vanished");
+            if (entry->isShadow()) {
+                // Stash shadows are not placed greedily (that would
+                // sink them right back next to their real copy);
+                // they re-enter the tree through the duplication
+                // pass below, which puts them where they help.
+                continue;
+            }
+
+            Slot value;
+            value.type = entry->type;
+            value.addr = static_cast<std::uint32_t>(entry->addr);
+            value.leaf = static_cast<std::uint32_t>(entry->leaf);
+            value.version = entry->version;
+
+            const std::uint64_t slotIdx = _tree.slotIndex(b, slotCursor);
+            _tree.slot(b, slotCursor) = value;
+            if (_cfg.payloadEnabled) {
+                placedPayload[entry->addr] = entry->payload;
+                _tree.storeCipher(slotIdx,
+                                  _codec.encrypt(entry->payload));
+            }
+            if (value.isReal())
+                _realLevel[entry->addr] =
+                    static_cast<std::uint8_t>(level);
+
+            PlacedBlock placed;
+            placed.addr = entry->addr;
+            placed.leaf = entry->leaf;
+            placed.version = entry->version;
+            placed.level = level;
+            placed.wasShadow = entry->isShadow();
+            _policy->onBlockPlaced(placed);
+
+            _stash.remove(cand);
+            ++slotCursor;
+        }
+
+        for (; slotCursor < _cfg.slotsPerBucket; ++slotCursor)
+            dummies.push_back(DummySlot{b, slotCursor, level});
+
+        // DRAM writes for off-chip levels, leaf to root order.
+        if (level >= ttl) {
+            for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s)
+                coords.push_back(_addressMap.mapSlot(b, s));
+        }
+    }
+
+    // Pass 2 — fill dummy slots, root side first, so the rear-most
+    // candidates land in the slots that advance them the furthest
+    // (Algorithm 1, line 4).  All of this happens inside the
+    // controller before the re-encrypted path leaves the chip, so
+    // the assignment order is externally invisible.
+    std::unordered_map<Addr, bool> bufferedPlaced;
+    for (const StashEntry &e : _evictShadows)
+        bufferedPlaced.emplace(e.addr, false);
+
+    for (auto it = dummies.rbegin(); it != dummies.rend(); ++it) {
+        Slot &slot = _tree.slot(it->bucket, it->slot);
+        const std::uint64_t slotIdx =
+            _tree.slotIndex(it->bucket, it->slot);
+        slot.clear();
+        if (_cfg.payloadEnabled)
+            _tree.eraseCipher(slotIdx);
+
+        std::optional<ShadowChoice> choice =
+            _policy->selectShadow(it->level);
+        // Rule-2 safety re-check: the real copy must be in the tree,
+        // strictly below this slot (a buffered shadow's real copy
+        // may have stayed in the stash).
+        if (choice) {
+            const std::uint8_t realLvl = _realLevel[choice->addr];
+            if (realLvl == kInStash || it->level >= realLvl)
+                choice.reset();
+        }
+        if (choice) {
+            slot.type = BlockType::Shadow;
+            slot.addr = static_cast<std::uint32_t>(choice->addr);
+            slot.leaf = static_cast<std::uint32_t>(choice->leaf);
+            slot.version = choice->version;
+            ++_stats.shadowsWritten;
+            if (choice->releaseStashCopy)
+                _stash.dropShadowOf(choice->addr);
+            auto bp = bufferedPlaced.find(choice->addr);
+            if (bp != bufferedPlaced.end())
+                bp->second = true;
+            if (_cfg.payloadEnabled) {
+                auto pit = placedPayload.find(choice->addr);
+                SB_ASSERT(pit != placedPayload.end(),
+                          "shadow candidate has no payload");
+                _tree.storeCipher(slotIdx,
+                                  _codec.encrypt(pit->second));
+            }
+        }
+    }
+
+    // Buffered shadows that were not re-placed fall back into the
+    // stash (replaceable), where merging and LFU displacement apply.
+    for (StashEntry &e : _evictShadows) {
+        if (!bufferedPlaced[e.addr])
+            _stash.insert(std::move(e));
+    }
+    _evictShadows.clear();
+
+    _policy->endPathWrite();
+
+    BatchTiming batch = _dram.accessBatch(
+        startTime + _cfg.aesLatency, coords, true);
+    return std::max(batch.finish, startTime + _cfg.onChipLatency);
+}
+
+Cycles
+TinyOram::maybeEvict(Cycles time)
+{
+    if (_accessCounter % _cfg.evictionRate != 0)
+        return time;
+    ++_stats.evictions;
+    const LeafLabel leaf = nextEvictionLeaf();
+    PathReadOutcome read = pathRead(leaf, ReadMode::Evict,
+                                    kInvalidAddr, time);
+    // The whole eviction drains in the background: the DRAM model
+    // serialises its commands against later path reads at the
+    // bank/bus level, so a following request pays exactly the
+    // contention the eviction causes rather than a full controller
+    // stall (the controller pipelines the read-write access behind
+    // the read-only ones).
+    _lastEvictionDone = pathWrite(leaf, read.finish);
+    return time;
+}
+
+AccessResult
+TinyOram::accessOne(Addr addr, Cycles startTime, Op op,
+                    const std::vector<std::uint64_t> *writeData)
+{
+    AccessResult res;
+    res.start = startTime;
+
+    const LeafLabel leaf = _posMap.lookup(addr);
+    PathReadOutcome read = pathRead(leaf, ReadMode::Request, addr,
+                                    startTime);
+    SB_ASSERT(read.forwardAt != kNoCycles,
+              "block %llu missing from path %llu (invariant broken)",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(leaf));
+
+    // Remap to a fresh uniformly random leaf (Step-3).
+    _posMap.update(addr, randomLeaf());
+    StashEntry *entry = _stash.find(addr);
+    SB_ASSERT(entry && entry->type == BlockType::Real,
+              "intended block not in stash after path read");
+    entry->leaf = _posMap.lookup(addr);
+
+    // Apply a write now — the eviction below may push the block
+    // straight back into the tree.
+    if (op == Op::Write) {
+        ++entry->version;
+        if (_cfg.payloadEnabled) {
+            entry->payload = writeData
+                ? *writeData
+                : patternPayload(addr, entry->version);
+        }
+    }
+
+    res.forwardAt = read.forwardAt;
+    res.forwardLevel = read.forwardLevel;
+    res.usedShadow = read.usedShadow;
+    res.onChipHit = read.foundInTreetop;
+    res.pathAccesses = 1;
+    if (read.usedShadow) {
+        ++_stats.shadowForwards;
+        SB_ASSERT(_geo.leafLevel >= read.forwardLevel, "level");
+    }
+
+    ++_accessCounter;
+    _policy->onRequestClassified(false);
+    res.completeAt = maybeEvict(read.finish);
+    return res;
+}
+
+AccessResult
+TinyOram::access(Addr addr, Op op, Cycles issueTime,
+                 const std::vector<std::uint64_t> *writeData)
+{
+    SB_ASSERT(addr < _cfg.dataBlocks, "address %llu beyond data space",
+              static_cast<unsigned long long>(addr));
+    ++_stats.requests;
+    _policy->onLlcMiss(addr);
+
+    // Step-1: probe the stash.
+    StashEntry *hit = _stash.find(addr);
+    const bool shadowReadHit =
+        hit && hit->isShadow() && op == Op::Read &&
+        _cfg.serveFromShadow;
+    if (hit && (hit->type == BlockType::Real || shadowReadHit)) {
+        AccessResult res;
+        res.start = issueTime;
+        res.forwardAt = issueTime + _cfg.stashHitLatency;
+        res.completeAt = issueTime + _cfg.stashHitLatency;
+        res.stashHit = true;
+        res.onChipHit = true;
+        res.usedShadow = hit->isShadow();
+        res.forwardLevel = _geo.leafLevel + 1;
+        ++_stats.stashHits;
+        ++_stats.onChipHits;
+        if (hit->isShadow())
+            ++_stats.shadowStashHits;
+        if (op == Op::Write) {
+            ++hit->version;
+            if (_cfg.payloadEnabled) {
+                hit->payload = writeData
+                    ? *writeData
+                    : patternPayload(addr, hit->version);
+            }
+        }
+        return res;
+    }
+    // A write hitting only a shadow copy must fetch the real block:
+    // fall through to a full access (DESIGN.md, deviations).
+
+    Cycles t = std::max(issueTime, _freeAt);
+    AccessResult total;
+    total.start = t;
+
+    // Step-2: position-map lookup; recursive levels may require
+    // preceding ORAM accesses of their own (Freecursive [14]).
+    std::vector<Addr> chain = _recursion.resolve(addr, _plb);
+    for (Addr pmAddr : chain) {
+        StashEntry *pmHit = _stash.find(pmAddr);
+        if (pmHit && pmHit->type == BlockType::Real)
+            continue;  // Already on chip.
+        ++_stats.posMapAccesses;
+        AccessResult r = accessOne(pmAddr, t);
+        t = r.completeAt;
+        total.pathAccesses += r.pathAccesses;
+    }
+
+    AccessResult dataAccess = accessOne(addr, t, op, writeData);
+    total.forwardAt = dataAccess.forwardAt;
+    total.completeAt = dataAccess.completeAt;
+    total.usedShadow = dataAccess.usedShadow;
+    total.onChipHit = dataAccess.onChipHit;
+    total.forwardLevel = dataAccess.forwardLevel;
+    total.pathAccesses += dataAccess.pathAccesses;
+    if (total.onChipHit)
+        ++_stats.onChipHits;
+
+    _freeAt = total.completeAt;
+    return total;
+}
+
+Cycles
+TinyOram::dummyAccess(Cycles issueTime)
+{
+    ++_stats.dummyAccesses;
+    Cycles t = std::max(issueTime, _freeAt);
+    const LeafLabel leaf = _dummyRng.below(_geo.numLeaves);
+    PathReadOutcome read = pathRead(leaf, ReadMode::Dummy,
+                                    kInvalidAddr, t);
+    ++_accessCounter;
+    _policy->onRequestClassified(true);
+    _freeAt = maybeEvict(read.finish);
+    return _freeAt;
+}
+
+std::vector<std::uint64_t>
+TinyOram::peekPayload(Addr addr) const
+{
+    SB_ASSERT(_cfg.payloadEnabled, "payload mode disabled");
+    const StashEntry *entry = _stash.find(addr);
+    if (entry)
+        return entry->payload;
+    const LeafLabel leaf = _posMap.lookup(addr);
+    for (unsigned level = 0; level <= _geo.leafLevel; ++level) {
+        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+            const Slot &slot = _tree.slot(b, s);
+            if (slot.isReal() && slot.addr == addr) {
+                return _codec.decrypt(
+                    _tree.cipherAt(_tree.slotIndex(b, s)));
+            }
+        }
+    }
+    SB_PANIC("block %llu not found anywhere",
+             static_cast<unsigned long long>(addr));
+}
+
+} // namespace sboram

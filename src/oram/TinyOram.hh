@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The Tiny ORAM controller (paper Section II-C), with the Shadow
+ * Block extension points.
+ *
+ * Implements the six-step access protocol: stash probe, position-map
+ * lookup (recursive with PLB), path read with early forwarding of the
+ * intended block, eviction-rate-A scheduling, reverse-lexicographic
+ * eviction path selection, and the greedy path write — plus the
+ * modified path read/write of Algorithms 1 and 2 (shadow blocks are
+ * inserted into the stash on reads; dummy slots may be filled with
+ * duplicated data on writes).
+ *
+ * Timing is produced by the DDR3 model: a path read yields a
+ * completion time per slot, and the forward time of a request is the
+ * completion of the *earliest* slot holding the intended address —
+ * the quantity shadow blocks improve.
+ */
+
+#ifndef SBORAM_ORAM_TINYORAM_HH
+#define SBORAM_ORAM_TINYORAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "Block.hh"
+#include "DuplicationPolicy.hh"
+#include "OramConfig.hh"
+#include "OramTree.hh"
+#include "Plb.hh"
+#include "PositionMap.hh"
+#include "RecursivePosMap.hh"
+#include "Stash.hh"
+#include "TraceSink.hh"
+#include "common/Rng.hh"
+#include "common/Types.hh"
+#include "crypto/Otp.hh"
+#include "mem/AddressMap.hh"
+#include "mem/DramModel.hh"
+
+namespace sboram {
+
+/** Timing and provenance of one served LLC request. */
+struct AccessResult
+{
+    Cycles start = 0;      ///< Controller began serving.
+    Cycles forwardAt = 0;  ///< Intended data forwarded to the LLC.
+    Cycles completeAt = 0; ///< Controller free again.
+    bool stashHit = false; ///< Served without any path access.
+    bool onChipHit = false;///< Stash or treetop supplied the data.
+    bool usedShadow = false; ///< A shadow copy supplied the data.
+    unsigned forwardLevel = 0; ///< Tree level data came from.
+    unsigned pathAccesses = 0; ///< Path reads performed (incl. posmap).
+};
+
+/** Controller-level statistics. */
+struct OramStats
+{
+    std::uint64_t requests = 0;       ///< Real LLC requests served.
+    std::uint64_t stashHits = 0;
+    std::uint64_t shadowStashHits = 0;
+    std::uint64_t onChipHits = 0;     ///< Fig. 16 numerator.
+    std::uint64_t shadowForwards = 0; ///< Path reads advanced by shadow.
+    std::uint64_t pathReads = 0;
+    std::uint64_t pathWrites = 0;
+    std::uint64_t dummyAccesses = 0;
+    std::uint64_t posMapAccesses = 0;
+    std::uint64_t shadowsWritten = 0;
+    std::uint64_t evictions = 0;
+    /** Sum of (levels advanced) over shadow-forwarded reads. */
+    std::uint64_t levelsAdvanced = 0;
+};
+
+class TinyOram
+{
+  public:
+    /**
+     * @param cfg ORAM configuration (geometry is derived from it).
+     * @param dram DDR3 model; not owned.
+     * @param policy Duplication policy; pass nullptr for baseline.
+     */
+    TinyOram(const OramConfig &cfg, DramModel &dram,
+             std::unique_ptr<DuplicationPolicy> policy = nullptr);
+
+    /**
+     * Serve one LLC miss.
+     *
+     * @param addr Program block address (must be < dataBlocks).
+     * @param op Read or write.
+     * @param issueTime When the request reached the controller.
+     * @param writeData Optional payload for writes (payload mode).
+     */
+    AccessResult access(Addr addr, Op op, Cycles issueTime,
+                        const std::vector<std::uint64_t> *writeData =
+                            nullptr);
+
+    /**
+     * Perform a dummy ORAM request (timing protection): a path read
+     * of a uniformly random path whose contents are discarded.
+     * Returns the completion time.
+     */
+    Cycles dummyAccess(Cycles issueTime);
+
+    /** Read the current payload of @p addr (testing; payload mode). */
+    std::vector<std::uint64_t> peekPayload(Addr addr) const;
+
+    /**
+     * True when access(addr, op, ...) would be served from the stash
+     * without launching any ORAM request (used by the timing
+     * protection front-end: stash hits consume no request slot).
+     */
+    bool
+    wouldHitStash(Addr addr, Op op) const
+    {
+        const StashEntry *e = _stash.find(addr);
+        return e && (e->type == BlockType::Real ||
+                     (e->isShadow() && op == Op::Read &&
+                      _cfg.serveFromShadow));
+    }
+
+    /** Attach an observer of the externally visible trace. */
+    void setTraceSink(TraceSink *sink) { _traceSink = sink; }
+
+    /** Earliest time the controller can begin a new request. */
+    Cycles freeAt() const { return _freeAt; }
+
+    const OramStats &stats() const { return _stats; }
+    const Stash &stash() const { return _stash; }
+    const OramTree &tree() const { return _tree; }
+    const PositionMap &posMap() const { return _posMap; }
+    const Plb &plb() const { return _plb; }
+    const OramGeometry &geometry() const { return _geo; }
+    const OramConfig &config() const { return _cfg; }
+    DuplicationPolicy &policy() { return *_policy; }
+    DramModel &dram() { return _dram; }
+
+    /** Expected DRAM latency of one full path read from an idle
+     *  channel state (used to size timing-protection rates). */
+    Cycles estimatePathReadLatency();
+
+    /** Number of tree levels served on-chip by the treetop cache. */
+    unsigned treetopLevels() const { return _cfg.treetopLevels; }
+
+    /**
+     * Tree level of an address's real copy, or 0xff when it lives in
+     * the stash (exposed for the invariant checker).
+     */
+    std::uint8_t
+    realLevelOf(Addr addr) const
+    {
+        return _realLevel[addr];
+    }
+
+  private:
+    struct PathReadOutcome
+    {
+        Cycles finish = 0;
+        Cycles forwardAt = kNoCycles;
+        unsigned forwardLevel = 0;
+        bool usedShadow = false;
+        bool foundInTreetop = false;
+    };
+
+    /**
+     * The three externally indistinguishable kinds of path read.
+     *
+     * Request: RAW read-only access — consume the intended block and
+     * all of its shadow copies, opportunistically copy other shadow
+     * blocks into the stash, leave all other real blocks in place.
+     * Dummy: read and discard everything (timing protection).
+     * Evict: Step-5 — move every block on the path into the stash.
+     */
+    enum class ReadMode { Request, Dummy, Evict };
+
+    PathReadOutcome pathRead(LeafLabel leaf, ReadMode mode,
+                             Addr wantAddr, Cycles startTime);
+
+    /** Greedy path write with duplication (Algorithm 1). */
+    Cycles pathWrite(LeafLabel leaf, Cycles startTime);
+
+    /** Run Step-5/6 eviction if the access counter says so. */
+    Cycles maybeEvict(Cycles time);
+
+    /** One request-serving ORAM access for @p addr. */
+    AccessResult accessOne(Addr addr, Cycles startTime,
+                           Op op = Op::Read,
+                           const std::vector<std::uint64_t>
+                               *writeData = nullptr);
+
+    LeafLabel randomLeaf() { return _remapRng.below(_geo.numLeaves); }
+
+    /** Reverse-lexicographic eviction leaf sequence. */
+    LeafLabel nextEvictionLeaf();
+
+    void initializeTree();
+    std::vector<std::uint64_t> patternPayload(Addr addr,
+                                              std::uint32_t version) const;
+    void writeSlotToDram(BucketIndex bucket, unsigned slotIdx,
+                         const Slot &value,
+                         const std::vector<std::uint64_t> *plain);
+
+    OramConfig _cfg;
+    OramGeometry _geo;
+    OramTree _tree;
+    Stash _stash;
+    PositionMap _posMap;
+    RecursivePosMap _recursion;
+    Plb _plb;
+    DramModel &_dram;
+    AddressMap _addressMap;
+    OtpCodec _codec;
+    std::unique_ptr<DuplicationPolicy> _policy;
+    Rng _remapRng;
+    Rng _dummyRng;
+
+    Cycles _freeAt = 0;
+    /** Completion of the most recent background eviction write. */
+    Cycles _lastEvictionDone = 0;
+    std::uint64_t _accessCounter = 0;  ///< For eviction rate A.
+    std::uint64_t _evictionCounter = 0;
+    /**
+     * Tree level of each address's real copy (kInStash sentinel when
+     * it is in the stash).  Maintained so shadow placements can
+     * respect Rule-2 at all times and for the invariant checker.
+     */
+    std::vector<std::uint8_t> _realLevel;
+    /**
+     * Shadow copies vacuumed by the in-flight eviction read, held in
+     * a path buffer until the matching path write re-places them —
+     * routing them through the stash would expose them to capacity
+     * displacement before they can circulate.
+     */
+    std::vector<StashEntry> _evictShadows;
+    TraceSink *_traceSink = nullptr;
+    OramStats _stats;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_TINYORAM_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Observer interface for the externally visible memory trace.
+ *
+ * An attacker outside the CPU-memory boundary sees only which path is
+ * read or written and when — never why (request, dummy, or eviction)
+ * and never the plaintext.  The security analyses record exactly this
+ * view and nothing more.
+ */
+
+#ifndef SBORAM_ORAM_TRACESINK_HH
+#define SBORAM_ORAM_TRACESINK_HH
+
+#include "common/Types.hh"
+
+namespace sboram {
+
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    /** A full path was read (direction false) or written (true). */
+    virtual void onPathAccess(LeafLabel leaf, bool isWrite) = 0;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_ORAM_TRACESINK_HH

@@ -1,0 +1,94 @@
+#include "Distinguisher.hh"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+double
+leafUniformityChi2(const std::vector<TraceEvent> &trace, unsigned bins,
+                   std::uint64_t numLeaves)
+{
+    SB_ASSERT(bins >= 2, "need at least two bins");
+    SB_ASSERT(numLeaves >= bins, "fewer leaves than bins");
+    std::vector<std::uint64_t> counts(bins, 0);
+    std::uint64_t total = 0;
+    for (const TraceEvent &ev : trace) {
+        if (ev.isWrite)
+            continue;
+        SB_ASSERT(ev.leaf < numLeaves, "label out of range");
+        ++counts[static_cast<std::size_t>(
+            ev.leaf * bins / numLeaves)];
+        ++total;
+    }
+    if (total == 0)
+        return 0.0;
+    const double expected =
+        static_cast<double>(total) / static_cast<double>(bins);
+    double chi2 = 0.0;
+    for (std::uint64_t c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2 / static_cast<double>(bins - 1);
+}
+
+double
+rrwpRate(const std::vector<TraceEvent> &trace, unsigned k)
+{
+    std::deque<LeafLabel> recentWrites;
+    std::unordered_map<LeafLabel, unsigned> inWindow;
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;
+
+    for (const TraceEvent &ev : trace) {
+        if (ev.isWrite) {
+            recentWrites.push_back(ev.leaf);
+            ++inWindow[ev.leaf];
+            if (recentWrites.size() > k) {
+                LeafLabel old = recentWrites.front();
+                recentWrites.pop_front();
+                if (--inWindow[old] == 0)
+                    inWindow.erase(old);
+            }
+            continue;
+        }
+        ++reads;
+        if (inWindow.count(ev.leaf))
+            ++hits;
+    }
+    return reads ? static_cast<double>(hits) /
+                   static_cast<double>(reads)
+                 : 0.0;
+}
+
+double
+meanDistinguisherZ(const std::vector<double> &a,
+                   const std::vector<double> &b)
+{
+    auto meanVar = [](const std::vector<double> &v, double &mean,
+                      double &var) {
+        mean = 0.0;
+        for (double x : v)
+            mean += x;
+        mean /= static_cast<double>(v.size());
+        var = 0.0;
+        for (double x : v)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(v.size() > 1 ? v.size() - 1 : 1);
+    };
+    SB_ASSERT(!a.empty() && !b.empty(), "empty sample");
+    double ma, va, mb, vb;
+    meanVar(a, ma, va);
+    meanVar(b, mb, vb);
+    const double se = std::sqrt(va / static_cast<double>(a.size()) +
+                                vb / static_cast<double>(b.size()));
+    if (se == 0.0)
+        return ma == mb ? 0.0 : 1e9;
+    return (ma - mb) / se;
+}
+
+} // namespace sboram

@@ -1,0 +1,202 @@
+#include "InvariantChecker.hh"
+
+#include <unordered_map>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+namespace {
+
+struct CopyInfo
+{
+    bool realInTree = false;
+    unsigned realTreeLevel = 0;
+    bool realInStash = false;
+    unsigned realCount = 0;
+    unsigned minShadowTreeLevel = ~0u;
+    unsigned maxShadowTreeLevel = 0;
+    unsigned shadowTreeCount = 0;
+    bool versionSet = false;
+    std::uint32_t version = 0;
+    bool versionConflict = false;
+
+    void
+    noteVersion(std::uint32_t v, bool isRealCopy)
+    {
+        // Shadows may only be *older or equal* relative to a stash-
+        // resident real copy that has since been updated — but while
+        // the real copy is in the tree everything must match it.
+        // We check simple equality among tree copies and the real.
+        if (!versionSet) {
+            version = v;
+            versionSet = true;
+            return;
+        }
+        if (v != version) {
+            if (isRealCopy) {
+                // A real copy newer than shadows is legal only when
+                // the real lives in the stash (shadows must then be
+                // absent from the tree — checked separately), so a
+                // conflict among observed copies is a violation.
+                versionConflict = true;
+            } else {
+                versionConflict = true;
+            }
+        }
+    }
+};
+
+} // namespace
+
+InvariantReport
+checkInvariants(const TinyOram &oram)
+{
+    InvariantReport report;
+    const OramTree &tree = oram.tree();
+    const Stash &stash = oram.stash();
+    const PositionMap &posMap = oram.posMap();
+
+    std::unordered_map<Addr, CopyInfo> copies;
+
+    auto fail = [&](std::string msg) {
+        if (report.ok) {
+            report.ok = false;
+            report.firstViolation = std::move(msg);
+        }
+    };
+
+    // Walk the tree.
+    for (BucketIndex b = 0; b < tree.numBuckets(); ++b) {
+        const unsigned level = AddressMap::levelOf(b);
+        for (unsigned s = 0; s < tree.slotsPerBucket(); ++s) {
+            const Slot &slot = tree.slot(b, s);
+            if (!slot.valid())
+                continue;
+
+            // Invariant 1: the slot's bucket must lie on the path of
+            // the block's current label.
+            const LeafLabel label = posMap.lookup(slot.addr);
+            if (slot.leaf != label) {
+                fail(strprintf("slot label %u != posmap label %llu "
+                               "for addr %u",
+                               slot.leaf,
+                               static_cast<unsigned long long>(label),
+                               slot.addr));
+            }
+            if (tree.bucketOnPath(label, level) != b) {
+                fail(strprintf("addr %u at bucket %llu level %u is "
+                               "off its path",
+                               slot.addr,
+                               static_cast<unsigned long long>(b),
+                               level));
+            }
+
+            CopyInfo &info = copies[slot.addr];
+            if (slot.isReal()) {
+                ++report.realCopies;
+                ++info.realCount;
+                info.realInTree = true;
+                info.realTreeLevel = level;
+                info.noteVersion(slot.version, true);
+                const std::uint8_t tracked =
+                    oram.realLevelOf(slot.addr);
+                if (tracked != level) {
+                    fail(strprintf("realLevel table says %u, tree "
+                                   "says %u for addr %u",
+                                   tracked, level, slot.addr));
+                }
+            } else {
+                ++report.shadowCopies;
+                ++info.shadowTreeCount;
+                info.minShadowTreeLevel =
+                    std::min(info.minShadowTreeLevel, level);
+                info.maxShadowTreeLevel =
+                    std::max(info.maxShadowTreeLevel, level);
+                info.noteVersion(slot.version, false);
+            }
+        }
+    }
+
+    // Walk the stash.
+    std::uint64_t stashReals = 0;
+    stash.forEach([&](const StashEntry &e) {
+        CopyInfo &info = copies[e.addr];
+        const LeafLabel label = posMap.lookup(e.addr);
+        if (e.leaf != label) {
+            fail(strprintf("stash entry label %llu != posmap %llu "
+                           "for addr %llu",
+                           static_cast<unsigned long long>(e.leaf),
+                           static_cast<unsigned long long>(label),
+                           static_cast<unsigned long long>(e.addr)));
+        }
+        if (e.type == BlockType::Real) {
+            ++stashReals;
+            ++report.realCopies;
+            ++info.realCount;
+            info.realInStash = true;
+            if (oram.realLevelOf(e.addr) != 0xff) {
+                fail(strprintf("realLevel table misses stash "
+                               "residency of addr %llu",
+                               static_cast<unsigned long long>(
+                                   e.addr)));
+            }
+        } else {
+            ++report.shadowCopies;
+            // A stash shadow is consistent only while the real copy
+            // is in the tree with the same version (checked below
+            // against the tree walk results).
+            info.noteVersion(e.version, false);
+        }
+    });
+
+    if (stashReals != stash.realCount())
+        fail("stash real-count bookkeeping mismatch");
+
+    // Per-address rules.
+    for (const auto &kv : copies) {
+        const Addr addr = kv.first;
+        const CopyInfo &info = kv.second;
+
+        // Invariant 2: exactly one real copy.
+        if (info.realCount != 1) {
+            fail(strprintf("addr %llu has %u real copies",
+                           static_cast<unsigned long long>(addr),
+                           info.realCount));
+        }
+
+        // Invariant 3 (Rule-2 at all times).
+        if (info.shadowTreeCount > 0) {
+            if (info.realInStash) {
+                fail(strprintf("addr %llu has tree shadows while its "
+                               "real copy is in the stash",
+                               static_cast<unsigned long long>(addr)));
+            } else if (info.realInTree &&
+                       info.maxShadowTreeLevel >= info.realTreeLevel) {
+                fail(strprintf("addr %llu shadow at level %u not "
+                               "above real at level %u",
+                               static_cast<unsigned long long>(addr),
+                               info.maxShadowTreeLevel,
+                               info.realTreeLevel));
+            }
+        }
+
+        // Invariant 4: version agreement among observed copies.
+        if (info.versionConflict) {
+            fail(strprintf("addr %llu has divergent versions",
+                           static_cast<unsigned long long>(addr)));
+        }
+    }
+
+    // Every address must exist somewhere.
+    if (copies.size() != posMap.size()) {
+        fail(strprintf("%llu of %llu addresses have no copy at all",
+                       static_cast<unsigned long long>(
+                           posMap.size() - copies.size()),
+                       static_cast<unsigned long long>(posMap.size())));
+    }
+
+    return report;
+}
+
+} // namespace sboram

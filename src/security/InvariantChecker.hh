@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Whole-state invariant checker for the ORAM controller.
+ *
+ * Verifies, by exhaustive walk of the tree, stash and position map,
+ * the invariants the paper's security and consistency arguments rest
+ * on (DESIGN.md §3):
+ *
+ *  1. Path-ORAM invariant (Rule-1): every real or shadow copy of a
+ *     block with label l sits in the stash or on path l.
+ *  2. Exactly one real copy of every address exists.
+ *  3. Rule-2 at all times: every tree shadow sits strictly shallower
+ *     than its real copy's tree position; no tree shadow exists while
+ *     the real copy is in the stash.
+ *  4. Version consistency: all copies of an address carry the same
+ *     version.
+ *  5. Shadow stash entries never count against stash capacity.
+ */
+
+#ifndef SBORAM_SECURITY_INVARIANTCHECKER_HH
+#define SBORAM_SECURITY_INVARIANTCHECKER_HH
+
+#include <string>
+
+#include "oram/TinyOram.hh"
+
+namespace sboram {
+
+/** Result of one full check. */
+struct InvariantReport
+{
+    bool ok = true;
+    std::string firstViolation;
+    std::uint64_t realCopies = 0;
+    std::uint64_t shadowCopies = 0;
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Run every invariant check against the controller's state. */
+InvariantReport checkInvariants(const TinyOram &oram);
+
+} // namespace sboram
+
+#endif // SBORAM_SECURITY_INVARIANTCHECKER_HH

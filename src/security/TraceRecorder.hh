@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Records the externally visible memory trace for the security
+ * analyses (paper Sections III and IV-B).
+ */
+
+#ifndef SBORAM_SECURITY_TRACERECORDER_HH
+#define SBORAM_SECURITY_TRACERECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Types.hh"
+#include "oram/TraceSink.hh"
+
+namespace sboram {
+
+/** One externally observable event. */
+struct TraceEvent
+{
+    LeafLabel leaf = 0;
+    bool isWrite = false;
+
+    bool
+    operator==(const TraceEvent &o) const
+    {
+        return leaf == o.leaf && isWrite == o.isWrite;
+    }
+};
+
+class TraceRecorder : public TraceSink
+{
+  public:
+    void
+    onPathAccess(LeafLabel leaf, bool isWrite) override
+    {
+        _events.push_back(TraceEvent{leaf, isWrite});
+    }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+    void clear() { _events.clear(); }
+
+  private:
+    std::vector<TraceEvent> _events;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_SECURITY_TRACERECORDER_HH

@@ -1,0 +1,48 @@
+#include "DupQueues.hh"
+
+#include <algorithm>
+
+namespace sboram {
+
+bool
+DupQueue::better(const DupCandidate &a, const DupCandidate &b) const
+{
+    if (_rank == Rank::ByLevelDesc) {
+        if (a.rearLevel != b.rearLevel)
+            return a.rearLevel > b.rearLevel;
+    } else {
+        if (a.hotness != b.hotness)
+            return a.hotness > b.hotness;
+    }
+    // Newest first: freshly evicted rear data rotates into the
+    // prime (near-root) slots; re-offered circulating copies fill
+    // what is left.  Oldest-first would ossify the near-root slots
+    // on shadows of blocks that are never requested again.
+    return a.seq > b.seq;
+}
+
+void
+DupQueue::push(const DupCandidate &cand)
+{
+    auto pos = std::upper_bound(
+        _items.begin(), _items.end(), cand,
+        [this](const DupCandidate &a, const DupCandidate &b) {
+            return better(a, b);
+        });
+    _items.insert(pos, cand);
+}
+
+std::optional<DupCandidate>
+DupQueue::popFor(unsigned slotLevel)
+{
+    for (auto it = _items.begin(); it != _items.end(); ++it) {
+        if (it->maxLevel > slotLevel) {
+            DupCandidate c = *it;
+            _items.erase(it);
+            return c;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace sboram

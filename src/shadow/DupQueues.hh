@@ -1,0 +1,80 @@
+/**
+ * @file
+ * RD-queue and HD-queue (paper Section V-B2).
+ *
+ * During a path write, every block written back becomes a duplication
+ * candidate and is inserted into both queues.  The RD-queue ranks
+ * candidates by the tree level they were placed at (deepest — "rear"
+ * — first); the HD-queue ranks by the Hot Address Cache counter
+ * (hottest first).  When a dummy slot is encountered, the head of the
+ * chosen queue that satisfies Rule-2 (candidate strictly deeper than
+ * the slot) is popped and duplicated.  Both queues are cleared after
+ * the path write completes.
+ */
+
+#ifndef SBORAM_SHADOW_DUPQUEUES_HH
+#define SBORAM_SHADOW_DUPQUEUES_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/Types.hh"
+#include "oram/DuplicationPolicy.hh"
+
+namespace sboram {
+
+/** A queued duplication candidate. */
+struct DupCandidate
+{
+    Addr addr = kInvalidAddr;
+    LeafLabel leaf = 0;
+    std::uint32_t version = 0;
+    /**
+     * RD-Dup priority: how "rear" the data is — the tree level of
+     * its real copy.  For blocks placed in this path write this is
+     * the placement level; for re-offered stash shadows it is the
+     * real copy's current level.
+     */
+    unsigned rearLevel = 0;
+    /** Placement constraint: a shadow may go to slots strictly above
+     *  this level (Rule-1 label compatibility and Rule-2). */
+    unsigned maxLevel = 0;
+    std::uint32_t hotness = 0;
+    std::uint64_t seq = 0;    ///< Insertion order tie-breaker.
+};
+
+/**
+ * One priority queue of duplication candidates.  Implemented as a
+ * sorted vector — per path write the population is at most
+ * Z * (L + 1), so simplicity beats asymptotics.
+ */
+class DupQueue
+{
+  public:
+    /** Ordering selector. */
+    enum class Rank { ByLevelDesc, ByHotnessDesc };
+
+    explicit DupQueue(Rank rank) : _rank(rank) {}
+
+    void push(const DupCandidate &cand);
+
+    /**
+     * Pop the best candidate placed strictly deeper than @p slotLevel
+     * (Rule-2), or nullopt when none qualifies.
+     */
+    std::optional<DupCandidate> popFor(unsigned slotLevel);
+
+    void clear() { _items.clear(); }
+    std::size_t size() const { return _items.size(); }
+
+  private:
+    bool better(const DupCandidate &a, const DupCandidate &b) const;
+
+    Rank _rank;
+    std::vector<DupCandidate> _items;  ///< Kept sorted, best first.
+};
+
+} // namespace sboram
+
+#endif // SBORAM_SHADOW_DUPQUEUES_HH

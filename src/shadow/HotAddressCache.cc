@@ -1,0 +1,63 @@
+#include "HotAddressCache.hh"
+
+namespace sboram {
+
+HotAddressCache::HotAddressCache(unsigned entries,
+                                 unsigned associativity)
+    : _assoc(associativity)
+{
+    SB_ASSERT(entries >= associativity, "hot address cache too small");
+    _numSets = entries / associativity;
+    while (_numSets & (_numSets - 1))
+        _numSets &= _numSets - 1;
+    _ways.resize(static_cast<std::size_t>(_numSets) * _assoc);
+}
+
+const HotAddressCache::Way *
+HotAddressCache::probe(Addr addr) const
+{
+    const unsigned set = static_cast<unsigned>(addr % _numSets);
+    const Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].tag == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+void
+HotAddressCache::touch(Addr addr)
+{
+    const unsigned set = static_cast<unsigned>(addr % _numSets);
+    Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].tag == addr) {
+            ++base[w].counter;
+            ++_hits;
+            return;
+        }
+    }
+    ++_misses;
+    // LFU victim selection.
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].counter < victim->counter)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = addr;
+    victim->counter = 1;
+}
+
+std::uint32_t
+HotAddressCache::count(Addr addr) const
+{
+    const Way *way = probe(addr);
+    return way ? way->counter : 0;
+}
+
+} // namespace sboram

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hot Address Cache (paper Section V-B1).
+ *
+ * A small set-associative cache storing access counters for program
+ * addresses observed at LLC misses, with Least-Frequently-Used
+ * replacement.  HD-Dup consults it to rank duplication candidates.
+ * The paper sizes it at 1 KB, which at ~8 B per entry is 128 entries.
+ */
+
+#ifndef SBORAM_SHADOW_HOTADDRESSCACHE_HH
+#define SBORAM_SHADOW_HOTADDRESSCACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Logging.hh"
+#include "common/Types.hh"
+
+namespace sboram {
+
+class HotAddressCache
+{
+  public:
+    explicit HotAddressCache(unsigned entries = 128,
+                             unsigned associativity = 4);
+
+    /** Record an LLC miss: bump the counter, inserting if needed. */
+    void touch(Addr addr);
+
+    /** Access count for @p addr; 0 when not cached. */
+    std::uint32_t count(Addr addr) const;
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint32_t counter = 0;
+    };
+
+    const Way *probe(Addr addr) const;
+
+    std::vector<Way> _ways;
+    unsigned _numSets;
+    unsigned _assoc;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_SHADOW_HOTADDRESSCACHE_HH

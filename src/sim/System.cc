@@ -1,0 +1,261 @@
+#include "System.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "baseline/InsecureMemory.hh"
+#include "common/Logging.hh"
+#include "mem/EnergyModel.hh"
+#include "workload/SpecProfiles.hh"
+
+namespace sboram {
+
+namespace {
+
+/** Memory port wrapping the insecure DRAM system. */
+class InsecurePort : public MemoryPort
+{
+  public:
+    explicit InsecurePort(InsecureMemory &mem) : _mem(mem) {}
+
+    MemoryReply
+    request(Addr addr, Op op, Cycles issueTime) override
+    {
+        InsecureMemory::Result r = _mem.access(addr, op, issueTime);
+        _busy += r.completeAt -
+                 std::max(issueTime, _lastComplete);
+        _lastComplete = r.completeAt;
+        return MemoryReply{r.forwardAt};
+    }
+
+    double busyTime() const { return static_cast<double>(_busy); }
+
+  private:
+    InsecureMemory &_mem;
+    Cycles _busy = 0;
+    Cycles _lastComplete = 0;
+};
+
+/**
+ * Memory port wrapping the ORAM controller, including the
+ * constant-rate timing protection of Fletcher et al. [16]: real or
+ * dummy ORAM requests launch on a fixed-interval slot grid; stash
+ * hits consume no slot.
+ */
+class OramPort : public MemoryPort
+{
+  public:
+    OramPort(TinyOram &oram, bool timingProtection, Cycles interval,
+             bool virtualDummies)
+        : _oram(oram), _tp(timingProtection), _interval(interval),
+          _virtualDummies(virtualDummies)
+    {
+        SB_ASSERT(!_tp || _interval > 0, "TP needs an interval");
+        _idleThreshold = interval > 0 ? interval : 1;
+    }
+
+    MemoryReply
+    request(Addr addr, Op op, Cycles issueTime) override
+    {
+        if (_oram.wouldHitStash(addr, op)) {
+            AccessResult r = _oram.access(addr, op, issueTime);
+            return MemoryReply{r.forwardAt};
+        }
+
+        Cycles start = issueTime;
+        if (_tp) {
+            // Fire dummy requests in every elapsed slot, then place
+            // this request on the next slot boundary.
+            while (_nextSlot < issueTime) {
+                fireDummy(_nextSlot);
+                _nextSlot += _interval;
+            }
+            start = _nextSlot;
+            _nextSlot += _interval;
+        } else if (_virtualDummies) {
+            // No timing protection: let the dynamic-partitioning DRI
+            // counter see long idle gaps as if they were dummies.
+            if (_lastComplete != 0 &&
+                issueTime > _lastComplete + _idleThreshold) {
+                const Cycles gap = issueTime - _lastComplete;
+                const std::uint64_t n =
+                    std::min<std::uint64_t>(gap / _idleThreshold, 4);
+                for (std::uint64_t i = 0; i < n; ++i)
+                    _oram.policy().onRequestClassified(true);
+            }
+        }
+
+        AccessResult r = _oram.access(addr, op, start);
+        _dataBusy += r.completeAt - r.start;
+        _lastComplete = r.completeAt;
+        return MemoryReply{r.forwardAt};
+    }
+
+    double dataBusyTime() const { return static_cast<double>(_dataBusy); }
+    std::uint64_t dummiesFired() const { return _dummies; }
+
+  private:
+    void
+    fireDummy(Cycles slot)
+    {
+        _oram.dummyAccess(slot);
+        ++_dummies;
+    }
+
+    TinyOram &_oram;
+    bool _tp;
+    Cycles _interval;
+    bool _virtualDummies;
+    Cycles _idleThreshold;
+    Cycles _nextSlot = 0;
+    Cycles _lastComplete = 0;
+    Cycles _dataBusy = 0;
+    std::uint64_t _dummies = 0;
+};
+
+std::vector<std::vector<LlcMissRecord>>
+perCoreTraces(const std::vector<LlcMissRecord> &trace, unsigned cores,
+              std::uint64_t dataBlocks)
+{
+    // The paper duplicates the benchmark, one task per core; each
+    // task owns a distinct slice of the (oblivious) address space.
+    std::vector<std::vector<LlcMissRecord>> result(cores, trace);
+    const std::uint64_t stride = dataBlocks / cores;
+    for (unsigned c = 0; c < cores; ++c) {
+        for (LlcMissRecord &rec : result[c])
+            rec.addr = (rec.addr % stride) + stride * c;
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<LlcMissRecord>
+makeTrace(const std::string &workload, std::uint64_t misses,
+          std::uint64_t seed)
+{
+    WorkloadGenerator gen(specProfile(workload), seed);
+    return gen.generate(misses);
+}
+
+RunMetrics
+runSystem(const SystemConfig &cfg,
+          const std::vector<LlcMissRecord> &rawTrace)
+{
+    // Fold workload addresses into the configured data space (the
+    // profiles target the default 2^20-block ORAM; smaller studies
+    // reuse them scaled down).
+    std::vector<LlcMissRecord> trace = rawTrace;
+    for (LlcMissRecord &rec : trace)
+        rec.addr %= cfg.oram.dataBlocks;
+
+    RunMetrics m;
+    DramModel dram(cfg.dramTiming, cfg.dramGeometry);
+    EnergyModel energy(DramEnergy{}, cfg.dramGeometry.channels);
+
+    auto runCpu = [&](MemoryPort &port) -> CpuRunResult {
+        if (cfg.cpu == CpuKind::InOrder) {
+            InOrderCpu cpu;
+            return cpu.run(trace, port);
+        }
+        OooCpu cpu(cfg.cores, cfg.window);
+        return cpu.run(
+            perCoreTraces(trace, cfg.cores, cfg.oram.dataBlocks),
+            port);
+    };
+
+    struct RecordingPort : MemoryPort
+    {
+        MemoryPort *inner = nullptr;
+        std::vector<Cycles> *out = nullptr;
+
+        MemoryReply
+        request(Addr addr, Op op, Cycles issueTime) override
+        {
+            MemoryReply r = inner->request(addr, op, issueTime);
+            out->push_back(r.forwardAt);
+            return r;
+        }
+    };
+    RecordingPort recorder;
+    auto maybeRecord = [&](MemoryPort &inner) -> MemoryPort & {
+        if (!cfg.recordPerMiss)
+            return inner;
+        recorder.inner = &inner;
+        recorder.out = &m.missRetireTimes;
+        return recorder;
+    };
+
+    if (cfg.scheme == Scheme::Insecure) {
+        InsecureMemory mem(dram);
+        InsecurePort port(mem);
+        CpuRunResult r = runCpu(maybeRecord(port));
+        m.execTime = r.finishTime;
+        m.dataAccessTime = port.busyTime();
+        m.driTime = static_cast<double>(m.execTime) - m.dataAccessTime;
+        m.requests = r.reads + r.writes;
+        m.energy = energy.totalEnergy(dram.stats(), m.execTime);
+        return m;
+    }
+
+    std::unique_ptr<DuplicationPolicy> policy;
+    const ShadowPolicy *shadowPolicy = nullptr;
+    if (cfg.scheme == Scheme::Shadow) {
+        const unsigned leafLevel = cfg.oram.deriveLevels();
+        auto sp = std::make_unique<ShadowPolicy>(cfg.shadow,
+                                                 leafLevel);
+        shadowPolicy = sp.get();
+        policy = std::move(sp);
+    }
+
+    TinyOram oram(cfg.oram, dram, std::move(policy));
+
+    Cycles interval = cfg.tpInterval;
+    if (cfg.timingProtection && interval == 0) {
+        // Auto-size: one slot per average request service time
+        // (path read plus the amortised eviction read+write).
+        const Cycles path = oram.estimatePathReadLatency();
+        interval = path +
+                   2 * path / cfg.oram.evictionRate;
+    }
+    if (!cfg.timingProtection && interval == 0)
+        interval = oram.estimatePathReadLatency();
+
+    OramPort port(oram, cfg.timingProtection, interval,
+                  cfg.virtualDummies);
+    CpuRunResult r = runCpu(maybeRecord(port));
+
+    m.execTime = r.finishTime;
+    m.dataAccessTime = port.dataBusyTime();
+    m.driTime = static_cast<double>(m.execTime) - m.dataAccessTime;
+    if (m.driTime < 0.0)
+        m.driTime = 0.0;
+
+    const OramStats &os = oram.stats();
+    m.requests = os.requests;
+    m.dummyRequests = os.dummyAccesses;
+    m.stashHits = os.stashHits;
+    m.shadowStashHits = os.shadowStashHits;
+    m.shadowForwards = os.shadowForwards;
+    m.pathReads = os.pathReads;
+    m.shadowsWritten = os.shadowsWritten;
+    m.onChipHitRate = os.requests
+        ? static_cast<double>(os.onChipHits) /
+          static_cast<double>(os.requests)
+        : 0.0;
+    m.energy = energy.totalEnergy(dram.stats(), m.execTime);
+    m.stashPeakReal = oram.stash().stats().peakReal;
+    m.stashOverflows = oram.stash().stats().overflowEvents;
+    if (shadowPolicy)
+        m.finalPartitionLevel = shadowPolicy->partitionLevel();
+    return m;
+}
+
+RunMetrics
+runWorkload(const SystemConfig &cfg, const std::string &workload,
+            std::uint64_t misses, std::uint64_t seed)
+{
+    return runSystem(cfg, makeTrace(workload, misses, seed));
+}
+
+} // namespace sboram

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Whole-system simulation: workload → CPU model → (timing-protected)
+ * ORAM controller or insecure memory → DDR3 — and the metric
+ * decomposition the paper's figures report.
+ *
+ * Total execution time = data access time + DRI (paper Eq. 1):
+ * data access time is the time the memory system spends serving real
+ * (data) ORAM requests; everything else — compute gaps the controller
+ * sits idle through and dummy timing-protection requests — is the
+ * Data Request Interval.
+ */
+
+#ifndef SBORAM_SIM_SYSTEM_HH
+#define SBORAM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/Types.hh"
+#include "cpu/CpuModel.hh"
+#include "mem/DramModel.hh"
+#include "mem/DramTiming.hh"
+#include "oram/OramConfig.hh"
+#include "oram/Stash.hh"
+#include "oram/TinyOram.hh"
+#include "shadow/ShadowPolicy.hh"
+#include "workload/Workload.hh"
+
+namespace sboram {
+
+/** Which memory system backs the CPU. */
+enum class Scheme : std::uint8_t
+{
+    Insecure,  ///< Plain DRAM, no protection.
+    Tiny,      ///< Tiny ORAM baseline.
+    Shadow,    ///< Tiny ORAM + Shadow Block duplication.
+};
+
+/** Which CPU front-end issues the trace. */
+enum class CpuKind : std::uint8_t { InOrder, OutOfOrder };
+
+/** Everything needed to run one experiment point. */
+struct SystemConfig
+{
+    Scheme scheme = Scheme::Tiny;
+    OramConfig oram;
+    ShadowConfig shadow;
+    DramTiming dramTiming = DramTiming::ddr3_1333();
+    DramGeometry dramGeometry;
+
+    bool timingProtection = false;
+    /** Fixed request rate in cycles; 0 = auto from path latency. */
+    Cycles tpInterval = 0;
+    /** Classify long idle gaps as virtual dummy requests so dynamic
+     *  partitioning works without timing protection (DESIGN.md). */
+    bool virtualDummies = true;
+
+    CpuKind cpu = CpuKind::InOrder;
+    unsigned cores = 4;   ///< For OutOfOrder.
+    unsigned window = 8;  ///< Reorder window per core.
+
+    /** Record each miss's data-forward time (Fig. 6 needs the
+     *  per-miss execution-time curve). */
+    bool recordPerMiss = false;
+};
+
+/** Everything the benches need from one run. */
+struct RunMetrics
+{
+    Cycles execTime = 0;
+    double dataAccessTime = 0.0;  ///< Eq. 1 first term.
+    double driTime = 0.0;         ///< Eq. 1 second term.
+    std::uint64_t requests = 0;
+    std::uint64_t dummyRequests = 0;
+    std::uint64_t stashHits = 0;
+    std::uint64_t shadowStashHits = 0;
+    std::uint64_t shadowForwards = 0;
+    std::uint64_t pathReads = 0;
+    std::uint64_t shadowsWritten = 0;
+    double onChipHitRate = 0.0;  ///< Fig. 16.
+    PicoJoules energy = 0.0;     ///< Fig. 12.
+    std::uint64_t stashPeakReal = 0;
+    std::uint64_t stashOverflows = 0;
+    double avgForwardLevel = 0.0;
+    unsigned finalPartitionLevel = 0;
+    /** Per-miss forward times, in trace order (recordPerMiss). */
+    std::vector<Cycles> missRetireTimes;
+};
+
+/** Build an LLC-miss trace for a named SPEC-like workload. */
+std::vector<LlcMissRecord> makeTrace(const std::string &workload,
+                                     std::uint64_t misses,
+                                     std::uint64_t seed);
+
+/**
+ * Run one experiment point: the given trace through the configured
+ * CPU and memory system.  For OutOfOrder CPUs the trace is replicated
+ * per core with per-core address offsets (the paper duplicates the
+ * benchmark across cores).
+ */
+RunMetrics runSystem(const SystemConfig &cfg,
+                     const std::vector<LlcMissRecord> &trace);
+
+/** Convenience: generate the trace and run. */
+RunMetrics runWorkload(const SystemConfig &cfg,
+                       const std::string &workload,
+                       std::uint64_t misses, std::uint64_t seed);
+
+} // namespace sboram
+
+#endif // SBORAM_SIM_SYSTEM_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Calibrated profiles for the ten SPEC CPU2006 benchmarks the paper
+ * evaluates (bzip2, mcf, gobmk, hmmer, sjeng, libquantum, h264ref,
+ * omnetpp, astar, namd).
+ */
+
+#ifndef SBORAM_WORKLOAD_SPECPROFILES_HH
+#define SBORAM_WORKLOAD_SPECPROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "Workload.hh"
+
+namespace sboram {
+
+/** All ten benchmark profiles, in the paper's plotting order. */
+const std::vector<WorkloadProfile> &specProfiles();
+
+/** Look a profile up by name; fatal on unknown names. */
+const WorkloadProfile &specProfile(const std::string &name);
+
+/** Names only, in plotting order. */
+std::vector<std::string> specNames();
+
+} // namespace sboram
+
+#endif // SBORAM_WORKLOAD_SPECPROFILES_HH

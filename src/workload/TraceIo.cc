@@ -1,0 +1,77 @@
+#include "TraceIo.hh"
+
+#include <cstdio>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53424f52414d5452ULL;  // "SBORAMTR"
+
+struct RecordOnDisk
+{
+    std::uint64_t computeGap;
+    std::uint64_t addr;
+    std::uint8_t isWrite;
+    std::uint8_t dependsOnPrev;
+    std::uint8_t pad[6];
+};
+
+} // namespace
+
+void
+saveTrace(const std::string &path,
+          const std::vector<LlcMissRecord> &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        SB_FATAL("cannot open %s for writing", path.c_str());
+    const std::uint64_t header[2] = {kMagic, trace.size()};
+    if (std::fwrite(header, sizeof(header), 1, f) != 1)
+        SB_FATAL("short write to %s", path.c_str());
+    for (const LlcMissRecord &rec : trace) {
+        RecordOnDisk d{};
+        d.computeGap = rec.computeGap;
+        d.addr = rec.addr;
+        d.isWrite = rec.isWrite ? 1 : 0;
+        d.dependsOnPrev = rec.dependsOnPrev ? 1 : 0;
+        if (std::fwrite(&d, sizeof(d), 1, f) != 1)
+            SB_FATAL("short write to %s", path.c_str());
+    }
+    std::fclose(f);
+}
+
+std::vector<LlcMissRecord>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        SB_FATAL("cannot open %s", path.c_str());
+    std::uint64_t header[2];
+    if (std::fread(header, sizeof(header), 1, f) != 1 ||
+        header[0] != kMagic) {
+        std::fclose(f);
+        SB_FATAL("%s is not a trace file", path.c_str());
+    }
+    std::vector<LlcMissRecord> trace;
+    trace.reserve(header[1]);
+    for (std::uint64_t i = 0; i < header[1]; ++i) {
+        RecordOnDisk d;
+        if (std::fread(&d, sizeof(d), 1, f) != 1) {
+            std::fclose(f);
+            SB_FATAL("truncated trace %s", path.c_str());
+        }
+        LlcMissRecord rec;
+        rec.computeGap = d.computeGap;
+        rec.addr = d.addr;
+        rec.isWrite = d.isWrite != 0;
+        rec.dependsOnPrev = d.dependsOnPrev != 0;
+        trace.push_back(rec);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+} // namespace sboram

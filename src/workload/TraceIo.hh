@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Binary LLC-miss trace persistence (record once, replay across
+ * controller variants — the apples-to-apples comparison every figure
+ * relies on, and a hook for users who bring their own traces).
+ */
+
+#ifndef SBORAM_WORKLOAD_TRACEIO_HH
+#define SBORAM_WORKLOAD_TRACEIO_HH
+
+#include <string>
+#include <vector>
+
+#include "Workload.hh"
+
+namespace sboram {
+
+/** Write a trace to @p path; fatal on I/O errors. */
+void saveTrace(const std::string &path,
+               const std::vector<LlcMissRecord> &trace);
+
+/** Read a trace written by saveTrace; fatal on format errors. */
+std::vector<LlcMissRecord> loadTrace(const std::string &path);
+
+} // namespace sboram
+
+#endif // SBORAM_WORKLOAD_TRACEIO_HH

@@ -1,0 +1,119 @@
+#include "Workload.hh"
+
+#include <cmath>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+{
+    SB_ASSERT(n >= 1, "zipf over empty set");
+    _cdf.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        _cdf[i] = sum;
+    }
+    for (double &v : _cdf)
+        v /= sum;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    // Binary search the CDF.
+    std::size_t lo = 0;
+    std::size_t hi = _cdf.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (_cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile,
+                                     std::uint64_t seed)
+    : _profile(profile),
+      _rng(seed ^ 0xabcdef0123456789ULL),
+      _zipf(profile.hotBlocks, profile.zipfAlpha)
+{
+    SB_ASSERT(!profile.phases.empty(), "profile %s has no phases",
+              profile.name.c_str());
+    SB_ASSERT(profile.hotBlocks <= profile.footprintBlocks,
+              "hot set larger than footprint");
+    if (profile.warmProb > 0.0) {
+        SB_ASSERT(profile.warmMaxDist >= profile.warmMinDist,
+                  "warm window inverted");
+        _history.assign(profile.warmMaxDist + 1, 0);
+    }
+}
+
+Addr
+WorkloadGenerator::nextAddress(double hotProb)
+{
+    if (_rng.chance(_profile.streamProb)) {
+        // Linear scan through the footprint (libquantum-style).
+        _streamCursor = (_streamCursor + 1) % _profile.footprintBlocks;
+        return _streamCursor;
+    }
+    if (_rng.chance(hotProb)) {
+        // Zipf-ranked hot set, scattered over the footprint so hot
+        // blocks do not cluster in one tree region.
+        const std::uint64_t rank = _zipf.sample(_rng);
+        return (rank * 2654435761ULL) % _profile.footprintBlocks;
+    }
+    if (_profile.warmProb > 0.0 && _emitted > _profile.warmMinDist &&
+        _rng.chance(_profile.warmProb)) {
+        // Re-miss an address from the warm window.
+        const std::uint64_t maxBack =
+            std::min<std::uint64_t>(_emitted - 1,
+                                    _profile.warmMaxDist);
+        const std::uint64_t back =
+            _profile.warmMinDist +
+            _rng.below(maxBack > _profile.warmMinDist
+                           ? maxBack - _profile.warmMinDist + 1
+                           : 1);
+        const std::uint64_t idx =
+            (_emitted - std::min(back, _emitted)) %
+            _history.size();
+        return _history[idx];
+    }
+    return _rng.below(_profile.footprintBlocks);
+}
+
+std::vector<LlcMissRecord>
+WorkloadGenerator::generate(std::uint64_t count)
+{
+    std::vector<LlcMissRecord> trace;
+    trace.reserve(count);
+    std::size_t phaseIdx = 0;
+    std::uint64_t phaseLeft = _profile.phases[0].misses;
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        while (phaseLeft == 0) {
+            phaseIdx = (phaseIdx + 1) % _profile.phases.size();
+            phaseLeft = _profile.phases[phaseIdx].misses;
+        }
+        const PhaseSpec &phase = _profile.phases[phaseIdx];
+        --phaseLeft;
+
+        LlcMissRecord rec;
+        rec.computeGap = _rng.geometric(phase.meanGap);
+        rec.addr = nextAddress(phase.hotProb);
+        rec.isWrite = _rng.chance(_profile.writeFraction);
+        rec.dependsOnPrev = _rng.chance(_profile.serialDepProb);
+        if (!_history.empty()) {
+            _history[_emitted % _history.size()] = rec.addr;
+            ++_emitted;
+        }
+        trace.push_back(rec);
+    }
+    return trace;
+}
+
+} // namespace sboram

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic LLC-miss workload generation.
+ *
+ * The paper drives its evaluation with ten SPEC CPU2006 benchmarks on
+ * gem5.  Neither is available here, so each benchmark is replaced by
+ * a parameterised generator reproducing the *memory behaviour* the
+ * paper's arguments depend on: memory intensity (mean compute cycles
+ * between LLC misses), temporal locality (a Zipf-distributed hot
+ * set — what HD-Dup exploits), streaming and pointer-chase access
+ * patterns, dependency structure (what the O3 model exploits), and
+ * phase alternation (Fig. 6's hmmer).  See SpecProfiles.cc for the
+ * per-benchmark calibration and DESIGN.md for the substitution
+ * rationale.
+ */
+
+#ifndef SBORAM_WORKLOAD_WORKLOAD_HH
+#define SBORAM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/Rng.hh"
+#include "common/Types.hh"
+
+namespace sboram {
+
+/** One LLC miss reaching the ORAM controller. */
+struct LlcMissRecord
+{
+    /** Compute cycles after the previous miss's data returned (or
+     *  after the previous issue, for independent misses). */
+    Cycles computeGap = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+    /** True when this miss's issue depends on the previous miss's
+     *  data (pointer chasing); serialises even on the O3 model. */
+    bool dependsOnPrev = true;
+};
+
+/** One phase of a workload (Fig. 6-style alternation). */
+struct PhaseSpec
+{
+    double meanGap = 1000.0;  ///< Mean compute cycles between misses.
+    double hotProb = 0.5;     ///< P(access lands in the hot set).
+    std::uint64_t misses = 10000;  ///< Phase length in misses.
+};
+
+/** Full parameter set of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::uint64_t footprintBlocks = 1 << 18;
+    std::uint64_t hotBlocks = 1024;  ///< Zipf-ranked hot set size.
+    double zipfAlpha = 1.0;
+    double writeFraction = 0.3;
+    double serialDepProb = 0.5;  ///< P(miss depends on previous).
+    double streamProb = 0.0;     ///< P(miss advances a linear scan).
+    /**
+     * Warm tier: probability of re-missing an address seen between
+     * warmMinDist and warmMaxDist misses ago.  LLC miss streams
+     * recur at working-set periods beyond the cache capacity — this
+     * is the reuse band RD-Dup's shadow lifetimes cover.
+     */
+    double warmProb = 0.0;
+    std::uint64_t warmMinDist = 200;
+    std::uint64_t warmMaxDist = 3000;
+    std::vector<PhaseSpec> phases;  ///< Cycled until trace is full.
+};
+
+/** Zipf sampler over ranks [0, n) with exponent alpha. */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return _cdf.size(); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+/** Generates LLC-miss traces from a profile. */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const WorkloadProfile &profile,
+                      std::uint64_t seed);
+
+    /** Generate @p count misses (appends nothing; returns a trace). */
+    std::vector<LlcMissRecord> generate(std::uint64_t count);
+
+    const WorkloadProfile &profile() const { return _profile; }
+
+  private:
+    Addr nextAddress(double hotProb);
+
+    WorkloadProfile _profile;
+    Rng _rng;
+    ZipfSampler _zipf;
+    Addr _streamCursor = 0;
+    std::vector<Addr> _history;  ///< Ring for the warm tier.
+    std::uint64_t _emitted = 0;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "baseline/InsecureMemory.hh"
+
+using namespace sboram;
+
+TEST(InsecureMemory, SingleAccessLatency)
+{
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    InsecureMemory mem(dram);
+    auto r = mem.access(1234, Op::Read, 0);
+    // Front end + activate + CAS + burst: well under one ORAM path.
+    EXPECT_GT(r.forwardAt, 0u);
+    EXPECT_LT(r.forwardAt, 300u);
+    EXPECT_EQ(r.forwardAt, r.completeAt);
+}
+
+TEST(InsecureMemory, SerializesBackToBack)
+{
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    InsecureMemory mem(dram);
+    auto a = mem.access(1, Op::Read, 0);
+    auto b = mem.access(2, Op::Read, 0);
+    EXPECT_GT(b.completeAt, a.completeAt);
+}
+
+TEST(InsecureMemory, RespectsIssueTime)
+{
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    InsecureMemory mem(dram);
+    auto r = mem.access(1, Op::Write, 50000);
+    EXPECT_GE(r.completeAt, 50000u);
+}
+
+TEST(InsecureMemory, OrdersOfMagnitudeCheaperThanOram)
+{
+    // The whole point of the comparison: one 64 B access vs a whole
+    // path of ~100 blocks.
+    DramModel dram(DramTiming::ddr3_1333(), DramGeometry{});
+    InsecureMemory mem(dram);
+    Cycles t = 0;
+    for (int i = 0; i < 100; ++i)
+        t = mem.access(static_cast<Addr>(i * 977), Op::Read, t).completeAt;
+    EXPECT_LT(t / 100, 150u);  // avg per access
+    EXPECT_EQ(dram.stats().reads, 100u);
+}

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/Rng.hh"
+
+using namespace sboram;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr std::uint64_t kBound = 8;
+    constexpr int kDraws = 80000;
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBound)];
+    for (std::uint64_t v = 0; v < kBound; ++v) {
+        EXPECT_GT(counts[v], kDraws / kBound * 0.9);
+        EXPECT_LT(counts[v], kDraws / kBound * 1.1);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 50000.0, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricHasRequestedMean)
+{
+    Rng rng(17);
+    const double mean = 800.0;
+    double sum = 0.0;
+    constexpr int kDraws = 60000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(rng.geometric(mean));
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05);
+}
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.geometric(0.5), 1u);
+    EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(23);
+    std::uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(23);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/SatCounter.hh"
+
+using namespace sboram;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(3);
+    for (int i = 0; i < 20; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(3, 2);
+    for (int i = 0; i < 20; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, BelowHalfBoundary)
+{
+    SatCounter c(3);  // range 0..7, half = 4
+    c.set(3);
+    EXPECT_TRUE(c.belowHalf());
+    c.set(4);
+    EXPECT_FALSE(c.belowHalf());
+}
+
+TEST(SatCounter, OneBitCounter)
+{
+    SatCounter c(1);
+    EXPECT_EQ(c.max(), 1u);
+    c.increment();
+    EXPECT_EQ(c.value(), 1u);
+    c.increment();
+    EXPECT_EQ(c.value(), 1u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidths, FullSweepUpAndDown)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    const std::uint32_t max = (1u << bits) - 1;
+    for (std::uint32_t i = 0; i < max; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), max);
+    for (std::uint32_t i = 0; i < max; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/Table.hh"
+
+using namespace sboram;
+
+namespace {
+
+std::string
+render(const Table &t, bool csv)
+{
+    std::FILE *f = std::tmpfile();
+    if (csv)
+        t.printCsv(f);
+    else
+        t.print(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), f))
+        out += buf;
+    std::fclose(f);
+    return out;
+}
+
+} // namespace
+
+TEST(Table, PlainContainsTitleHeaderAndCells)
+{
+    Table t("My Figure");
+    t.header({"bench", "value"});
+    t.beginRow("mcf");
+    t.cell(1.2345, 2);
+    std::string out = render(t, false);
+    EXPECT_NE(out.find("My Figure"), std::string::npos);
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("mcf"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+}
+
+TEST(Table, CsvIsCommaSeparated)
+{
+    Table t("x");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::string out = render(t, true);
+    EXPECT_NE(out.find("a,b"), std::string::npos);
+    EXPECT_NE(out.find("1,2"), std::string::npos);
+}
+
+TEST(Table, IntegerCells)
+{
+    Table t("ints");
+    t.beginRow("r");
+    t.cell(static_cast<std::uint64_t>(123456789ULL));
+    std::string out = render(t, true);
+    EXPECT_NE(out.find("123456789"), std::string::npos);
+}

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "cpu/CpuModel.hh"
+
+using namespace sboram;
+
+namespace {
+
+/** Memory with a fixed service latency, serialised like a real
+ *  controller. */
+class FixedLatencyPort : public MemoryPort
+{
+  public:
+    explicit FixedLatencyPort(Cycles latency) : _latency(latency) {}
+
+    MemoryReply
+    request(Addr addr, Op op, Cycles issueTime) override
+    {
+        (void)addr;
+        (void)op;
+        const Cycles start = std::max(issueTime, _freeAt);
+        _freeAt = start + _latency;
+        ++_count;
+        _lastIssue = issueTime;
+        return MemoryReply{_freeAt};
+    }
+
+    std::uint64_t count() const { return _count; }
+    Cycles freeAt() const { return _freeAt; }
+
+  private:
+    Cycles _latency;
+    Cycles _freeAt = 0;
+    Cycles _lastIssue = 0;
+    std::uint64_t _count = 0;
+};
+
+std::vector<LlcMissRecord>
+uniformTrace(std::size_t n, Cycles gap, bool writes = false,
+             bool dep = true)
+{
+    std::vector<LlcMissRecord> t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i].computeGap = gap;
+        t[i].addr = i;
+        t[i].isWrite = writes;
+        t[i].dependsOnPrev = dep;
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(InOrderCpu, StallsOnEveryRead)
+{
+    FixedLatencyPort port(100);
+    InOrderCpu cpu;
+    auto trace = uniformTrace(10, 50);
+    CpuRunResult r = cpu.run(trace, port);
+    // Serial: each miss costs gap + latency.
+    EXPECT_EQ(r.finishTime, 10 * (50 + 100));
+    EXPECT_EQ(r.reads, 10u);
+}
+
+TEST(InOrderCpu, WritesDoNotStall)
+{
+    FixedLatencyPort port(1000);
+    InOrderCpu cpu;
+    auto trace = uniformTrace(10, 50, /*writes=*/true);
+    CpuRunResult r = cpu.run(trace, port);
+    EXPECT_EQ(r.writes, 10u);
+    // CPU time advances only by the gaps; the port drains later.
+    // finishTime tracks the last write completion.
+    EXPECT_GE(r.finishTime, 10u * 1000u);
+}
+
+TEST(InOrderCpu, EmptyTrace)
+{
+    FixedLatencyPort port(10);
+    InOrderCpu cpu;
+    CpuRunResult r = cpu.run({}, port);
+    EXPECT_EQ(r.finishTime, 0u);
+}
+
+TEST(OooCpu, IndependentMissesOverlap)
+{
+    // With no dependencies the memory port is the only serialiser,
+    // so total time ≈ n * latency, not n * (gap + latency).
+    auto trace = uniformTrace(20, 400, false, /*dep=*/false);
+    FixedLatencyPort serialPort(100);
+    InOrderCpu inorder;
+    Cycles serialTime = inorder.run(trace, serialPort).finishTime;
+
+    FixedLatencyPort o3Port(100);
+    OooCpu o3(1, 8);
+    Cycles o3Time =
+        o3.run({trace}, o3Port).finishTime;
+    EXPECT_LT(o3Time, serialTime);
+}
+
+TEST(OooCpu, DependentChainSerialises)
+{
+    auto dep = uniformTrace(20, 100, false, /*dep=*/true);
+    auto indep = uniformTrace(20, 100, false, /*dep=*/false);
+    FixedLatencyPort p1(200), p2(200);
+    OooCpu o3(1, 8);
+    Cycles depTime = o3.run({dep}, p1).finishTime;
+    Cycles indepTime = o3.run({indep}, p2).finishTime;
+    EXPECT_GT(depTime, indepTime);
+}
+
+TEST(OooCpu, MultipleCoresShareThePort)
+{
+    auto trace = uniformTrace(50, 500, false, true);
+    FixedLatencyPort one(100);
+    OooCpu single(1, 8);
+    Cycles oneCore = single.run({trace}, one).finishTime;
+
+    FixedLatencyPort four(100);
+    OooCpu quad(4, 8);
+    Cycles fourCores =
+        quad.run({trace, trace, trace, trace}, four).finishTime;
+    // Four copies of the work take longer than one, but far less
+    // than 4x serial (they overlap in the memory port's idle time).
+    EXPECT_GT(fourCores, oneCore);
+    EXPECT_LT(fourCores, 4 * oneCore);
+}
+
+TEST(OooCpu, AllRequestsServed)
+{
+    auto trace = uniformTrace(30, 100, false, false);
+    FixedLatencyPort port(50);
+    OooCpu o3(2, 4);
+    CpuRunResult r = o3.run({trace, trace}, port);
+    EXPECT_EQ(r.reads, 60u);
+    EXPECT_EQ(port.count(), 60u);
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/Otp.hh"
+#include "crypto/Prf.hh"
+
+using namespace sboram;
+
+TEST(Prf, Deterministic)
+{
+    PrfKey key;
+    EXPECT_EQ(prf64(key, 1, 2), prf64(key, 1, 2));
+}
+
+TEST(Prf, SensitiveToEveryInput)
+{
+    PrfKey k1;
+    PrfKey k2{k1.lo + 1, k1.hi};
+    EXPECT_NE(prf64(k1, 5, 7), prf64(k2, 5, 7));
+    EXPECT_NE(prf64(k1, 5, 7), prf64(k1, 6, 7));
+    EXPECT_NE(prf64(k1, 5, 7), prf64(k1, 5, 8));
+}
+
+TEST(Prf, AvalancheOnNonce)
+{
+    PrfKey key;
+    int totalBits = 0;
+    for (std::uint64_t n = 0; n < 256; ++n) {
+        std::uint64_t diff =
+            prf64(key, n, 0) ^ prf64(key, n + 1, 0);
+        totalBits += __builtin_popcountll(diff);
+    }
+    // Expect ~32 flipped bits on average; allow broad tolerance.
+    EXPECT_GT(totalBits, 256 * 24);
+    EXPECT_LT(totalBits, 256 * 40);
+}
+
+TEST(Prf, OutputsLookDistinct)
+{
+    PrfKey key;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(prf64(key, i, i % 8));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Otp, RoundTrip)
+{
+    OtpCodec codec;
+    std::vector<std::uint64_t> plain{1, 2, 3, 0xdeadbeef};
+    CipherText ct = codec.encrypt(plain);
+    EXPECT_EQ(codec.decrypt(ct), plain);
+}
+
+TEST(Otp, FreshNoncePerEncryption)
+{
+    OtpCodec codec;
+    std::vector<std::uint64_t> plain{42, 42, 42, 42};
+    CipherText a = codec.encrypt(plain);
+    CipherText b = codec.encrypt(plain);
+    EXPECT_NE(a.nonce, b.nonce);
+    // Same plaintext, different ciphertext — probabilistic
+    // encryption is what makes shadow blocks indistinguishable from
+    // dummies (paper Section IV-A).
+    EXPECT_NE(a.lanes, b.lanes);
+}
+
+TEST(Otp, CiphertextHidesPlaintext)
+{
+    OtpCodec codec;
+    std::vector<std::uint64_t> zeros(8, 0);
+    CipherText ct = codec.encrypt(zeros);
+    int zeroLanes = 0;
+    for (std::uint64_t lane : ct.lanes)
+        if (lane == 0)
+            ++zeroLanes;
+    EXPECT_EQ(zeroLanes, 0);
+}
+
+TEST(Otp, EmptyPayload)
+{
+    OtpCodec codec;
+    CipherText ct = codec.encrypt({});
+    EXPECT_TRUE(codec.decrypt(ct).empty());
+}
+
+TEST(Otp, WrongKeyFailsToDecrypt)
+{
+    OtpCodec codec(PrfKey{1, 2});
+    OtpCodec other(PrfKey{3, 4});
+    std::vector<std::uint64_t> plain{7, 8, 9};
+    CipherText ct = codec.encrypt(plain);
+    EXPECT_NE(other.decrypt(ct), plain);
+}

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "mem/EnergyModel.hh"
+
+using namespace sboram;
+
+TEST(EnergyModel, DynamicEnergyCountsEvents)
+{
+    DramEnergy e;
+    EnergyModel model(e, 2);
+    DramStats s;
+    s.activates = 10;
+    s.reads = 100;
+    s.writes = 50;
+    EXPECT_DOUBLE_EQ(model.dynamicEnergy(s),
+                     10 * e.eActivate + 100 * e.eRead +
+                         50 * e.eWrite);
+}
+
+TEST(EnergyModel, BackgroundScalesWithTimeAndChannels)
+{
+    DramEnergy e;
+    EnergyModel one(e, 1);
+    EnergyModel two(e, 2);
+    EXPECT_DOUBLE_EQ(two.backgroundEnergy(1000),
+                     2 * one.backgroundEnergy(1000));
+}
+
+TEST(EnergyModel, TotalIsSum)
+{
+    DramEnergy e;
+    EnergyModel model(e, 2);
+    DramStats s;
+    s.reads = 7;
+    EXPECT_DOUBLE_EQ(model.totalEnergy(s, 123),
+                     model.dynamicEnergy(s) +
+                         model.backgroundEnergy(123));
+}
+
+TEST(EnergyModel, MoreAccessesMoreEnergy)
+{
+    EnergyModel model;
+    DramStats few, many;
+    few.reads = 10;
+    many.reads = 1000;
+    EXPECT_LT(model.totalEnergy(few, 1000),
+              model.totalEnergy(many, 1000));
+}

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "oram/OramConfig.hh"
+
+using namespace sboram;
+
+TEST(OramConfig, PaperGeometryIsL24)
+{
+    // Table I: 4 GB data ORAM at 64 B blocks (2^26 blocks), Z = 5,
+    // 50 % utilisation, recursive position map → L = 24.
+    OramConfig cfg;
+    cfg.dataBlocks = std::uint64_t(1) << 26;
+    cfg.slotsPerBucket = 5;
+    cfg.utilization = 0.5;
+    cfg.posMapMode = PosMapMode::Recursive;
+    EXPECT_EQ(cfg.deriveLevels(), 24u);
+}
+
+TEST(OramConfig, OnChipPosMapHasNoExtraBlocks)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 20;
+    cfg.posMapMode = PosMapMode::OnChip;
+    EXPECT_EQ(cfg.totalBlocks(), cfg.dataBlocks);
+}
+
+TEST(OramConfig, RecursiveBlocksFollowFanout)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 12;            // 4096 data blocks
+    cfg.posMapMode = PosMapMode::Recursive;
+    cfg.onChipPosMapEntries = 64;
+    // fanout = 64 B / 4 B = 16: level1 = 256 blocks (>64), level2 =
+    // 16 blocks (<=64, on-chip). Total = 4096 + 256 + 16.
+    EXPECT_EQ(cfg.posMapFanout(), 16u);
+    EXPECT_EQ(cfg.totalBlocks(), 4096u + 256u + 16u);
+}
+
+TEST(OramConfig, UtilizationShrinksWithMoreLevels)
+{
+    OramConfig loose;
+    loose.dataBlocks = 1 << 16;
+    loose.utilization = 0.25;
+    OramConfig tight = loose;
+    tight.utilization = 0.9;
+    EXPECT_GE(loose.deriveLevels(), tight.deriveLevels());
+}
+
+TEST(OramGeometry, DerivedCountsConsistent)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 10;
+    cfg.posMapMode = PosMapMode::OnChip;
+    OramGeometry geo = OramGeometry::derive(cfg);
+    EXPECT_EQ(geo.numLeaves, std::uint64_t(1) << geo.leafLevel);
+    EXPECT_EQ(geo.numBuckets,
+              (std::uint64_t(2) << geo.leafLevel) - 1);
+    EXPECT_EQ(geo.numSlots, geo.numBuckets * cfg.slotsPerBucket);
+    // Capacity at the configured utilisation must cover the blocks.
+    EXPECT_GE(static_cast<double>(geo.numSlots) * cfg.utilization,
+              static_cast<double>(geo.totalBlocks));
+}
+
+class ConfigSizeSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConfigSizeSweep, LevelsGrowWithCapacity)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = GetParam();
+    cfg.posMapMode = PosMapMode::OnChip;
+    const unsigned levels = cfg.deriveLevels();
+    // Doubling the block count adds exactly one level in the
+    // power-of-two regime.
+    OramConfig bigger = cfg;
+    bigger.dataBlocks = cfg.dataBlocks * 2;
+    EXPECT_EQ(bigger.deriveLevels(), levels + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConfigSizeSweep,
+    ::testing::Values(std::uint64_t(1) << 10, std::uint64_t(1) << 14,
+                      std::uint64_t(1) << 18, std::uint64_t(1) << 22));

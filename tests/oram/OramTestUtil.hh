@@ -1,0 +1,67 @@
+/** Shared helpers for ORAM unit/integration tests. */
+
+#ifndef SBORAM_TESTS_ORAMTESTUTIL_HH
+#define SBORAM_TESTS_ORAMTESTUTIL_HH
+
+#include <memory>
+
+#include "mem/DramModel.hh"
+#include "oram/TinyOram.hh"
+#include "shadow/ShadowPolicy.hh"
+
+namespace sboram::test {
+
+/** Small functional configuration: payloads on, on-chip posmap. */
+inline OramConfig
+smallConfig()
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 10;
+    cfg.posMapMode = PosMapMode::OnChip;
+    cfg.payloadEnabled = true;
+    cfg.stashCapacity = 200;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** Small configuration with forced position-map recursion. */
+inline OramConfig
+recursiveConfig()
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 12;
+    cfg.posMapMode = PosMapMode::Recursive;
+    cfg.onChipPosMapEntries = 64;
+    cfg.payloadEnabled = true;
+    cfg.stashCapacity = 200;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** Bundles a DRAM model with a controller (construction order). */
+struct OramFixture
+{
+    DramModel dram;
+    TinyOram oram;
+
+    explicit OramFixture(const OramConfig &cfg,
+                         std::unique_ptr<DuplicationPolicy> policy =
+                             nullptr)
+        : dram(DramTiming::ddr3_1333(), DramGeometry{}),
+          oram(cfg, dram, std::move(policy))
+    {
+    }
+};
+
+/** Fixture with the shadow policy attached. */
+inline std::unique_ptr<OramFixture>
+makeShadowFixture(OramConfig cfg, ShadowConfig scfg = ShadowConfig{})
+{
+    const unsigned leafLevel = cfg.deriveLevels();
+    auto policy = std::make_unique<ShadowPolicy>(scfg, leafLevel);
+    return std::make_unique<OramFixture>(cfg, std::move(policy));
+}
+
+} // namespace sboram::test
+
+#endif // SBORAM_TESTS_ORAMTESTUTIL_HH

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "oram/Plb.hh"
+
+using namespace sboram;
+
+TEST(Plb, MissThenHit)
+{
+    Plb plb(64 * 1024, 64);
+    EXPECT_FALSE(plb.lookup(100));
+    plb.insert(100);
+    EXPECT_TRUE(plb.lookup(100));
+    EXPECT_EQ(plb.hits(), 1u);
+    EXPECT_EQ(plb.misses(), 1u);
+}
+
+TEST(Plb, GeometryFromBytes)
+{
+    Plb plb(64 * 1024, 64, 4);
+    // 1024 entries / 4-way = 256 sets.
+    EXPECT_EQ(plb.numSets(), 256u);
+    EXPECT_EQ(plb.associativity(), 4u);
+}
+
+TEST(Plb, LruEvictionWithinSet)
+{
+    // 4 entries, 2-way, 2 sets: addresses with the same parity
+    // collide.
+    Plb plb(4 * 64, 64, 2);
+    plb.insert(0);
+    plb.insert(2);
+    EXPECT_TRUE(plb.lookup(0));  // 0 is now more recent than 2.
+    plb.insert(4);               // Evicts 2 (LRU in set 0).
+    EXPECT_TRUE(plb.lookup(0));
+    EXPECT_TRUE(plb.lookup(4));
+    EXPECT_FALSE(plb.lookup(2));
+}
+
+TEST(Plb, SetsAreIndependent)
+{
+    Plb plb(4 * 64, 64, 2);
+    plb.insert(0);
+    plb.insert(1);
+    plb.insert(3);
+    EXPECT_TRUE(plb.lookup(0));  // Odd-set churn leaves set 0 alone.
+}
+
+TEST(Plb, ClearInvalidatesAll)
+{
+    Plb plb(64 * 64, 64, 4);
+    for (Addr a = 0; a < 32; ++a)
+        plb.insert(a);
+    plb.clear();
+    for (Addr a = 0; a < 32; ++a)
+        EXPECT_FALSE(plb.lookup(a));
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "oram/Plb.hh"
+#include "oram/PositionMap.hh"
+#include "oram/RecursivePosMap.hh"
+
+using namespace sboram;
+
+namespace {
+
+OramConfig
+recCfg()
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1 << 12;  // 4096
+    cfg.posMapMode = PosMapMode::Recursive;
+    cfg.onChipPosMapEntries = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PositionMap, LookupUpdateRoundtrip)
+{
+    PositionMap pm(100);
+    pm.update(42, 7);
+    EXPECT_EQ(pm.lookup(42), 7u);
+    pm.update(42, 9);
+    EXPECT_EQ(pm.lookup(42), 9u);
+}
+
+TEST(RecursivePosMap, LayoutRegions)
+{
+    RecursivePosMap rec(recCfg());
+    EXPECT_EQ(rec.depth(), 2u);
+    EXPECT_EQ(rec.totalBlocks(), 4096u + 256u + 16u);
+    EXPECT_FALSE(rec.isPosMapBlock(4095));
+    EXPECT_TRUE(rec.isPosMapBlock(4096));
+}
+
+TEST(RecursivePosMap, PmBlockForCoversFanout)
+{
+    RecursivePosMap rec(recCfg());
+    // Data addresses 0..15 live in the first level-0 pm block.
+    EXPECT_EQ(rec.pmBlockFor(0, 0), 4096u);
+    EXPECT_EQ(rec.pmBlockFor(0, 15), 4096u);
+    EXPECT_EQ(rec.pmBlockFor(0, 16), 4097u);
+    // Level-1 pm blocks cover level-0 blocks 4096..4111 etc.
+    EXPECT_EQ(rec.pmBlockFor(1, 4096), 4096u + 256u);
+    EXPECT_EQ(rec.pmBlockFor(1, 4096 + 16), 4096u + 256u + 1u);
+}
+
+TEST(RecursivePosMap, ColdResolveWalksAllLevels)
+{
+    RecursivePosMap rec(recCfg());
+    Plb plb(64 * 1024, 64);
+    std::vector<Addr> chain = rec.resolve(0, plb);
+    // Cold PLB: both recursion levels must be fetched, highest
+    // (closest to the on-chip root map) first.
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0], 4096u + 256u);  // level-1 block
+    EXPECT_EQ(chain[1], 4096u);         // level-0 block
+}
+
+TEST(RecursivePosMap, WarmResolveIsFree)
+{
+    RecursivePosMap rec(recCfg());
+    Plb plb(64 * 1024, 64);
+    rec.resolve(0, plb);
+    // Second lookup of a covered address: PLB hit at level 0.
+    EXPECT_TRUE(rec.resolve(7, plb).empty());
+}
+
+TEST(RecursivePosMap, PartialWarmResolvesStopsAtHit)
+{
+    RecursivePosMap rec(recCfg());
+    Plb plb(64 * 1024, 64);
+    rec.resolve(0, plb);  // Installs pm blocks 4352 and 4096.
+    // Address 16 needs pm block 4097 (miss) but its level-1 parent
+    // 4352 is cached — chain is just the level-0 block.
+    std::vector<Addr> chain = rec.resolve(16, plb);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0], 4097u);
+}
+
+TEST(RecursivePosMap, OnChipModeNeverResolves)
+{
+    OramConfig cfg = recCfg();
+    cfg.posMapMode = PosMapMode::OnChip;
+    RecursivePosMap rec(cfg);
+    Plb plb(64 * 1024, 64);
+    EXPECT_EQ(rec.depth(), 0u);
+    EXPECT_TRUE(rec.resolve(123, plb).empty());
+    EXPECT_EQ(rec.totalBlocks(), cfg.dataBlocks);
+}

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "oram/Stash.hh"
+
+using namespace sboram;
+
+namespace {
+
+StashEntry
+entry(Addr addr, BlockType type, std::uint32_t version = 0,
+      LeafLabel leaf = 0)
+{
+    StashEntry e;
+    e.addr = addr;
+    e.type = type;
+    e.version = version;
+    e.leaf = leaf;
+    return e;
+}
+
+} // namespace
+
+TEST(Stash, InsertAndFind)
+{
+    Stash stash(10);
+    EXPECT_TRUE(stash.insert(entry(5, BlockType::Real)));
+    ASSERT_NE(stash.find(5), nullptr);
+    EXPECT_EQ(stash.find(5)->type, BlockType::Real);
+    EXPECT_EQ(stash.find(6), nullptr);
+    EXPECT_EQ(stash.realCount(), 1u);
+}
+
+TEST(Stash, MergeRealWinsOverShadow)
+{
+    Stash stash(10);
+    stash.insert(entry(5, BlockType::Shadow, 3));
+    EXPECT_TRUE(stash.insert(entry(5, BlockType::Real, 3)));
+    EXPECT_EQ(stash.find(5)->type, BlockType::Real);
+    EXPECT_EQ(stash.size(), 1u);
+    EXPECT_EQ(stash.stats().mergesRealWins, 1u);
+}
+
+TEST(Stash, MergeShadowDiscardedWhenRealPresent)
+{
+    Stash stash(10);
+    stash.insert(entry(5, BlockType::Real, 7));
+    EXPECT_FALSE(stash.insert(entry(5, BlockType::Shadow, 3)));
+    EXPECT_EQ(stash.find(5)->type, BlockType::Real);
+    EXPECT_EQ(stash.find(5)->version, 7u);
+}
+
+TEST(Stash, MergeDuplicateShadowsCollapse)
+{
+    Stash stash(10);
+    stash.insert(entry(5, BlockType::Shadow, 2));
+    EXPECT_FALSE(stash.insert(entry(5, BlockType::Shadow, 2)));
+    EXPECT_EQ(stash.size(), 1u);
+    EXPECT_EQ(stash.stats().mergesShadowDup, 1u);
+}
+
+TEST(Stash, ShadowsDoNotCountAgainstCapacity)
+{
+    Stash stash(4);
+    stash.insert(entry(1, BlockType::Real));
+    stash.insert(entry(2, BlockType::Shadow));
+    stash.insert(entry(3, BlockType::Shadow));
+    EXPECT_EQ(stash.realCount(), 1u);
+    EXPECT_EQ(stash.shadowCount(), 2u);
+    EXPECT_EQ(stash.stats().overflowEvents, 0u);
+}
+
+TEST(Stash, OldestShadowDisplacedWhenFull)
+{
+    Stash stash(3);
+    stash.insert(entry(1, BlockType::Shadow));
+    stash.insert(entry(2, BlockType::Shadow));
+    stash.insert(entry(3, BlockType::Shadow));
+    stash.insert(entry(4, BlockType::Real));
+    // Capacity 3: the oldest shadow (addr 1) must have been evicted.
+    EXPECT_EQ(stash.size(), 3u);
+    EXPECT_EQ(stash.find(1), nullptr);
+    EXPECT_NE(stash.find(4), nullptr);
+}
+
+TEST(Stash, OverflowCountedWhenRealsExceedCapacity)
+{
+    Stash stash(2);
+    stash.insert(entry(1, BlockType::Real));
+    stash.insert(entry(2, BlockType::Real));
+    EXPECT_EQ(stash.stats().overflowEvents, 0u);
+    stash.insert(entry(3, BlockType::Real));
+    EXPECT_GE(stash.stats().overflowEvents, 1u);
+    EXPECT_EQ(stash.stats().peakReal, 3u);
+}
+
+TEST(Stash, RemoveUpdatesCounts)
+{
+    Stash stash(10);
+    stash.insert(entry(1, BlockType::Real));
+    stash.insert(entry(2, BlockType::Shadow));
+    stash.remove(1);
+    EXPECT_EQ(stash.realCount(), 0u);
+    EXPECT_EQ(stash.size(), 1u);
+    stash.remove(2);
+    EXPECT_EQ(stash.size(), 0u);
+}
+
+TEST(Stash, DropShadowOfLeavesRealAlone)
+{
+    Stash stash(10);
+    stash.insert(entry(1, BlockType::Real));
+    stash.dropShadowOf(1);
+    EXPECT_NE(stash.find(1), nullptr);
+    stash.insert(entry(2, BlockType::Shadow));
+    stash.dropShadowOf(2);
+    EXPECT_EQ(stash.find(2), nullptr);
+}
+
+TEST(Stash, EligibleRealsBeforeShadowsInSeqOrder)
+{
+    Stash stash(10);
+    stash.insert(entry(10, BlockType::Shadow, 0, 0));
+    stash.insert(entry(11, BlockType::Real, 0, 0));
+    stash.insert(entry(12, BlockType::Real, 0, 0));
+    auto eligible =
+        stash.eligibleForLevel(0, [](LeafLabel) { return 5u; });
+    ASSERT_EQ(eligible.size(), 3u);
+    EXPECT_EQ(eligible[0], 11u);
+    EXPECT_EQ(eligible[1], 12u);
+    EXPECT_EQ(eligible[2], 10u);
+}
+
+TEST(Stash, EligibleFiltersByCommonLevel)
+{
+    Stash stash(10);
+    stash.insert(entry(1, BlockType::Real, 0, /*leaf=*/0b0000));
+    stash.insert(entry(2, BlockType::Real, 0, /*leaf=*/0b1000));
+    auto eligible = stash.eligibleForLevel(
+        2, [](LeafLabel leaf) { return leaf == 0 ? 4u : 1u; });
+    ASSERT_EQ(eligible.size(), 1u);
+    EXPECT_EQ(eligible[0], 1u);
+}

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "oram/OramTree.hh"
+
+using namespace sboram;
+
+namespace {
+
+OramTree
+makeTree(unsigned leafLevel, unsigned z)
+{
+    OramConfig cfg;
+    cfg.dataBlocks = 1;
+    cfg.slotsPerBucket = z;
+    OramGeometry geo;
+    geo.leafLevel = leafLevel;
+    geo.numLeaves = std::uint64_t(1) << leafLevel;
+    geo.numBuckets = (std::uint64_t(2) << leafLevel) - 1;
+    geo.numSlots = geo.numBuckets * z;
+    geo.totalBlocks = 1;
+    return OramTree(geo, z, false, 8);
+}
+
+} // namespace
+
+TEST(OramTree, RootIsOnEveryPath)
+{
+    OramTree tree = makeTree(6, 4);
+    for (LeafLabel leaf = 0; leaf < tree.numLeaves(); ++leaf)
+        EXPECT_EQ(tree.bucketOnPath(leaf, 0), 0u);
+}
+
+TEST(OramTree, LeafBucketsAreDistinct)
+{
+    OramTree tree = makeTree(6, 4);
+    for (LeafLabel a = 0; a < tree.numLeaves(); ++a) {
+        for (LeafLabel b = a + 1; b < tree.numLeaves(); ++b) {
+            EXPECT_NE(tree.bucketOnPath(a, 6),
+                      tree.bucketOnPath(b, 6));
+        }
+    }
+}
+
+TEST(OramTree, PathIsParentChain)
+{
+    OramTree tree = makeTree(8, 2);
+    const LeafLabel leaf = 0xa7;
+    for (unsigned level = 1; level <= 8; ++level) {
+        BucketIndex child = tree.bucketOnPath(leaf, level);
+        BucketIndex parent = tree.bucketOnPath(leaf, level - 1);
+        EXPECT_EQ((child - 1) / 2, parent);
+    }
+}
+
+TEST(OramTree, CommonLevelIdenticalLeaves)
+{
+    OramTree tree = makeTree(10, 2);
+    EXPECT_EQ(tree.commonLevel(123, 123), 10u);
+}
+
+TEST(OramTree, CommonLevelSiblingLeaves)
+{
+    OramTree tree = makeTree(10, 2);
+    // Leaves differing only in the last bit share all but the leaf
+    // level.
+    EXPECT_EQ(tree.commonLevel(0b1010101010, 0b1010101011), 9u);
+}
+
+TEST(OramTree, CommonLevelOppositeHalves)
+{
+    OramTree tree = makeTree(10, 2);
+    EXPECT_EQ(tree.commonLevel(0, (1u << 9)), 0u);
+}
+
+TEST(OramTree, CommonLevelMatchesBucketEquality)
+{
+    OramTree tree = makeTree(7, 2);
+    // Property: commonLevel(a,b) == max level where the paths share
+    // a bucket.
+    for (LeafLabel a = 0; a < tree.numLeaves(); a += 7) {
+        for (LeafLabel b = 0; b < tree.numLeaves(); b += 11) {
+            unsigned common = tree.commonLevel(a, b);
+            for (unsigned level = 0; level <= 7; ++level) {
+                const bool same = tree.bucketOnPath(a, level) ==
+                                  tree.bucketOnPath(b, level);
+                EXPECT_EQ(same, level <= common)
+                    << "a=" << a << " b=" << b << " level=" << level;
+            }
+        }
+    }
+}
+
+TEST(OramTree, OccupancyCounters)
+{
+    OramTree tree = makeTree(4, 3);
+    EXPECT_EQ(tree.countOccupied(), 0u);
+    tree.slot(0, 0).type = BlockType::Real;
+    tree.slot(0, 1).type = BlockType::Shadow;
+    EXPECT_EQ(tree.countOccupied(), 2u);
+    EXPECT_EQ(tree.countReal(), 1u);
+}
+
+TEST(OramTree, CipherStoreRoundtrip)
+{
+    OramTree tree = makeTree(4, 3);
+    CipherText ct;
+    ct.nonce = 5;
+    ct.lanes = {1, 2, 3};
+    tree.storeCipher(tree.slotIndex(3, 1), ct);
+    EXPECT_EQ(tree.cipherAt(tree.slotIndex(3, 1)).nonce, 5u);
+    tree.eraseCipher(tree.slotIndex(3, 1));
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "shadow/DupQueues.hh"
+
+using namespace sboram;
+
+namespace {
+
+DupCandidate
+cand(Addr addr, unsigned level, std::uint32_t hot, std::uint64_t seq)
+{
+    DupCandidate c;
+    c.addr = addr;
+    c.rearLevel = level;
+    c.maxLevel = level;
+    c.hotness = hot;
+    c.seq = seq;
+    return c;
+}
+
+} // namespace
+
+TEST(DupQueue, RdOrderIsDeepestFirst)
+{
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    q.push(cand(1, 5, 0, 0));
+    q.push(cand(2, 12, 0, 1));
+    q.push(cand(3, 8, 0, 2));
+    auto first = q.popFor(0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->addr, 2u);
+    EXPECT_EQ(q.popFor(0)->addr, 3u);
+    EXPECT_EQ(q.popFor(0)->addr, 1u);
+    EXPECT_FALSE(q.popFor(0).has_value());
+}
+
+TEST(DupQueue, HdOrderIsHottestFirst)
+{
+    DupQueue q(DupQueue::Rank::ByHotnessDesc);
+    q.push(cand(1, 5, 3, 0));
+    q.push(cand(2, 9, 100, 1));
+    q.push(cand(3, 7, 10, 2));
+    EXPECT_EQ(q.popFor(0)->addr, 2u);
+    EXPECT_EQ(q.popFor(0)->addr, 3u);
+    EXPECT_EQ(q.popFor(0)->addr, 1u);
+}
+
+TEST(DupQueue, Rule2FiltersShallowCandidates)
+{
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    q.push(cand(1, 3, 0, 0));
+    // A dummy slot at level 3 cannot duplicate a block at level 3
+    // (must be strictly deeper) …
+    EXPECT_FALSE(q.popFor(3).has_value());
+    // … but a slot at level 2 can.
+    EXPECT_TRUE(q.popFor(2).has_value());
+}
+
+TEST(DupQueue, HdSkipsHottestWhenTooShallow)
+{
+    DupQueue q(DupQueue::Rank::ByHotnessDesc);
+    q.push(cand(1, 2, 100, 0));  // hottest but shallow
+    q.push(cand(2, 9, 5, 1));
+    auto got = q.popFor(4);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->addr, 2u);
+    EXPECT_EQ(q.size(), 1u);  // The hot one stays queued.
+}
+
+TEST(DupQueue, TiesBreakNewestFirst)
+{
+    // Freshly evicted rear data outranks older circulating copies at
+    // equal priority, so the prime slots rotate over recent
+    // evictions instead of ossifying.
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    q.push(cand(10, 6, 0, 0));
+    q.push(cand(11, 6, 0, 1));
+    EXPECT_EQ(q.popFor(0)->addr, 11u);
+    EXPECT_EQ(q.popFor(0)->addr, 10u);
+}
+
+TEST(DupQueue, ClearEmpties)
+{
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    q.push(cand(1, 5, 0, 0));
+    q.clear();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.popFor(0).has_value());
+}
+
+TEST(DupQueue, PopConsumesCandidate)
+{
+    DupQueue q(DupQueue::Rank::ByLevelDesc);
+    q.push(cand(1, 5, 0, 0));
+    EXPECT_TRUE(q.popFor(1).has_value());
+    EXPECT_FALSE(q.popFor(1).has_value());
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "shadow/PartitionController.hh"
+
+using namespace sboram;
+
+TEST(Partition, FixedNeverMoves)
+{
+    PartitionController p = PartitionController::fixed(7, 25);
+    for (int i = 0; i < 100; ++i)
+        p.onRequest(i % 2 == 0);
+    EXPECT_EQ(p.level(), 7u);
+    EXPECT_FALSE(p.isDynamic());
+}
+
+TEST(Partition, FixedClampsToMax)
+{
+    PartitionController p = PartitionController::fixed(40, 25);
+    EXPECT_EQ(p.level(), 25u);
+}
+
+TEST(Partition, DynamicRisesOnRealRealStreams)
+{
+    // Real-after-real decrements the DRI counter (short intervals):
+    // below half-max, so the partition level climbs toward HD-Dup.
+    PartitionController p = PartitionController::dynamic(3, 25, 10);
+    for (int i = 0; i < 50; ++i)
+        p.onRequest(false);
+    EXPECT_GT(p.level(), 10u);
+}
+
+TEST(Partition, DynamicFallsOnDummyAfterReal)
+{
+    PartitionController p = PartitionController::dynamic(3, 25, 10);
+    for (int i = 0; i < 50; ++i)
+        p.onRequest(i % 2 == 1);  // real, dummy, real, dummy …
+    // Every dummy follows a real: the counter saturates high and the
+    // level falls toward RD-Dup.
+    EXPECT_LT(p.level(), 10u);
+}
+
+TEST(Partition, DynamicStaysInRange)
+{
+    PartitionController p = PartitionController::dynamic(3, 25, 0);
+    for (int i = 0; i < 200; ++i)
+        p.onRequest(false);
+    EXPECT_LE(p.level(), 25u);
+    PartitionController q = PartitionController::dynamic(3, 25, 25);
+    for (int i = 0; i < 200; ++i)
+        q.onRequest(i % 2 == 1);
+    EXPECT_GE(static_cast<int>(q.level()), 0);
+}
+
+TEST(Partition, DummyAfterDummyKeepsCounter)
+{
+    PartitionController p = PartitionController::dynamic(3, 25, 12);
+    p.onRequest(true);
+    const std::uint32_t c0 = p.counterValue();
+    p.onRequest(true);  // dummy after dummy: counter unchanged.
+    EXPECT_EQ(p.counterValue(), c0);
+}
+
+class PartitionWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PartitionWidths, AdaptsForAnyCounterWidth)
+{
+    PartitionController p =
+        PartitionController::dynamic(GetParam(), 25, 12);
+    for (int i = 0; i < 100; ++i)
+        p.onRequest(false);
+    EXPECT_GT(p.level(), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PartitionWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "shadow/ShadowPolicy.hh"
+
+using namespace sboram;
+
+namespace {
+
+PlacedBlock
+placed(Addr addr, unsigned level)
+{
+    PlacedBlock p;
+    p.addr = addr;
+    p.leaf = 1;
+    p.version = 1;
+    p.level = level;
+    return p;
+}
+
+} // namespace
+
+TEST(PolicyFeatures, RefillAllowsMultipleCopiesPerWrite)
+{
+    ShadowConfig cfg;
+    cfg.mode = ShadowMode::RdOnly;
+    cfg.refillQueues = true;
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.onBlockPlaced(placed(9, 15));
+    // One candidate, three dummy slots: with refill every slot gets
+    // a copy of the same block.
+    EXPECT_TRUE(policy.selectShadow(10).has_value());
+    EXPECT_TRUE(policy.selectShadow(6).has_value());
+    EXPECT_TRUE(policy.selectShadow(2).has_value());
+}
+
+TEST(PolicyFeatures, NoRefillSingleCopyPerWrite)
+{
+    ShadowConfig cfg;
+    cfg.mode = ShadowMode::RdOnly;
+    cfg.refillQueues = false;
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.onBlockPlaced(placed(9, 15));
+    EXPECT_TRUE(policy.selectShadow(10).has_value());
+    EXPECT_FALSE(policy.selectShadow(6).has_value());
+}
+
+TEST(PolicyFeatures, OfferedStashShadowIsACandidate)
+{
+    ShadowConfig cfg;
+    cfg.mode = ShadowMode::RdOnly;
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.offerStashShadow(5, /*leaf=*/3, /*version=*/2,
+                            /*rearLevel=*/14, /*maxLevel=*/9);
+    auto choice = policy.selectShadow(4);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(choice->addr, 5u);
+    // Constraint honoured: slot 9 is not strictly below maxLevel 9.
+    policy.beginPathWrite(1);
+    policy.offerStashShadow(5, 3, 2, 14, 9);
+    EXPECT_FALSE(policy.selectShadow(9).has_value());
+}
+
+TEST(PolicyFeatures, OfferWithZeroMaxLevelIgnored)
+{
+    ShadowConfig cfg;
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.offerStashShadow(5, 3, 2, 14, 0);
+    EXPECT_FALSE(policy.selectShadow(0).has_value());
+}
+
+TEST(PolicyFeatures, RdChoicesReleaseStashCopies)
+{
+    ShadowConfig cfg;
+    cfg.mode = ShadowMode::RdOnly;  // Partition 0: all slots RD.
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.onBlockPlaced(placed(9, 15));
+    auto rd = policy.selectShadow(5);
+    ASSERT_TRUE(rd.has_value());
+    EXPECT_TRUE(rd->releaseStashCopy);
+
+    ShadowConfig hdCfg;
+    hdCfg.mode = ShadowMode::HdOnly;
+    ShadowPolicy hdPolicy(hdCfg, 18);
+    hdPolicy.beginPathWrite(0);
+    hdPolicy.onBlockPlaced(placed(9, 15));
+    auto hd = hdPolicy.selectShadow(5);
+    ASSERT_TRUE(hd.has_value());
+    EXPECT_FALSE(hd->releaseStashCopy);
+}
+
+TEST(PolicyFeatures, HotnessOracleReflectsMisses)
+{
+    ShadowConfig cfg;
+    ShadowPolicy policy(cfg, 18);
+    EXPECT_EQ(policy.hotnessOf(77), 0u);
+    for (int i = 0; i < 5; ++i)
+        policy.onLlcMiss(77);
+    EXPECT_EQ(policy.hotnessOf(77), 5u);
+}
+
+TEST(PolicyFeatures, FreshCandidatesOutrankReoffersAtEqualPriority)
+{
+    ShadowConfig cfg;
+    cfg.mode = ShadowMode::RdOnly;
+    ShadowPolicy policy(cfg, 18);
+    policy.beginPathWrite(0);
+    policy.offerStashShadow(1, 3, 1, /*rearLevel=*/14,
+                            /*maxLevel=*/14);
+    policy.onBlockPlaced(placed(2, 14));  // Same rear level, newer.
+    auto first = policy.selectShadow(4);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->addr, 2u);
+}

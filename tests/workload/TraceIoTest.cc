@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/SpecProfiles.hh"
+#include "workload/TraceIo.hh"
+
+using namespace sboram;
+
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTrip)
+{
+    WorkloadGenerator gen(specProfile("astar"), 12);
+    auto trace = gen.generate(1000);
+    const std::string path = tmpPath("trace_roundtrip.bin");
+    saveTrace(path, trace);
+    auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, trace[i].addr);
+        EXPECT_EQ(loaded[i].computeGap, trace[i].computeGap);
+        EXPECT_EQ(loaded[i].isWrite, trace[i].isWrite);
+        EXPECT_EQ(loaded[i].dependsOnPrev, trace[i].dependsOnPrev);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    const std::string path = tmpPath("trace_empty.bin");
+    saveTrace(path, {});
+    EXPECT_TRUE(loadTrace(path).empty());
+    std::remove(path.c_str());
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/SpecProfiles.hh"
+#include "workload/Workload.hh"
+
+using namespace sboram;
+
+namespace {
+
+/** Measure the fraction of misses whose previous occurrence lies in
+ *  a distance band. */
+double
+reuseInBand(const std::vector<LlcMissRecord> &trace,
+            std::uint64_t lo, std::uint64_t hi)
+{
+    std::map<Addr, std::size_t> last;
+    std::uint64_t inBand = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto it = last.find(trace[i].addr);
+        if (it != last.end()) {
+            const std::uint64_t d = i - it->second;
+            if (d >= lo && d <= hi)
+                ++inBand;
+        }
+        last[trace[i].addr] = i;
+    }
+    return static_cast<double>(inBand) /
+           static_cast<double>(trace.size());
+}
+
+} // namespace
+
+TEST(WarmTier, ProducesMidDistanceReuse)
+{
+    WorkloadProfile p = specProfile("gobmk");  // warmProb 0.30
+    WorkloadGenerator gen(p, 9);
+    auto trace = gen.generate(20000);
+    // A meaningful share of misses must recur at warm distances.
+    EXPECT_GT(reuseInBand(trace, p.warmMinDist, p.warmMaxDist), 0.1);
+}
+
+TEST(WarmTier, DisabledMeansLittleMidReuse)
+{
+    WorkloadProfile p = specProfile("gobmk");
+    p.warmProb = 0.0;
+    p.phases[0].hotProb = 0.0;
+    p.streamProb = 0.0;
+    WorkloadGenerator gen(p, 9);
+    auto trace = gen.generate(20000);
+    // Pure uniform traffic over 128k blocks: mid-distance reuse is
+    // nearly impossible.
+    EXPECT_LT(reuseInBand(trace, p.warmMinDist, p.warmMaxDist), 0.05);
+}
+
+TEST(WarmTier, WindowBoundsRespected)
+{
+    WorkloadProfile p = specProfile("astar");
+    ASSERT_GT(p.warmProb, 0.0);
+    EXPECT_GE(p.warmMaxDist, p.warmMinDist);
+    WorkloadGenerator gen(p, 10);
+    // Generation must not crash when the history is still short.
+    auto trace = gen.generate(static_cast<std::uint64_t>(
+        p.warmMinDist / 2 + 3));
+    EXPECT_EQ(trace.size(), p.warmMinDist / 2 + 3);
+}
+
+TEST(WarmTier, AllProfilesGenerateCleanly)
+{
+    for (const WorkloadProfile &p : specProfiles()) {
+        WorkloadGenerator gen(p, 11);
+        auto trace = gen.generate(3000);
+        EXPECT_EQ(trace.size(), 3000u) << p.name;
+        for (const auto &rec : trace)
+            ASSERT_LT(rec.addr, p.footprintBlocks) << p.name;
+    }
+}

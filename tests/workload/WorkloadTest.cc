@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/SpecProfiles.hh"
+#include "workload/Workload.hh"
+
+using namespace sboram;
+
+TEST(Zipf, RankZeroMostLikely)
+{
+    ZipfSampler zipf(100, 1.0);
+    Rng rng(5);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, StaysInRange)
+{
+    ZipfSampler zipf(16, 0.8);
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 16u);
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    const WorkloadProfile &p = specProfile("mcf");
+    WorkloadGenerator a(p, 99), b(p, 99);
+    auto ta = a.generate(500);
+    auto tb = b.generate(500);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].addr, tb[i].addr);
+        EXPECT_EQ(ta[i].computeGap, tb[i].computeGap);
+        EXPECT_EQ(ta[i].isWrite, tb[i].isWrite);
+    }
+}
+
+TEST(Workload, AddressesWithinFootprint)
+{
+    for (const WorkloadProfile &p : specProfiles()) {
+        WorkloadGenerator gen(p, 1);
+        for (const LlcMissRecord &rec : gen.generate(2000))
+            EXPECT_LT(rec.addr, p.footprintBlocks) << p.name;
+    }
+}
+
+TEST(Workload, MeanGapTracksProfile)
+{
+    const WorkloadProfile &mcf = specProfile("mcf");
+    const WorkloadProfile &namd = specProfile("namd");
+    auto meanGap = [](const std::vector<LlcMissRecord> &t) {
+        double s = 0;
+        for (const auto &r : t)
+            s += static_cast<double>(r.computeGap);
+        return s / static_cast<double>(t.size());
+    };
+    WorkloadGenerator gm(mcf, 2), gn(namd, 2);
+    const double mg = meanGap(gm.generate(20000));
+    const double ng = meanGap(gn.generate(20000));
+    // mcf is memory intensive (short gaps), namd compute bound.
+    EXPECT_LT(mg, 200.0);
+    EXPECT_GT(ng, 1500.0);
+}
+
+TEST(Workload, HmmerAlternatesPhases)
+{
+    const WorkloadProfile &hmmer = specProfile("hmmer");
+    ASSERT_EQ(hmmer.phases.size(), 2u);
+    WorkloadGenerator gen(hmmer, 3);
+    auto trace = gen.generate(320);
+    auto phaseMean = [&](std::size_t from, std::size_t to) {
+        double s = 0;
+        for (std::size_t i = from; i < to; ++i)
+            s += static_cast<double>(trace[i].computeGap);
+        return s / static_cast<double>(to - from);
+    };
+    // Phase 0 (first 80 misses) is short-gap, phase 1 long-gap.
+    EXPECT_LT(phaseMean(0, 80), phaseMean(80, 160));
+    EXPECT_GT(phaseMean(160, 240), 0.0);
+    EXPECT_LT(phaseMean(160, 240), phaseMean(240, 320));
+}
+
+TEST(Workload, WriteFractionApproximatelyRespected)
+{
+    const WorkloadProfile &p = specProfile("namd");
+    WorkloadGenerator gen(p, 4);
+    auto trace = gen.generate(20000);
+    double writes = 0;
+    for (const auto &r : trace)
+        writes += r.isWrite ? 1 : 0;
+    EXPECT_NEAR(writes / trace.size(), p.writeFraction, 0.02);
+}
+
+TEST(Workload, HotSetConcentratesAccesses)
+{
+    const WorkloadProfile &p = specProfile("namd");  // hotProb 0.7
+    WorkloadGenerator gen(p, 5);
+    auto trace = gen.generate(30000);
+    std::map<Addr, int> counts;
+    for (const auto &r : trace)
+        ++counts[r.addr];
+    // The most-touched address must be hit far more than a uniform
+    // spread would allow.
+    int maxCount = 0;
+    for (const auto &kv : counts)
+        maxCount = std::max(maxCount, kv.second);
+    EXPECT_GT(maxCount, 100);
+}
+
+TEST(Workload, StreamingWorkloadIsSequentialish)
+{
+    const WorkloadProfile &p = specProfile("libquantum");
+    WorkloadGenerator gen(p, 6);
+    auto trace = gen.generate(5000);
+    int sequential = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        if (trace[i].addr == trace[i - 1].addr + 1)
+            ++sequential;
+    EXPECT_GT(sequential, 3000);
+}
+
+TEST(SpecProfiles, TenBenchmarks)
+{
+    EXPECT_EQ(specProfiles().size(), 10u);
+    const std::set<std::string> expect{
+        "bzip2", "mcf", "gobmk", "hmmer", "sjeng",
+        "libquantum", "h264ref", "omnetpp", "astar", "namd"};
+    std::set<std::string> got;
+    for (const auto &name : specNames())
+        got.insert(name);
+    EXPECT_EQ(got, expect);
+}
