@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hmmer_phases.dir/fig06_hmmer_phases.cc.o"
+  "CMakeFiles/fig06_hmmer_phases.dir/fig06_hmmer_phases.cc.o.d"
+  "fig06_hmmer_phases"
+  "fig06_hmmer_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hmmer_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dup_no_tp.dir/fig08_dup_no_tp.cc.o"
+  "CMakeFiles/fig08_dup_no_tp.dir/fig08_dup_no_tp.cc.o.d"
+  "fig08_dup_no_tp"
+  "fig08_dup_no_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dup_no_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_dup_no_tp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_static_partition_no_tp.dir/fig09_static_partition_no_tp.cc.o"
+  "CMakeFiles/fig09_static_partition_no_tp.dir/fig09_static_partition_no_tp.cc.o.d"
+  "fig09_static_partition_no_tp"
+  "fig09_static_partition_no_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_static_partition_no_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

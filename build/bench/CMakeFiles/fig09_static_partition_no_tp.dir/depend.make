@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_static_partition_no_tp.
+# This may be replaced when dependencies are built.

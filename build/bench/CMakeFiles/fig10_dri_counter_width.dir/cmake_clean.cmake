@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dri_counter_width.dir/fig10_dri_counter_width.cc.o"
+  "CMakeFiles/fig10_dri_counter_width.dir/fig10_dri_counter_width.cc.o.d"
+  "fig10_dri_counter_width"
+  "fig10_dri_counter_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dri_counter_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_slowdown_no_tp.dir/fig11_slowdown_no_tp.cc.o"
+  "CMakeFiles/fig11_slowdown_no_tp.dir/fig11_slowdown_no_tp.cc.o.d"
+  "fig11_slowdown_no_tp"
+  "fig11_slowdown_no_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_slowdown_no_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

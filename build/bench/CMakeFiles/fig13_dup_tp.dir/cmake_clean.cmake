@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dup_tp.dir/fig13_dup_tp.cc.o"
+  "CMakeFiles/fig13_dup_tp.dir/fig13_dup_tp.cc.o.d"
+  "fig13_dup_tp"
+  "fig13_dup_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dup_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

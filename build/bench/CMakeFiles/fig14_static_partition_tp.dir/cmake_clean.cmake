@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_static_partition_tp.dir/fig14_static_partition_tp.cc.o"
+  "CMakeFiles/fig14_static_partition_tp.dir/fig14_static_partition_tp.cc.o.d"
+  "fig14_static_partition_tp"
+  "fig14_static_partition_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_static_partition_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_slowdown_tp.dir/fig15_slowdown_tp.cc.o"
+  "CMakeFiles/fig15_slowdown_tp.dir/fig15_slowdown_tp.cc.o.d"
+  "fig15_slowdown_tp"
+  "fig15_slowdown_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_slowdown_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

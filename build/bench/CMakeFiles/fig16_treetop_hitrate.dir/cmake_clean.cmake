@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_treetop_hitrate.dir/fig16_treetop_hitrate.cc.o"
+  "CMakeFiles/fig16_treetop_hitrate.dir/fig16_treetop_hitrate.cc.o.d"
+  "fig16_treetop_hitrate"
+  "fig16_treetop_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_treetop_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

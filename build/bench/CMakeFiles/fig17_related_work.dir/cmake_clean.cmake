@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_related_work.dir/fig17_related_work.cc.o"
+  "CMakeFiles/fig17_related_work.dir/fig17_related_work.cc.o.d"
+  "fig17_related_work"
+  "fig17_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cpu_types.dir/fig18_cpu_types.cc.o"
+  "CMakeFiles/fig18_cpu_types.dir/fig18_cpu_types.cc.o.d"
+  "fig18_cpu_types"
+  "fig18_cpu_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cpu_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

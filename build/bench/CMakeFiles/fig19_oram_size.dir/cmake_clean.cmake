@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_oram_size.dir/fig19_oram_size.cc.o"
+  "CMakeFiles/fig19_oram_size.dir/fig19_oram_size.cc.o.d"
+  "fig19_oram_size"
+  "fig19_oram_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_oram_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_rrwp.dir/security_rrwp.cc.o"
+  "CMakeFiles/security_rrwp.dir/security_rrwp.cc.o.d"
+  "security_rrwp"
+  "security_rrwp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_rrwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_occupancy.dir/stash_occupancy.cc.o"
+  "CMakeFiles/stash_occupancy.dir/stash_occupancy.cc.o.d"
+  "stash_occupancy"
+  "stash_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_simulator.dir/oram_simulator.cpp.o"
+  "CMakeFiles/oram_simulator.dir/oram_simulator.cpp.o.d"
+  "oram_simulator"
+  "oram_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_hiding_demo.dir/pattern_hiding_demo.cpp.o"
+  "CMakeFiles/pattern_hiding_demo.dir/pattern_hiding_demo.cpp.o.d"
+  "pattern_hiding_demo"
+  "pattern_hiding_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_hiding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_common.dir/Logging.cc.o"
+  "CMakeFiles/sb_common.dir/Logging.cc.o.d"
+  "CMakeFiles/sb_common.dir/Stats.cc.o"
+  "CMakeFiles/sb_common.dir/Stats.cc.o.d"
+  "CMakeFiles/sb_common.dir/Table.cc.o"
+  "CMakeFiles/sb_common.dir/Table.cc.o.d"
+  "libsb_common.a"
+  "libsb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_cpu.dir/CpuModel.cc.o"
+  "CMakeFiles/sb_cpu.dir/CpuModel.cc.o.d"
+  "libsb_cpu.a"
+  "libsb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_crypto.dir/Prf.cc.o"
+  "CMakeFiles/sb_crypto.dir/Prf.cc.o.d"
+  "libsb_crypto.a"
+  "libsb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_mem.dir/AddressMap.cc.o"
+  "CMakeFiles/sb_mem.dir/AddressMap.cc.o.d"
+  "CMakeFiles/sb_mem.dir/DramModel.cc.o"
+  "CMakeFiles/sb_mem.dir/DramModel.cc.o.d"
+  "libsb_mem.a"
+  "libsb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oram/OramConfig.cc" "src/oram/CMakeFiles/sb_oram.dir/OramConfig.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/OramConfig.cc.o.d"
+  "/root/repo/src/oram/OramTree.cc" "src/oram/CMakeFiles/sb_oram.dir/OramTree.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/OramTree.cc.o.d"
+  "/root/repo/src/oram/Plb.cc" "src/oram/CMakeFiles/sb_oram.dir/Plb.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/Plb.cc.o.d"
+  "/root/repo/src/oram/RecursivePosMap.cc" "src/oram/CMakeFiles/sb_oram.dir/RecursivePosMap.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/RecursivePosMap.cc.o.d"
+  "/root/repo/src/oram/Stash.cc" "src/oram/CMakeFiles/sb_oram.dir/Stash.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/Stash.cc.o.d"
+  "/root/repo/src/oram/TinyOram.cc" "src/oram/CMakeFiles/sb_oram.dir/TinyOram.cc.o" "gcc" "src/oram/CMakeFiles/sb_oram.dir/TinyOram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sb_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

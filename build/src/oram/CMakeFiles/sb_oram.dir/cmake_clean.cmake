@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_oram.dir/OramConfig.cc.o"
+  "CMakeFiles/sb_oram.dir/OramConfig.cc.o.d"
+  "CMakeFiles/sb_oram.dir/OramTree.cc.o"
+  "CMakeFiles/sb_oram.dir/OramTree.cc.o.d"
+  "CMakeFiles/sb_oram.dir/Plb.cc.o"
+  "CMakeFiles/sb_oram.dir/Plb.cc.o.d"
+  "CMakeFiles/sb_oram.dir/RecursivePosMap.cc.o"
+  "CMakeFiles/sb_oram.dir/RecursivePosMap.cc.o.d"
+  "CMakeFiles/sb_oram.dir/Stash.cc.o"
+  "CMakeFiles/sb_oram.dir/Stash.cc.o.d"
+  "CMakeFiles/sb_oram.dir/TinyOram.cc.o"
+  "CMakeFiles/sb_oram.dir/TinyOram.cc.o.d"
+  "libsb_oram.a"
+  "libsb_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_security.dir/Distinguisher.cc.o"
+  "CMakeFiles/sb_security.dir/Distinguisher.cc.o.d"
+  "CMakeFiles/sb_security.dir/InvariantChecker.cc.o"
+  "CMakeFiles/sb_security.dir/InvariantChecker.cc.o.d"
+  "libsb_security.a"
+  "libsb_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_shadow.dir/DupQueues.cc.o"
+  "CMakeFiles/sb_shadow.dir/DupQueues.cc.o.d"
+  "CMakeFiles/sb_shadow.dir/HotAddressCache.cc.o"
+  "CMakeFiles/sb_shadow.dir/HotAddressCache.cc.o.d"
+  "CMakeFiles/sb_shadow.dir/ShadowPolicy.cc.o"
+  "CMakeFiles/sb_shadow.dir/ShadowPolicy.cc.o.d"
+  "libsb_shadow.a"
+  "libsb_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_workload.dir/SpecProfiles.cc.o"
+  "CMakeFiles/sb_workload.dir/SpecProfiles.cc.o.d"
+  "CMakeFiles/sb_workload.dir/TraceIo.cc.o"
+  "CMakeFiles/sb_workload.dir/TraceIo.cc.o.d"
+  "CMakeFiles/sb_workload.dir/Workload.cc.o"
+  "CMakeFiles/sb_workload.dir/Workload.cc.o.d"
+  "libsb_workload.a"
+  "libsb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

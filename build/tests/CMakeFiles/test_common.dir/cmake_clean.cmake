@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/RngTest.cc.o"
+  "CMakeFiles/test_common.dir/common/RngTest.cc.o.d"
+  "CMakeFiles/test_common.dir/common/SatCounterTest.cc.o"
+  "CMakeFiles/test_common.dir/common/SatCounterTest.cc.o.d"
+  "CMakeFiles/test_common.dir/common/StatsTest.cc.o"
+  "CMakeFiles/test_common.dir/common/StatsTest.cc.o.d"
+  "CMakeFiles/test_common.dir/common/TableTest.cc.o"
+  "CMakeFiles/test_common.dir/common/TableTest.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

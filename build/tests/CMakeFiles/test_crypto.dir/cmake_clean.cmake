@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/CryptoTest.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/CryptoTest.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/IntegrityTest.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/IntegrityTest.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/EndToEndTest.cc" "tests/CMakeFiles/test_integration.dir/integration/EndToEndTest.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/EndToEndTest.cc.o.d"
+  "/root/repo/tests/integration/PropertyTest.cc" "tests/CMakeFiles/test_integration.dir/integration/PropertyTest.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/PropertyTest.cc.o.d"
+  "/root/repo/tests/integration/SchemeMatrixTest.cc" "tests/CMakeFiles/test_integration.dir/integration/SchemeMatrixTest.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/SchemeMatrixTest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/sb_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sb_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/sb_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/EndToEndTest.cc.o"
+  "CMakeFiles/test_integration.dir/integration/EndToEndTest.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/PropertyTest.cc.o"
+  "CMakeFiles/test_integration.dir/integration/PropertyTest.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/SchemeMatrixTest.cc.o"
+  "CMakeFiles/test_integration.dir/integration/SchemeMatrixTest.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/AddressMapTest.cc.o"
+  "CMakeFiles/test_mem.dir/mem/AddressMapTest.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/DramModelTest.cc.o"
+  "CMakeFiles/test_mem.dir/mem/DramModelTest.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/DramSweepTest.cc.o"
+  "CMakeFiles/test_mem.dir/mem/DramSweepTest.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/EnergyModelTest.cc.o"
+  "CMakeFiles/test_mem.dir/mem/EnergyModelTest.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oram.dir/oram/ConfigTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/ConfigTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/PlbTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/PlbTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/PosMapTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/PosMapTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/ShadowSemanticsTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/ShadowSemanticsTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/StashTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/StashTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/TinyOramTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/TinyOramTest.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/TreeTest.cc.o"
+  "CMakeFiles/test_oram.dir/oram/TreeTest.cc.o.d"
+  "test_oram"
+  "test_oram.pdb"
+  "test_oram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security.dir/security/InvariantNegativeTest.cc.o"
+  "CMakeFiles/test_security.dir/security/InvariantNegativeTest.cc.o.d"
+  "CMakeFiles/test_security.dir/security/InvariantTest.cc.o"
+  "CMakeFiles/test_security.dir/security/InvariantTest.cc.o.d"
+  "CMakeFiles/test_security.dir/security/TraceSecurityTest.cc.o"
+  "CMakeFiles/test_security.dir/security/TraceSecurityTest.cc.o.d"
+  "test_security"
+  "test_security.pdb"
+  "test_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow.dir/shadow/DupQueueTest.cc.o"
+  "CMakeFiles/test_shadow.dir/shadow/DupQueueTest.cc.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/HotCacheTest.cc.o"
+  "CMakeFiles/test_shadow.dir/shadow/HotCacheTest.cc.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/PartitionTest.cc.o"
+  "CMakeFiles/test_shadow.dir/shadow/PartitionTest.cc.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/PolicyFeatureTest.cc.o"
+  "CMakeFiles/test_shadow.dir/shadow/PolicyFeatureTest.cc.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/ShadowPolicyTest.cc.o"
+  "CMakeFiles/test_shadow.dir/shadow/ShadowPolicyTest.cc.o.d"
+  "test_shadow"
+  "test_shadow.pdb"
+  "test_shadow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
