@@ -4,20 +4,27 @@
  *
  * Every paper figure gets one binary that prints the same rows or
  * series the paper plots.  Environment knobs:
- *   SB_BENCH_MISSES  — misses simulated per run (default 20000)
+ *   SB_BENCH_MISSES  — misses simulated per run (default 8000, or
+ *                      4000 in quick mode)
  *   SB_BENCH_QUICK   — set to 1 to cut workloads/misses for smoke
  *                      runs (CI)
+ *   SB_BENCH_THREADS — worker threads for the experiment runner
+ *                      (default: hardware concurrency; 1 forces the
+ *                      sequential path)
  */
 
 #ifndef SBORAM_BENCH_BENCHUTIL_HH
 #define SBORAM_BENCH_BENCHUTIL_HH
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/Logging.hh"
 #include "common/Stats.hh"
 #include "common/Table.hh"
+#include "sim/ExperimentRunner.hh"
 #include "sim/System.hh"
 #include "workload/SpecProfiles.hh"
 
@@ -33,9 +40,23 @@ quickMode()
 inline std::uint64_t
 missesPerRun()
 {
-    if (const char *m = std::getenv("SB_BENCH_MISSES"))
-        return std::strtoull(m, nullptr, 10);
-    return quickMode() ? 4000 : 8000;
+    static const std::uint64_t misses = []() -> std::uint64_t {
+        const std::uint64_t fallback = quickMode() ? 4000 : 8000;
+        const char *m = std::getenv("SB_BENCH_MISSES");
+        if (!m)
+            return fallback;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(m, &end, 10);
+        if (end == m || *end != '\0' || errno == ERANGE || v == 0) {
+            SB_WARN("ignoring invalid SB_BENCH_MISSES='%s' (want a "
+                    "positive integer); using %llu",
+                    m, static_cast<unsigned long long>(fallback));
+            return fallback;
+        }
+        return v;
+    }();
+    return misses;
 }
 
 /** Workload list for per-benchmark figures. */
@@ -77,11 +98,30 @@ withScheme(SystemConfig base, Scheme scheme,
     return base;
 }
 
-/** Run one (config, workload) point with the shared trace seed. */
+/** The process-wide experiment runner all benches share. */
+inline ExperimentRunner &
+runner()
+{
+    return ExperimentRunner::global();
+}
+
+/**
+ * Enqueue one (config, workload) point with the shared trace seed.
+ * Benches submit every point of a figure first, then get() the
+ * futures in print order, so output is byte-identical to a
+ * sequential run regardless of SB_BENCH_THREADS.
+ */
+inline Future<RunMetrics>
+submitPoint(const SystemConfig &cfg, const std::string &workload)
+{
+    return runner().submit(cfg, workload, missesPerRun(), kBenchSeed);
+}
+
+/** Run one (config, workload) point synchronously (legacy helper). */
 inline RunMetrics
 runPoint(const SystemConfig &cfg, const std::string &workload)
 {
-    return runWorkload(cfg, workload, missesPerRun(), kBenchSeed);
+    return submitPoint(cfg, workload).get();
 }
 
 /**

@@ -38,17 +38,36 @@ runPartitionSweep(bool timingProtection)
         header.push_back("P=" + std::to_string(lvl));
     t.header(header);
 
-    for (const std::string &wl : spotlights) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
-        std::vector<NormalizedTime> points;
-        for (unsigned lvl : levels) {
-            RunMetrics m = runPoint(
+    // Submit every point up front; collect futures in print order so
+    // the table is identical whatever SB_BENCH_THREADS says.
+    struct SweepRow
+    {
+        Future<RunMetrics> tiny;
+        std::vector<Future<RunMetrics>> shadow;
+    };
+    auto submitRow = [&](const std::string &wl) {
+        SweepRow row;
+        row.tiny = submitPoint(withScheme(base, Scheme::Tiny), wl);
+        for (unsigned lvl : levels)
+            row.shadow.push_back(submitPoint(
                 withScheme(base, Scheme::Shadow,
                            ShadowMode::StaticPartition, lvl),
-                wl);
-            points.push_back(normalize(m, tiny));
-        }
+                wl));
+        return row;
+    };
+    std::vector<SweepRow> spotRows;
+    for (const std::string &wl : spotlights)
+        spotRows.push_back(submitRow(wl));
+    std::vector<SweepRow> gmeanRows;
+    for (const std::string &wl : benchWorkloads())
+        gmeanRows.push_back(submitRow(wl));
+
+    for (std::size_t r = 0; r < spotlights.size(); ++r) {
+        const std::string &wl = spotlights[r];
+        const RunMetrics tiny = spotRows[r].tiny.get();
+        std::vector<NormalizedTime> points;
+        for (Future<RunMetrics> &f : spotRows[r].shadow)
+            points.push_back(normalize(f.get(), tiny));
         t.beginRow(wl + " Interval");
         for (const NormalizedTime &n : points)
             t.cell(n.interval);
@@ -62,14 +81,10 @@ runPartitionSweep(bool timingProtection)
 
     // Geometric mean of Total over the full workload set.
     std::vector<std::vector<double>> totals(levels.size());
-    for (const std::string &wl : benchWorkloads()) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
+    for (SweepRow &row : gmeanRows) {
+        const RunMetrics tiny = row.tiny.get();
         for (std::size_t i = 0; i < levels.size(); ++i) {
-            RunMetrics m = runPoint(
-                withScheme(base, Scheme::Shadow,
-                           ShadowMode::StaticPartition, levels[i]),
-                wl);
+            const RunMetrics m = row.shadow[i].get();
             totals[i].push_back(static_cast<double>(m.execTime) /
                                 static_cast<double>(tiny.execTime));
         }

@@ -50,21 +50,35 @@ main()
     header.push_back("gmean");
     t.header(header);
 
+    struct Pair
+    {
+        Future<RunMetrics> tiny, variant;
+    };
+    std::vector<std::vector<Pair>> rows;
     for (const Variant &v : variants) {
-        t.beginRow(v.name);
-        std::vector<double> ratios;
+        std::vector<Pair> row;
         for (const std::string &wl : workloads) {
-            RunMetrics tiny =
-                runPoint(withScheme(base, Scheme::Tiny), wl);
             SystemConfig cfg = withScheme(
                 base, Scheme::Shadow, ShadowMode::DynamicPartition,
                 4, 3);
             cfg.oram.recirculateShadows = v.recirculate;
             cfg.oram.serveFromShadow = v.serveShadow;
             cfg.shadow.refillQueues = v.refill;
-            RunMetrics m = runPoint(cfg, wl);
-            const double ratio = static_cast<double>(m.execTime) /
-                                 static_cast<double>(tiny.execTime);
+            row.push_back(
+                {submitPoint(withScheme(base, Scheme::Tiny), wl),
+                 submitPoint(cfg, wl)});
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::size_t rowIdx = 0;
+    for (const Variant &v : variants) {
+        t.beginRow(v.name);
+        std::vector<double> ratios;
+        for (Pair &p : rows[rowIdx++]) {
+            const double ratio =
+                static_cast<double>(p.variant.get().execTime) /
+                static_cast<double>(p.tiny.get().execTime);
             t.cell(ratio, 3);
             ratios.push_back(ratio);
         }

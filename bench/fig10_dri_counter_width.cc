@@ -27,17 +27,33 @@ main()
         header.push_back(std::to_string(w) + "-bit");
     t.header(header);
 
-    for (const std::string &wl : spotlights) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
-        std::vector<NormalizedTime> points;
-        for (unsigned w : widths) {
-            RunMetrics m = runPoint(
+    struct Row
+    {
+        Future<RunMetrics> tiny;
+        std::vector<Future<RunMetrics>> widths;
+    };
+    auto submitRow = [&](const std::string &wl) {
+        Row row;
+        row.tiny = submitPoint(withScheme(base, Scheme::Tiny), wl);
+        for (unsigned w : widths)
+            row.widths.push_back(submitPoint(
                 withScheme(base, Scheme::Shadow,
                            ShadowMode::DynamicPartition, 7, w),
-                wl);
-            points.push_back(normalize(m, tiny));
-        }
+                wl));
+        return row;
+    };
+    std::vector<Row> spotRows, gmeanRows;
+    for (const std::string &wl : spotlights)
+        spotRows.push_back(submitRow(wl));
+    for (const std::string &wl : benchWorkloads())
+        gmeanRows.push_back(submitRow(wl));
+
+    for (std::size_t r = 0; r < spotlights.size(); ++r) {
+        const std::string &wl = spotlights[r];
+        const RunMetrics tiny = spotRows[r].tiny.get();
+        std::vector<NormalizedTime> points;
+        for (Future<RunMetrics> &f : spotRows[r].widths)
+            points.push_back(normalize(f.get(), tiny));
         t.beginRow(wl + " Interval");
         for (const NormalizedTime &n : points)
             t.cell(n.interval);
@@ -50,15 +66,10 @@ main()
     }
 
     std::vector<std::vector<double>> totals(widths.size());
-    for (const std::string &wl : benchWorkloads()) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
+    for (Row &row : gmeanRows) {
+        const RunMetrics tiny = row.tiny.get();
         for (std::size_t i = 0; i < widths.size(); ++i) {
-            RunMetrics m = runPoint(
-                withScheme(base, Scheme::Shadow,
-                           ShadowMode::DynamicPartition, 7,
-                           widths[i]),
-                wl);
+            const RunMetrics m = row.widths[i].get();
             totals[i].push_back(static_cast<double>(m.execTime) /
                                 static_cast<double>(tiny.execTime));
         }

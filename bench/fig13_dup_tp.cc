@@ -24,14 +24,26 @@ main()
               "RD-Intv", "RD-Total", "HD-Data", "HD-Intv",
               "HD-Total", "dummies Tiny/RD/HD"});
 
+    struct Row
+    {
+        Future<RunMetrics> tiny, rd, hd;
+    };
+    std::vector<Row> rows;
+    for (const std::string &wl : benchWorkloads())
+        rows.push_back(
+            {submitPoint(withScheme(base, Scheme::Tiny), wl),
+             submitPoint(withScheme(base, Scheme::Shadow,
+                                    ShadowMode::RdOnly), wl),
+             submitPoint(withScheme(base, Scheme::Shadow,
+                                    ShadowMode::HdOnly), wl)});
+
     std::vector<double> rdTotals, hdTotals;
+    std::size_t rowIdx = 0;
     for (const std::string &wl : benchWorkloads()) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
-        RunMetrics rd = runPoint(
-            withScheme(base, Scheme::Shadow, ShadowMode::RdOnly), wl);
-        RunMetrics hd = runPoint(
-            withScheme(base, Scheme::Shadow, ShadowMode::HdOnly), wl);
+        Row &row = rows[rowIdx++];
+        const RunMetrics tiny = row.tiny.get();
+        const RunMetrics rd = row.rd.get();
+        const RunMetrics hd = row.hd.get();
 
         NormalizedTime nt = normalize(tiny, tiny);
         NormalizedTime nr = normalize(rd, tiny);

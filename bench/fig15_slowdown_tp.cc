@@ -22,20 +22,31 @@ main()
     t.header({"workload", "Tiny", "static-4", "dynamic-3",
               "insecure"});
 
+    struct Row
+    {
+        Future<RunMetrics> ins, tiny, st4, dyn3;
+    };
+    std::vector<Row> rows;
+    for (const std::string &wl : benchWorkloads())
+        rows.push_back(
+            {submitPoint(withScheme(base, Scheme::Insecure), wl),
+             submitPoint(withScheme(base, Scheme::Tiny), wl),
+             submitPoint(withScheme(base, Scheme::Shadow,
+                                    ShadowMode::StaticPartition, 4),
+                         wl),
+             submitPoint(withScheme(base, Scheme::Shadow,
+                                    ShadowMode::DynamicPartition, 4,
+                                    3),
+                         wl)});
+
     std::vector<double> tinyS, st4S, dyn3S;
+    std::size_t rowIdx = 0;
     for (const std::string &wl : benchWorkloads()) {
-        RunMetrics ins =
-            runPoint(withScheme(base, Scheme::Insecure), wl);
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
-        RunMetrics st4 = runPoint(
-            withScheme(base, Scheme::Shadow,
-                       ShadowMode::StaticPartition, 4),
-            wl);
-        RunMetrics dyn3 = runPoint(
-            withScheme(base, Scheme::Shadow,
-                       ShadowMode::DynamicPartition, 4, 3),
-            wl);
+        Row &row = rows[rowIdx++];
+        const RunMetrics ins = row.ins.get();
+        const RunMetrics tiny = row.tiny.get();
+        const RunMetrics st4 = row.st4.get();
+        const RunMetrics dyn3 = row.dyn3.get();
 
         const double insT = static_cast<double>(ins.execTime);
         t.beginRow(wl);

@@ -22,19 +22,27 @@ main()
     t.header({"workload", "treetop-3", "SB+treetop-3", "treetop-7",
               "SB+treetop-7"});
 
-    std::vector<double> t3, s3, t7, s7;
+    std::vector<std::vector<Future<RunMetrics>>> rows;
     for (const std::string &wl : benchWorkloads()) {
-        auto hitRate = [&](unsigned levels, bool shadow) {
+        auto point = [&](unsigned levels, bool shadow) {
             SystemConfig cfg = withScheme(
                 base, shadow ? Scheme::Shadow : Scheme::Tiny,
                 ShadowMode::DynamicPartition, 4, 3);
             cfg.oram.treetopLevels = levels;
-            return runPoint(cfg, wl).onChipHitRate;
+            return submitPoint(cfg, wl);
         };
-        const double a = hitRate(3, false);
-        const double b = hitRate(3, true);
-        const double c = hitRate(7, false);
-        const double d = hitRate(7, true);
+        rows.push_back({point(3, false), point(3, true),
+                        point(7, false), point(7, true)});
+    }
+
+    std::vector<double> t3, s3, t7, s7;
+    std::size_t rowIdx = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        std::vector<Future<RunMetrics>> &row = rows[rowIdx++];
+        const double a = row[0].get().onChipHitRate;
+        const double b = row[1].get().onChipHitRate;
+        const double c = row[2].get().onChipHitRate;
+        const double d = row[3].get().onChipHitRate;
         t.beginRow(wl);
         t.cell(a);
         t.cell(b);

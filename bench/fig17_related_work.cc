@@ -22,28 +22,37 @@ main()
     t.header({"workload", "XOR compr.", "Shadow Block", "SB+treetop-3",
               "SB+treetop-7"});
 
-    std::vector<double> xorS, sbS, sb3S, sb7S;
+    struct Row
+    {
+        Future<RunMetrics> tiny, xr, sbm, sb3m, sb7m;
+    };
+    std::vector<Row> rows;
     for (const std::string &wl : benchWorkloads()) {
-        RunMetrics tiny =
-            runPoint(withScheme(base, Scheme::Tiny), wl);
-        const double tinyT = static_cast<double>(tiny.execTime);
-
         SystemConfig xorCfg = withScheme(base, Scheme::Tiny);
         xorCfg.oram.xorCompression = true;
-        RunMetrics xr = runPoint(xorCfg, wl);
-
         SystemConfig sb = withScheme(base, Scheme::Shadow,
                                      ShadowMode::DynamicPartition, 4,
                                      3);
-        RunMetrics sbm = runPoint(sb, wl);
-
         SystemConfig sb3 = sb;
         sb3.oram.treetopLevels = 3;
-        RunMetrics sb3m = runPoint(sb3, wl);
-
         SystemConfig sb7 = sb;
         sb7.oram.treetopLevels = 7;
-        RunMetrics sb7m = runPoint(sb7, wl);
+        rows.push_back(
+            {submitPoint(withScheme(base, Scheme::Tiny), wl),
+             submitPoint(xorCfg, wl), submitPoint(sb, wl),
+             submitPoint(sb3, wl), submitPoint(sb7, wl)});
+    }
+
+    std::vector<double> xorS, sbS, sb3S, sb7S;
+    std::size_t rowIdx = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        Row &row = rows[rowIdx++];
+        const RunMetrics tiny = row.tiny.get();
+        const double tinyT = static_cast<double>(tiny.execTime);
+        const RunMetrics xr = row.xr.get();
+        const RunMetrics sbm = row.sbm.get();
+        const RunMetrics sb3m = row.sb3m.get();
+        const RunMetrics sb7m = row.sb7m.get();
 
         t.beginRow(wl);
         t.cell(tinyT / static_cast<double>(xr.execTime), 2);

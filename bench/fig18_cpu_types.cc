@@ -22,22 +22,39 @@ main()
             "out-of-order CPU");
     t.header({"workload", "out-of-order", "in-order"});
 
-    std::vector<double> o3S, inS;
+    struct Pair
+    {
+        Future<RunMetrics> tiny, sb;
+    };
+    struct Row
+    {
+        Pair o3, inOrder;
+    };
+    std::vector<Row> rows;
     for (const std::string &wl : benchWorkloads()) {
-        auto speedup = [&](CpuKind kind) {
+        auto submitPair = [&](CpuKind kind) {
             SystemConfig tiny = withScheme(base, Scheme::Tiny);
             tiny.cpu = kind;
             SystemConfig sb = withScheme(
                 base, Scheme::Shadow, ShadowMode::DynamicPartition,
                 4, 3);
             sb.cpu = kind;
-            RunMetrics a = runPoint(tiny, wl);
-            RunMetrics b = runPoint(sb, wl);
-            return static_cast<double>(a.execTime) /
-                   static_cast<double>(b.execTime);
+            return Pair{submitPoint(tiny, wl), submitPoint(sb, wl)};
         };
-        const double o3 = speedup(CpuKind::OutOfOrder);
-        const double in = speedup(CpuKind::InOrder);
+        rows.push_back({submitPair(CpuKind::OutOfOrder),
+                        submitPair(CpuKind::InOrder)});
+    }
+
+    std::vector<double> o3S, inS;
+    std::size_t rowIdx = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        Row &row = rows[rowIdx++];
+        auto speedup = [](Pair &p) {
+            return static_cast<double>(p.tiny.get().execTime) /
+                   static_cast<double>(p.sb.get().execTime);
+        };
+        const double o3 = speedup(row.o3);
+        const double in = speedup(row.inOrder);
         t.beginRow(wl);
         t.cell(o3, 3);
         t.cell(in, 3);

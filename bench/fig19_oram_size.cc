@@ -39,20 +39,34 @@ main()
         ? std::vector<std::string>{"sjeng", "mcf", "namd"}
         : benchWorkloads();
 
+    struct Pair
+    {
+        Future<RunMetrics> tiny, sb;
+    };
+    std::vector<std::vector<Pair>> rows;
+    for (const SizePoint &sz : sizes) {
+        SystemConfig cfg = base;
+        cfg.oram.dataBlocks = sz.dataBlocks;
+        std::vector<Pair> row;
+        for (const std::string &wl : workloads)
+            row.push_back(
+                {submitPoint(withScheme(cfg, Scheme::Tiny), wl),
+                 submitPoint(withScheme(cfg, Scheme::Shadow,
+                                        ShadowMode::DynamicPartition,
+                                        4, 3),
+                             wl)});
+        rows.push_back(std::move(row));
+    }
+
+    std::size_t rowIdx = 0;
     for (const SizePoint &sz : sizes) {
         SystemConfig cfg = base;
         cfg.oram.dataBlocks = sz.dataBlocks;
         std::vector<double> speedups;
-        for (const std::string &wl : workloads) {
-            RunMetrics tiny =
-                runPoint(withScheme(cfg, Scheme::Tiny), wl);
-            RunMetrics sb = runPoint(
-                withScheme(cfg, Scheme::Shadow,
-                           ShadowMode::DynamicPartition, 4, 3),
-                wl);
-            speedups.push_back(static_cast<double>(tiny.execTime) /
-                               static_cast<double>(sb.execTime));
-        }
+        for (Pair &p : rows[rowIdx++])
+            speedups.push_back(
+                static_cast<double>(p.tiny.get().execTime) /
+                static_cast<double>(p.sb.get().execTime));
         t.beginRow(sz.label);
         t.cell(static_cast<std::uint64_t>(cfg.oram.deriveLevels()));
         t.cell(gmean(speedups), 3);

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Timing microbench for the parallel experiment runner.
+ *
+ * Runs a fixed set of experiment points (independent of
+ * SB_BENCH_MISSES / SB_BENCH_QUICK, so numbers are comparable across
+ * invocations) and reports wall-clock seconds and points/second for
+ * the active SB_BENCH_THREADS setting.  Results land in
+ * BENCH_perf.json next to the binary's working directory.
+ *
+ * On a multi-core machine the expected scaling is near-linear until
+ * the point count (24) stops covering the pool.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "BenchUtil.hh"
+
+using namespace sboram;
+using namespace sboram::bench;
+
+int
+main()
+{
+    // Fixed workload: every scheme the figures use, over three
+    // workloads with distinct memory intensity, 2500 misses each.
+    const std::uint64_t misses = 2500;
+    SystemConfig base = paperSystem();
+    base.oram.dataBlocks = std::uint64_t(1) << 16;
+    base.timingProtection = true;
+
+    std::vector<ExperimentPoint> points;
+    for (const char *wl : {"mcf", "sjeng", "namd"}) {
+        for (Scheme scheme :
+             {Scheme::Insecure, Scheme::Tiny, Scheme::Shadow}) {
+            points.push_back({withScheme(base, scheme), wl, misses,
+                              kBenchSeed});
+        }
+        points.push_back({withScheme(base, Scheme::Shadow,
+                                     ShadowMode::RdOnly),
+                          wl, misses, kBenchSeed});
+        points.push_back({withScheme(base, Scheme::Shadow,
+                                     ShadowMode::HdOnly),
+                          wl, misses, kBenchSeed});
+        points.push_back({withScheme(base, Scheme::Shadow,
+                                     ShadowMode::StaticPartition, 4),
+                          wl, misses, kBenchSeed});
+        points.push_back({withScheme(base, Scheme::Shadow,
+                                     ShadowMode::StaticPartition, 7),
+                          wl, misses, kBenchSeed});
+        points.push_back({withScheme(base, Scheme::Shadow,
+                                     ShadowMode::DynamicPartition, 4,
+                                     5),
+                          wl, misses, kBenchSeed});
+    }
+
+    ExperimentRunner &run = runner();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunMetrics> results = run.runAll(points);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double rate =
+        static_cast<double>(results.size()) / seconds;
+
+    // Checksum so a broken parallel path cannot silently pass.
+    std::uint64_t checksum = 0;
+    for (const RunMetrics &m : results)
+        checksum ^= m.execTime + m.requests * 31 + m.pathReads * 7;
+
+    std::printf("perf_smoke: %zu points, %u threads\n",
+                results.size(), run.threads());
+    std::printf("wall %.3f s, %.2f points/s, checksum %llx\n",
+                seconds, rate,
+                static_cast<unsigned long long>(checksum));
+
+    if (FILE *f = std::fopen("BENCH_perf.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"perf_smoke\",\n"
+                     "  \"points\": %zu,\n"
+                     "  \"threads\": %u,\n"
+                     "  \"wall_seconds\": %.6f,\n"
+                     "  \"points_per_sec\": %.3f,\n"
+                     "  \"checksum\": \"%llx\"\n"
+                     "}\n",
+                     results.size(), run.threads(), seconds, rate,
+                     static_cast<unsigned long long>(checksum));
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr,
+                     "perf_smoke: cannot write BENCH_perf.json\n");
+    }
+    return 0;
+}

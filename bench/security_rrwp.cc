@@ -77,8 +77,12 @@ main()
         cyclic.push_back(static_cast<Addr>(i % 1500));
     }
 
-    Observation s = observe(scan, 3);
-    Observation c = observe(cyclic, 3);
+    Future<Observation> sF =
+        runner().defer([&scan] { return observe(scan, 3); });
+    Future<Observation> cF =
+        runner().defer([&cyclic] { return observe(cyclic, 3); });
+    const Observation s = sF.get();
+    const Observation c = cF.get();
 
     Table t("Security experiments (Sections III and IV-B)");
     t.header({"statistic", "value", "verdict"});

@@ -81,12 +81,26 @@ main()
     t.header({"seed", "p50 T/S", "p90 T/S", "p99 T/S", "max T/S",
               "identical"});
 
+    struct SeedRuns
+    {
+        Future<OccupancySample> tiny, shadow;
+    };
+    const std::uint64_t seeds = quickMode() ? 2 : 5;
+    std::vector<SeedRuns> runs;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed)
+        runs.push_back({runner().defer([seed, accesses] {
+                            return drive(false, seed, accesses);
+                        }),
+                        runner().defer([seed, accesses] {
+                            return drive(true, seed, accesses);
+                        })});
+
     bool allIdentical = true;
     std::uint64_t worstPeak = 0;
-    for (std::uint64_t seed = 1; seed <= (quickMode() ? 2u : 5u);
-         ++seed) {
-        OccupancySample tiny = drive(false, seed, accesses);
-        OccupancySample shadow = drive(true, seed, accesses);
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        SeedRuns &r = runs[seed - 1];
+        const OccupancySample tiny = r.tiny.get();
+        const OccupancySample shadow = r.shadow.get();
         const bool identical = tiny.samples == shadow.samples;
         allIdentical = allIdentical && identical;
         worstPeak = std::max({worstPeak, tiny.peak, shadow.peak});

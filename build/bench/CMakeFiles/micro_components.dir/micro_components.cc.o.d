@@ -258,6 +258,7 @@ bench/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \
  /root/repo/src/sim/../oram/TraceSink.hh \
+ /root/repo/src/sim/../common/VectorPool.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \

@@ -221,6 +221,7 @@ bench/CMakeFiles/security_rrwp.dir/security_rrwp.cc.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/sim/../common/Logging.hh \
  /root/repo/src/sim/../common/Stats.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -228,6 +229,29 @@ bench/CMakeFiles/security_rrwp.dir/security_rrwp.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/sim/../common/Table.hh \
+ /root/repo/src/sim/../sim/ExperimentRunner.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/optional /usr/include/c++/12/thread \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../sim/System.hh \
  /root/repo/src/sim/../common/Types.hh \
  /root/repo/src/sim/../cpu/CpuModel.hh \
@@ -236,26 +260,16 @@ bench/CMakeFiles/security_rrwp.dir/security_rrwp.cc.o: \
  /root/repo/src/sim/../mem/DramModel.hh \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../mem/DramTiming.hh \
- /root/repo/src/sim/../common/Logging.hh \
  /root/repo/src/sim/../mem/DramTiming.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
  /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/TinyOram.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
- /usr/include/c++/12/optional /root/repo/src/sim/../oram/OramConfig.hh \
+ /root/repo/src/sim/../oram/OramConfig.hh \
  /root/repo/src/sim/../oram/OramTree.hh \
  /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
  /root/repo/src/sim/../oram/Plb.hh \
@@ -263,6 +277,7 @@ bench/CMakeFiles/security_rrwp.dir/security_rrwp.cc.o: \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \
  /root/repo/src/sim/../oram/TraceSink.hh \
+ /root/repo/src/sim/../common/VectorPool.hh \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \
@@ -271,6 +286,7 @@ bench/CMakeFiles/security_rrwp.dir/security_rrwp.cc.o: \
  /root/repo/src/sim/../shadow/PartitionController.hh \
  /root/repo/src/sim/../common/SatCounter.hh \
  /root/repo/src/sim/../common/Logging.hh \
+ /root/repo/src/sim/../sim/System.hh \
  /root/repo/src/sim/../workload/SpecProfiles.hh \
  /root/repo/src/sim/../workload/Workload.hh \
  /root/repo/src/sim/../security/Distinguisher.hh \

@@ -260,6 +260,8 @@ examples/CMakeFiles/oram_simulator.dir/oram_simulator.cpp.o: \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \
  /root/repo/src/sim/../oram/TraceSink.hh \
+ /root/repo/src/sim/../common/VectorPool.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \

@@ -250,6 +250,8 @@ examples/CMakeFiles/pattern_hiding_demo.dir/pattern_hiding_demo.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/sim/../oram/TraceSink.hh \
  /root/repo/src/sim/../common/Rng.hh \
+ /root/repo/src/sim/../common/VectorPool.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../security/Distinguisher.hh \
  /root/repo/src/sim/../security/TraceRecorder.hh \

@@ -257,6 +257,8 @@ examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o: \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \
  /root/repo/src/sim/../oram/TraceSink.hh \
+ /root/repo/src/sim/../common/VectorPool.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \

@@ -256,6 +256,8 @@ examples/CMakeFiles/secure_kv_store.dir/secure_kv_store.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/sim/../oram/TraceSink.hh \
+ /root/repo/src/sim/../common/VectorPool.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \

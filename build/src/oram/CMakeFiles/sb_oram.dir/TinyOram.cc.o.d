@@ -243,6 +243,8 @@ src/oram/CMakeFiles/sb_oram.dir/TinyOram.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/oram/../common/VectorPool.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/oram/../mem/AddressMap.hh \
  /root/repo/src/oram/../mem/DramTiming.hh \
  /root/repo/src/oram/../mem/DramModel.hh \

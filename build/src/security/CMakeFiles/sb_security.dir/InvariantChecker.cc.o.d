@@ -250,6 +250,8 @@ src/security/CMakeFiles/sb_security.dir/InvariantChecker.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/security/../common/VectorPool.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/security/../mem/AddressMap.hh \
  /root/repo/src/security/../mem/DramTiming.hh \
  /root/repo/src/security/../mem/DramModel.hh \

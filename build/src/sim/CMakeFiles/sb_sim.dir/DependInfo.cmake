@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ExperimentRunner.cc" "src/sim/CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o" "gcc" "src/sim/CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o.d"
   "/root/repo/src/sim/System.cc" "src/sim/CMakeFiles/sb_sim.dir/System.cc.o" "gcc" "src/sim/CMakeFiles/sb_sim.dir/System.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o"
+  "CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o.d"
   "CMakeFiles/sb_sim.dir/System.cc.o"
   "CMakeFiles/sb_sim.dir/System.cc.o.d"
   "libsb_sim.a"

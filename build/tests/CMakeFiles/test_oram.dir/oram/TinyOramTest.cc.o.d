@@ -335,6 +335,7 @@ tests/CMakeFiles/test_oram.dir/oram/TinyOramTest.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/sim/../common/VectorPool.hh \
  /root/repo/src/sim/../mem/AddressMap.hh \
  /root/repo/src/sim/../shadow/ShadowPolicy.hh \
  /root/repo/src/sim/../shadow/DupQueues.hh \

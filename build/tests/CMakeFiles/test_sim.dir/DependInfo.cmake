@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/ExperimentRunnerTest.cc" "tests/CMakeFiles/test_sim.dir/sim/ExperimentRunnerTest.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/ExperimentRunnerTest.cc.o.d"
   "/root/repo/tests/sim/SystemFeatureTest.cc" "tests/CMakeFiles/test_sim.dir/sim/SystemFeatureTest.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/SystemFeatureTest.cc.o.d"
   "/root/repo/tests/sim/SystemTest.cc" "tests/CMakeFiles/test_sim.dir/sim/SystemTest.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/SystemTest.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/ExperimentRunnerTest.cc.o"
+  "CMakeFiles/test_sim.dir/sim/ExperimentRunnerTest.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/SystemFeatureTest.cc.o"
   "CMakeFiles/test_sim.dir/sim/SystemFeatureTest.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/SystemTest.cc.o"

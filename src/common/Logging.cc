@@ -1,9 +1,23 @@
 #include "Logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace sboram {
+
+namespace {
+
+/** Serialises the stderr sink: simulation runs on ExperimentRunner
+ *  workers, and interleaved half-lines would garble diagnostics. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 strprintf(const char *fmt, ...)
@@ -27,26 +41,36 @@ strprintf(const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

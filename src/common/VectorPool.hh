@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Freelist pool of std::vector<std::uint64_t> buffers.
+ *
+ * Payload-mode ORAM simulation used to allocate a fresh payload
+ * vector per block touched by a path read/write and free it again a
+ * few events later.  The pool keeps retired buffers (capacity
+ * intact) and hands them back on acquire, so the steady state does
+ * no heap traffic at all.  Single-owner, not thread-safe: each
+ * simulated controller owns its own pool (experiment points never
+ * share one).
+ */
+
+#ifndef SBORAM_COMMON_VECTORPOOL_HH
+#define SBORAM_COMMON_VECTORPOOL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sboram {
+
+class VectorPool
+{
+  public:
+    /** @param maxFree Freelist bound; extra releases just deallocate. */
+    explicit VectorPool(std::size_t maxFree = 4096)
+        : _maxFree(maxFree) {}
+
+    /** A vector of @p words elements (contents unspecified). */
+    std::vector<std::uint64_t>
+    acquire(std::size_t words)
+    {
+        if (_free.empty())
+            return std::vector<std::uint64_t>(words);
+        std::vector<std::uint64_t> v = std::move(_free.back());
+        _free.pop_back();
+        v.resize(words);
+        return v;
+    }
+
+    /** Return a buffer; its capacity is kept for the next acquire. */
+    void
+    release(std::vector<std::uint64_t> &&v)
+    {
+        if (v.capacity() == 0 || _free.size() >= _maxFree)
+            return;  // Nothing to keep / freelist full.
+        _free.push_back(std::move(v));
+    }
+
+    std::size_t freeCount() const { return _free.size(); }
+
+  private:
+    std::size_t _maxFree;
+    std::vector<std::vector<std::uint64_t>> _free;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_VECTORPOOL_HH

@@ -42,12 +42,23 @@ class OtpCodec
     encrypt(const std::vector<std::uint64_t> &plain)
     {
         CipherText ct;
+        encryptInto(plain, ct);
+        return ct;
+    }
+
+    /**
+     * Encrypt into an existing ciphertext, reusing its lane storage
+     * (the path-write hot path re-encrypts every slot; this keeps it
+     * allocation-free once buffers exist).
+     */
+    void
+    encryptInto(const std::vector<std::uint64_t> &plain, CipherText &ct)
+    {
         ct.nonce = ++_nonceCounter;
         ct.lanes.resize(plain.size());
         for (std::size_t i = 0; i < plain.size(); ++i)
             ct.lanes[i] = plain[i] ^ prf64(_key, ct.nonce, i);
         ct.tag = computeTag(ct);
-        return ct;
     }
 
     /** Decrypt a ciphertext produced by this codec's key. */
@@ -68,14 +79,17 @@ class OtpCodec
     }
 
     /** Decrypt with integrity verification; fatal-free: the caller
-     *  decides how to react to tampering. */
+     *  decides how to react to tampering.  Decrypts in place so
+     *  @p plain's capacity is reused (path-read hot path). */
     bool
     verifyDecrypt(const CipherText &ct,
                   std::vector<std::uint64_t> &plain) const
     {
         if (!verify(ct))
             return false;
-        plain = decrypt(ct);
+        plain.resize(ct.lanes.size());
+        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
+            plain[i] = ct.lanes[i] ^ prf64(_key, ct.nonce, i);
         return true;
     }
 

@@ -100,6 +100,17 @@ class OramTree
 
     void eraseCipher(std::uint64_t slotIdx) { _cipher.erase(slotIdx); }
 
+    /**
+     * Ciphertext storage for a slot, created when absent — lets the
+     * controller re-encrypt straight into the tree (OtpCodec::
+     * encryptInto) and reuse the previous ciphertext's lane buffer.
+     */
+    CipherText &
+    cipherSlot(std::uint64_t slotIdx)
+    {
+        return _cipher[slotIdx];
+    }
+
     /** Mutable ciphertext access — only for fault-injection tests
      *  (an attacker tampering with untrusted memory). */
     CipherText &

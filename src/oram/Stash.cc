@@ -30,7 +30,9 @@ Stash::enforceCapacity()
         }
         if (victim == kInvalidAddr)
             break;  // Only real entries left; overflow accounting.
-        _entries.erase(victim);
+        auto it = _entries.find(victim);
+        recyclePayload(it->second);
+        _entries.erase(it);
     }
 }
 
@@ -64,6 +66,7 @@ Stash::insert(StashEntry entry)
                       existing.version, entry.version);
             ++_stats.mergesShadowDup;
         }
+        recyclePayload(entry);
         return false;
     }
 
@@ -76,6 +79,7 @@ Stash::insert(StashEntry entry)
               "stale shadow survived for addr %llu",
               static_cast<unsigned long long>(entry.addr));
     ++_stats.mergesRealWins;
+    recyclePayload(existing);
     existing = std::move(entry);
     ++_realCount;
     trackOccupancy();
@@ -104,6 +108,7 @@ Stash::remove(Addr addr)
               static_cast<unsigned long long>(addr));
     if (it->second.type == BlockType::Real)
         --_realCount;
+    recyclePayload(it->second);
     _entries.erase(it);
 }
 
@@ -111,8 +116,10 @@ void
 Stash::dropShadowOf(Addr addr)
 {
     auto it = _entries.find(addr);
-    if (it != _entries.end() && it->second.type == BlockType::Shadow)
+    if (it != _entries.end() && it->second.type == BlockType::Shadow) {
+        recyclePayload(it->second);
         _entries.erase(it);
+    }
 }
 
 void

@@ -93,6 +93,10 @@ class Stash
      * least @p level, ordered deterministically: real entries first,
      * then shadows, each in insertion order.  @p commonLevelFn maps a
      * block leaf to the common prefix length.
+     *
+     * Reference implementation: one rescan + sort per call.  The
+     * eviction hot path uses planEviction() instead, which computes
+     * the same ordering once per eviction; tests check the two agree.
      */
     template <typename CommonLevelFn>
     std::vector<Addr>
@@ -118,6 +122,98 @@ class Stash
         return addrs;
     }
 
+    /** One stash entry's slice of an EvictionPlan. */
+    struct PlanEntry
+    {
+        Addr addr = kInvalidAddr;
+        unsigned commonLevel = 0;  ///< Deepest level on the path.
+        bool shadow = false;
+        bool placed = false;  ///< Consumed by a placement already.
+        std::uint64_t seq = 0;
+    };
+
+    /**
+     * Per-eviction placement plan (see planEviction): every entry's
+     * common-prefix level with the eviction path, grouped up front
+     * and held in the canonical placement order (reals first, then
+     * shadows, insertion order within each class).  A path write
+     * walks the levels leaf-to-root, asking for the eligible entries
+     * of each level; entries it places are marked consumed so they
+     * stop appearing at shallower levels — exactly the behaviour of
+     * re-running eligibleForLevel() against the shrinking stash, at
+     * one pass + one sort per eviction instead of one per level.
+     *
+     * Valid only while no entries are *added* to the stash (path
+     * write pass 1 only removes).
+     */
+    class EvictionPlan
+    {
+      public:
+        /**
+         * Visit the not-yet-placed entries whose common level is at
+         * least @p level, in canonical order.  @p fn receives a
+         * mutable PlanEntry (set .placed after consuming it) and
+         * returns false to stop early (bucket full).
+         */
+        template <typename Fn>
+        void
+        forEachEligible(unsigned level, Fn &&fn)
+        {
+            for (PlanEntry &e : _order) {
+                if (e.placed || e.commonLevel < level)
+                    continue;
+                if (!fn(e))
+                    return;
+            }
+        }
+
+        /** Eligible addresses at @p level (testing / diagnostics). */
+        std::vector<Addr>
+        eligibleForLevel(unsigned level) const
+        {
+            std::vector<Addr> addrs;
+            for (const PlanEntry &e : _order) {
+                if (!e.placed && e.commonLevel >= level)
+                    addrs.push_back(e.addr);
+            }
+            return addrs;
+        }
+
+      private:
+        friend class Stash;
+        std::vector<PlanEntry> _order;
+    };
+
+    /**
+     * Build the placement plan for one eviction: a single bucketing
+     * pass over the stash computes each entry's common-prefix level
+     * with the eviction path, then one sort establishes the
+     * canonical order.  @p commonLevelFn maps a block leaf to the
+     * common prefix length with the eviction leaf.
+     */
+    template <typename CommonLevelFn>
+    EvictionPlan
+    planEviction(CommonLevelFn &&commonLevelFn) const
+    {
+        EvictionPlan plan;
+        plan._order.reserve(_entries.size());
+        for (const auto &kv : _entries) {
+            PlanEntry e;
+            e.addr = kv.second.addr;
+            e.commonLevel = commonLevelFn(kv.second.leaf);
+            e.shadow = kv.second.isShadow();
+            e.seq = kv.second.seq;
+            plan._order.push_back(e);
+        }
+        std::sort(plan._order.begin(), plan._order.end(),
+                  [](const PlanEntry &a, const PlanEntry &b) {
+                      if (a.shadow != b.shadow)
+                          return !a.shadow;  // reals first
+                      return a.seq < b.seq;
+                  });
+        return plan;
+    }
+
     /** Visit every entry (order unspecified). */
     template <typename Fn>
     void
@@ -139,15 +235,37 @@ class Stash
         _hotness = std::move(fn);
     }
 
+    /**
+     * Install a sink for payload buffers of entries the stash drops
+     * (merge discards, capacity displacement, remove).  The owner
+     * pools them so path reads stop allocating a fresh vector per
+     * block (payload mode only; entries without payloads are free).
+     */
+    void
+    setPayloadRecycler(std::function<void(std::vector<std::uint64_t> &&)>
+                           fn)
+    {
+        _recycle = std::move(fn);
+    }
+
   private:
     void trackOccupancy();
     void enforceCapacity();
+
+    /** Hand a dying entry's payload buffer back to the owner. */
+    void
+    recyclePayload(StashEntry &entry)
+    {
+        if (_recycle && !entry.payload.empty())
+            _recycle(std::move(entry.payload));
+    }
 
     unsigned _capacity;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _realCount = 0;
     std::unordered_map<Addr, StashEntry> _entries;
     std::function<std::uint32_t(Addr)> _hotness;
+    std::function<void(std::vector<std::uint64_t> &&)> _recycle;
     StashStats _stats;
 };
 

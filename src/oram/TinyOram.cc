@@ -39,17 +39,31 @@ TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
     _realLevel.assign(_geo.totalBlocks, kInStash);
     _stash.setHotnessOracle(
         [this](Addr addr) { return _policy->hotnessOf(addr); });
+    if (cfg.payloadEnabled) {
+        _stash.setPayloadRecycler(
+            [this](std::vector<std::uint64_t> &&v) {
+                _payloadPool.release(std::move(v));
+            });
+    }
     initializeTree();
 }
 
 std::vector<std::uint64_t>
 TinyOram::patternPayload(Addr addr, std::uint32_t version) const
 {
-    std::vector<std::uint64_t> words(_cfg.blockBytes / 8);
-    PrfKey key{0xfeedfacecafebeefULL, 0x0123456789abcdefULL};
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] = prf64(key, (addr << 20) ^ version, i);
+    std::vector<std::uint64_t> words;
+    patternPayloadInto(addr, version, words);
     return words;
+}
+
+void
+TinyOram::patternPayloadInto(Addr addr, std::uint32_t version,
+                             std::vector<std::uint64_t> &out) const
+{
+    out.resize(_cfg.blockBytes / 8);
+    PrfKey key{0xfeedfacecafebeefULL, 0x0123456789abcdefULL};
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = prf64(key, (addr << 20) ^ version, i);
 }
 
 void
@@ -136,7 +150,8 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
         _traceSink->onPathAccess(leaf, false);
 
     const unsigned ttl = _cfg.treetopLevels;
-    std::vector<DramCoord> coords;
+    std::vector<DramCoord> &coords = _readCoords;
+    coords.clear();
     coords.reserve((_geo.leafLevel + 1 - ttl) * _cfg.slotsPerBucket);
     for (unsigned level = ttl; level <= _geo.leafLevel; ++level) {
         const BucketIndex b = _tree.bucketOnPath(leaf, level);
@@ -200,6 +215,9 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
             e.version = slot.version;
             e.type = slot.type;
             if (_cfg.payloadEnabled) {
+                // Decrypt into a pooled buffer (verifyDecrypt reuses
+                // its capacity) instead of allocating per block.
+                e.payload = _payloadPool.acquire(_cfg.blockBytes / 8);
                 // Integrity verification (Tiny ORAM baseline [18]):
                 // a tampered ciphertext is an active attack and
                 // stops the machine.
@@ -222,6 +240,8 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 }
                 if (!seen)
                     _evictShadows.push_back(std::move(e));
+                else
+                    _payloadPool.release(std::move(e.payload));
             } else {
                 _stash.insert(std::move(e));
             }
@@ -249,7 +269,8 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     _policy->beginPathWrite(leaf);
 
     const unsigned ttl = _cfg.treetopLevels;
-    std::vector<DramCoord> coords;
+    std::vector<DramCoord> &coords = _writeCoords;
+    coords.clear();
 
     // Payloads of duplication candidates (blocks placed in this path
     // write and offered stash shadows), so shadow slots can be
@@ -304,30 +325,35 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     };
     std::vector<DummySlot> dummies;
 
+    // One bucketing pass + one sort for the whole eviction: each
+    // entry's common-prefix level with this path is computed once,
+    // replacing the per-level stash rescan (the measured pathWrite
+    // hot spot).  Placements mark entries consumed in the plan and
+    // remove them from the stash, so shallower levels see exactly
+    // what a fresh rescan would.
+    Stash::EvictionPlan plan =
+        _stash.planEviction([&](LeafLabel blockLeaf) {
+            return _tree.commonLevel(blockLeaf, leaf);
+        });
+
     for (int levelI = static_cast<int>(_geo.leafLevel); levelI >= 0;
          --levelI) {
         const unsigned level = static_cast<unsigned>(levelI);
         const BucketIndex b = _tree.bucketOnPath(leaf, level);
 
-        // Candidates from the stash that may live at this level.
-        std::vector<Addr> eligible = _stash.eligibleForLevel(
-            level, [&](LeafLabel blockLeaf) {
-                return _tree.commonLevel(blockLeaf, leaf);
-            });
-
         unsigned slotCursor = 0;
-        for (Addr cand : eligible) {
+        plan.forEachEligible(level, [&](Stash::PlanEntry &cand) {
             if (slotCursor >= _cfg.slotsPerBucket)
-                break;
-            const StashEntry *entry = _stash.find(cand);
-            SB_ASSERT(entry != nullptr, "eligible entry vanished");
-            if (entry->isShadow()) {
+                return false;
+            if (cand.shadow) {
                 // Stash shadows are not placed greedily (that would
                 // sink them right back next to their real copy);
                 // they re-enter the tree through the duplication
                 // pass below, which puts them where they help.
-                continue;
+                return true;
             }
+            StashEntry *entry = _stash.find(cand.addr);
+            SB_ASSERT(entry != nullptr, "eligible entry vanished");
 
             Slot value;
             value.type = entry->type;
@@ -338,9 +364,11 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             const std::uint64_t slotIdx = _tree.slotIndex(b, slotCursor);
             _tree.slot(b, slotCursor) = value;
             if (_cfg.payloadEnabled) {
-                placedPayload[entry->addr] = entry->payload;
-                _tree.storeCipher(slotIdx,
-                                  _codec.encrypt(entry->payload));
+                _codec.encryptInto(entry->payload,
+                                   _tree.cipherSlot(slotIdx));
+                // The entry leaves the stash right below; hand its
+                // buffer to the duplication pass instead of copying.
+                placedPayload[entry->addr] = std::move(entry->payload);
             }
             if (value.isReal())
                 _realLevel[entry->addr] =
@@ -354,9 +382,11 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             placed.wasShadow = entry->isShadow();
             _policy->onBlockPlaced(placed);
 
-            _stash.remove(cand);
+            _stash.remove(cand.addr);
+            cand.placed = true;
             ++slotCursor;
-        }
+            return true;
+        });
 
         for (; slotCursor < _cfg.slotsPerBucket; ++slotCursor)
             dummies.push_back(DummySlot{b, slotCursor, level});
@@ -373,17 +403,21 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     // (Algorithm 1, line 4).  All of this happens inside the
     // controller before the re-encrypted path leaves the chip, so
     // the assignment order is externally invisible.
-    std::unordered_map<Addr, bool> bufferedPlaced;
-    for (const StashEntry &e : _evictShadows)
-        bufferedPlaced.emplace(e.addr, false);
+    _evictShadowPlaced.assign(_evictShadows.size(), 0);
+    auto markBufferedPlaced = [&](Addr addr) {
+        for (std::size_t i = 0; i < _evictShadows.size(); ++i) {
+            if (_evictShadows[i].addr == addr) {
+                _evictShadowPlaced[i] = 1;
+                return;
+            }
+        }
+    };
 
     for (auto it = dummies.rbegin(); it != dummies.rend(); ++it) {
         Slot &slot = _tree.slot(it->bucket, it->slot);
         const std::uint64_t slotIdx =
             _tree.slotIndex(it->bucket, it->slot);
         slot.clear();
-        if (_cfg.payloadEnabled)
-            _tree.eraseCipher(slotIdx);
 
         std::optional<ShadowChoice> choice =
             _policy->selectShadow(it->level);
@@ -403,24 +437,27 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             ++_stats.shadowsWritten;
             if (choice->releaseStashCopy)
                 _stash.dropShadowOf(choice->addr);
-            auto bp = bufferedPlaced.find(choice->addr);
-            if (bp != bufferedPlaced.end())
-                bp->second = true;
+            markBufferedPlaced(choice->addr);
             if (_cfg.payloadEnabled) {
                 auto pit = placedPayload.find(choice->addr);
                 SB_ASSERT(pit != placedPayload.end(),
                           "shadow candidate has no payload");
-                _tree.storeCipher(slotIdx,
-                                  _codec.encrypt(pit->second));
+                _codec.encryptInto(pit->second,
+                                   _tree.cipherSlot(slotIdx));
             }
+        } else if (_cfg.payloadEnabled) {
+            _tree.eraseCipher(slotIdx);
         }
     }
 
     // Buffered shadows that were not re-placed fall back into the
     // stash (replaceable), where merging and LFU displacement apply.
-    for (StashEntry &e : _evictShadows) {
-        if (!bufferedPlaced[e.addr])
+    for (std::size_t i = 0; i < _evictShadows.size(); ++i) {
+        StashEntry &e = _evictShadows[i];
+        if (!_evictShadowPlaced[i])
             _stash.insert(std::move(e));
+        else
+            _payloadPool.release(std::move(e.payload));
     }
     _evictShadows.clear();
 
@@ -477,9 +514,11 @@ TinyOram::accessOne(Addr addr, Cycles startTime, Op op,
     if (op == Op::Write) {
         ++entry->version;
         if (_cfg.payloadEnabled) {
-            entry->payload = writeData
-                ? *writeData
-                : patternPayload(addr, entry->version);
+            if (writeData)
+                entry->payload = *writeData;
+            else
+                patternPayloadInto(addr, entry->version,
+                                   entry->payload);
         }
     }
 
@@ -529,9 +568,11 @@ TinyOram::access(Addr addr, Op op, Cycles issueTime,
         if (op == Op::Write) {
             ++hit->version;
             if (_cfg.payloadEnabled) {
-                hit->payload = writeData
-                    ? *writeData
-                    : patternPayload(addr, hit->version);
+                if (writeData)
+                    hit->payload = *writeData;
+                else
+                    patternPayloadInto(addr, hit->version,
+                                       hit->payload);
             }
         }
         return res;

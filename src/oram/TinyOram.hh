@@ -35,6 +35,7 @@
 #include "TraceSink.hh"
 #include "common/Rng.hh"
 #include "common/Types.hh"
+#include "common/VectorPool.hh"
 #include "crypto/Otp.hh"
 #include "mem/AddressMap.hh"
 #include "mem/DramModel.hh"
@@ -196,6 +197,9 @@ class TinyOram
     void initializeTree();
     std::vector<std::uint64_t> patternPayload(Addr addr,
                                               std::uint32_t version) const;
+    /** In-place variant: fills @p out, reusing its capacity. */
+    void patternPayloadInto(Addr addr, std::uint32_t version,
+                            std::vector<std::uint64_t> &out) const;
     void writeSlotToDram(BucketIndex bucket, unsigned slotIdx,
                          const Slot &value,
                          const std::vector<std::uint64_t> *plain);
@@ -234,6 +238,17 @@ class TinyOram
     std::vector<StashEntry> _evictShadows;
     TraceSink *_traceSink = nullptr;
     OramStats _stats;
+
+    /** Recycled payload buffers (see VectorPool) — path reads pull
+     *  from here instead of allocating one vector per block. */
+    VectorPool _payloadPool;
+    /** Reused DRAM-coordinate scratch (one per direction so a path
+     *  write never clobbers the preceding read's buffer). */
+    std::vector<DramCoord> _readCoords;
+    std::vector<DramCoord> _writeCoords;
+    /** Per-write scratch: which _evictShadows went back into the
+     *  tree (parallel to _evictShadows). */
+    std::vector<char> _evictShadowPlaced;
 };
 
 } // namespace sboram

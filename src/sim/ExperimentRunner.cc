@@ -1,0 +1,188 @@
+#include "ExperimentRunner.hh"
+
+#include <cstdlib>
+#include <future>
+#include <unordered_map>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+namespace {
+
+struct TraceKey
+{
+    std::string workload;
+    std::uint64_t misses;
+    std::uint64_t seed;
+
+    bool operator==(const TraceKey &) const = default;
+};
+
+struct TraceKeyHash
+{
+    std::size_t
+    operator()(const TraceKey &k) const
+    {
+        std::size_t h = std::hash<std::string>{}(k.workload);
+        h ^= std::hash<std::uint64_t>{}(k.misses) + 0x9e3779b9 +
+             (h << 6) + (h >> 2);
+        h ^= std::hash<std::uint64_t>{}(k.seed) + 0x9e3779b9 +
+             (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+std::mutex g_traceMutex;
+std::unordered_map<TraceKey, std::shared_future<SharedTrace>,
+                   TraceKeyHash> g_traceCache;
+
+} // namespace
+
+SharedTrace
+cachedTrace(const std::string &workload, std::uint64_t misses,
+            std::uint64_t seed)
+{
+    // Two-phase lookup so one producer generates while others (for
+    // the same key) wait on the shared future instead of repeating
+    // the work, and lookups for other keys proceed unblocked.
+    std::promise<SharedTrace> producer;
+    std::shared_future<SharedTrace> slot;
+    bool isProducer = false;
+    {
+        std::lock_guard<std::mutex> lock(g_traceMutex);
+        TraceKey key{workload, misses, seed};
+        auto it = g_traceCache.find(key);
+        if (it == g_traceCache.end()) {
+            slot = producer.get_future().share();
+            g_traceCache.emplace(std::move(key), slot);
+            isProducer = true;
+        } else {
+            slot = it->second;
+        }
+    }
+    if (isProducer) {
+        auto trace = std::make_shared<const std::vector<LlcMissRecord>>(
+            makeTrace(workload, misses, seed));
+        producer.set_value(trace);
+        return trace;
+    }
+    return slot.get();
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : _threads(threads == 0 ? 1 : threads)
+{
+    if (_threads < 2)
+        return;  // Sequential path: no workers, tasks run inline.
+    _workers.reserve(_threads);
+    for (unsigned i = 0; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ExperimentRunner::post(std::function<void()> task)
+{
+    if (_workers.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _wake.notify_one();
+}
+
+void
+ExperimentRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [&] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return;  // _stop and drained.
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+    }
+}
+
+Future<RunMetrics>
+ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
+                         std::uint64_t misses, std::uint64_t seed)
+{
+    // Trace generation happens on the worker so it parallelises too;
+    // the cache deduplicates concurrent generation per key.
+    return defer([cfg, workload = std::move(workload), misses, seed] {
+        SharedTrace trace = cachedTrace(workload, misses, seed);
+        return runSystem(cfg, *trace);
+    });
+}
+
+Future<RunMetrics>
+ExperimentRunner::submitTrace(const SystemConfig &cfg,
+                              SharedTrace trace)
+{
+    SB_ASSERT(trace != nullptr, "null trace submitted");
+    return defer([cfg, trace = std::move(trace)] {
+        return runSystem(cfg, *trace);
+    });
+}
+
+std::vector<RunMetrics>
+ExperimentRunner::runAll(const std::vector<ExperimentPoint> &points)
+{
+    std::vector<Future<RunMetrics>> futures;
+    futures.reserve(points.size());
+    for (const ExperimentPoint &p : points)
+        futures.push_back(submit(p.cfg, p.workload, p.misses, p.seed));
+    std::vector<RunMetrics> results;
+    results.reserve(futures.size());
+    for (const Future<RunMetrics> &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+unsigned
+ExperimentRunner::defaultThreads()
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (const char *env = std::getenv("SB_BENCH_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0' || v == 0 || v > 4096) {
+            SB_WARN("ignoring invalid SB_BENCH_THREADS='%s' "
+                    "(want an integer in [1, 4096]); using %u",
+                    env, hw);
+            return hw;
+        }
+        return static_cast<unsigned>(v);
+    }
+    return hw;
+}
+
+ExperimentRunner &
+ExperimentRunner::global()
+{
+    static ExperimentRunner runner(defaultThreads());
+    return runner;
+}
+
+} // namespace sboram

@@ -65,6 +65,10 @@ build()
 const std::vector<WorkloadProfile> &
 specProfiles()
 {
+    // Lazy init is concurrency-safe: a C++11 magic static serialises
+    // the first call, so ExperimentRunner workers racing on first use
+    // all observe one fully built table (audited for the parallel
+    // bench runner; the table is immutable afterwards).
     static const std::vector<WorkloadProfile> profiles = build();
     return profiles;
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/Rng.hh"
 #include "oram/Stash.hh"
 
 using namespace sboram;
@@ -139,4 +140,103 @@ TEST(Stash, EligibleFiltersByCommonLevel)
         2, [](LeafLabel leaf) { return leaf == 0 ? 4u : 1u; });
     ASSERT_EQ(eligible.size(), 1u);
     EXPECT_EQ(eligible[0], 1u);
+}
+
+namespace {
+
+/** Common-prefix length of two leaf labels in a depth-L tree
+ *  (mirrors OramTree::commonLevel without needing a tree). */
+unsigned
+commonLevel(LeafLabel a, LeafLabel b, unsigned leafLevel)
+{
+    const std::uint64_t diff = a ^ b;
+    if (diff == 0)
+        return leafLevel;
+    return leafLevel - (64 - __builtin_clzll(diff));
+}
+
+/** Fill a stash with random real/shadow entries at random leaves. */
+void
+fillRandom(Stash &stash, Rng &rng, unsigned count, unsigned leafLevel)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        const BlockType type =
+            rng.chance(0.4) ? BlockType::Shadow : BlockType::Real;
+        stash.insert(entry(/*addr=*/1000 + i, type, 0,
+                           rng.below(LeafLabel(1) << leafLevel)));
+    }
+}
+
+} // namespace
+
+TEST(Stash, PlanEvictionMatchesReferenceAtEveryLevel)
+{
+    // The one-pass plan must report exactly the per-level eligible
+    // sequences the reference rescan produces, for random contents.
+    const unsigned leafLevel = 6;
+    Rng rng(2024);
+    for (int round = 0; round < 50; ++round) {
+        Stash stash(4096);
+        fillRandom(stash, rng, 1 + rng.below(60), leafLevel);
+        const LeafLabel evictLeaf =
+            rng.below(LeafLabel(1) << leafLevel);
+        auto fn = [&](LeafLabel leaf) {
+            return commonLevel(leaf, evictLeaf, leafLevel);
+        };
+
+        Stash::EvictionPlan plan = stash.planEviction(fn);
+        for (unsigned level = 0; level <= leafLevel; ++level) {
+            SCOPED_TRACE("round " + std::to_string(round) +
+                         " level " + std::to_string(level));
+            EXPECT_EQ(plan.eligibleForLevel(level),
+                      stash.eligibleForLevel(level, fn));
+        }
+    }
+}
+
+TEST(Stash, PlanEvictionConsumptionMatchesShrinkingStash)
+{
+    // A path write walks leaf -> root placing up to Z entries per
+    // bucket and removing them from the stash.  The plan's placed
+    // flags must reproduce re-running the reference against the
+    // shrinking stash.
+    const unsigned leafLevel = 5;
+    const unsigned Z = 3;
+    Rng rng(777);
+    for (int round = 0; round < 30; ++round) {
+        Stash stash(4096);
+        fillRandom(stash, rng, 1 + rng.below(50), leafLevel);
+        const LeafLabel evictLeaf =
+            rng.below(LeafLabel(1) << leafLevel);
+        auto fn = [&](LeafLabel leaf) {
+            return commonLevel(leaf, evictLeaf, leafLevel);
+        };
+
+        Stash::EvictionPlan plan = stash.planEviction(fn);
+        for (int level = static_cast<int>(leafLevel); level >= 0;
+             --level) {
+            // Reference: first Z of a fresh rescan of the live stash.
+            std::vector<Addr> want = stash.eligibleForLevel(
+                static_cast<unsigned>(level), fn);
+            if (want.size() > Z)
+                want.resize(Z);
+
+            std::vector<Addr> got;
+            plan.forEachEligible(
+                static_cast<unsigned>(level),
+                [&](Stash::PlanEntry &cand) {
+                    if (got.size() >= Z)
+                        return false;
+                    got.push_back(cand.addr);
+                    cand.placed = true;
+                    return true;
+                });
+
+            SCOPED_TRACE("round " + std::to_string(round) +
+                         " level " + std::to_string(level));
+            EXPECT_EQ(got, want);
+            for (Addr a : got)
+                stash.remove(a);
+        }
+    }
 }

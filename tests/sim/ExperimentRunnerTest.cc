@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The parallel experiment runner must be invisible in the results:
+ * running a batch on N workers yields field-for-field the same
+ * RunMetrics as the inline 1-thread path, and the process-wide trace
+ * cache hands out one immutable trace per (workload, misses, seed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ExperimentRunner.hh"
+
+using namespace sboram;
+
+namespace {
+
+SystemConfig
+smallSystem(Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.oram.dataBlocks = 1 << 14;
+    cfg.oram.posMapMode = PosMapMode::Recursive;
+    cfg.oram.onChipPosMapEntries = 1 << 10;
+    cfg.oram.seed = 3;
+    return cfg;
+}
+
+constexpr std::uint64_t kMisses = 1200;
+constexpr std::uint64_t kSeed = 99;
+
+std::vector<ExperimentPoint>
+samplePoints()
+{
+    std::vector<ExperimentPoint> points;
+    for (const char *wl : {"mcf", "sjeng", "hmmer"}) {
+        for (Scheme s :
+             {Scheme::Insecure, Scheme::Tiny, Scheme::Shadow}) {
+            SystemConfig cfg = smallSystem(s);
+            cfg.recordPerMiss = true;
+            points.push_back({cfg, wl, kMisses, kSeed});
+        }
+    }
+    return points;
+}
+
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.dataAccessTime, b.dataAccessTime);
+    EXPECT_EQ(a.driTime, b.driTime);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.dummyRequests, b.dummyRequests);
+    EXPECT_EQ(a.stashHits, b.stashHits);
+    EXPECT_EQ(a.shadowStashHits, b.shadowStashHits);
+    EXPECT_EQ(a.shadowForwards, b.shadowForwards);
+    EXPECT_EQ(a.pathReads, b.pathReads);
+    EXPECT_EQ(a.shadowsWritten, b.shadowsWritten);
+    EXPECT_EQ(a.onChipHitRate, b.onChipHitRate);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.stashPeakReal, b.stashPeakReal);
+    EXPECT_EQ(a.stashOverflows, b.stashOverflows);
+    EXPECT_EQ(a.avgForwardLevel, b.avgForwardLevel);
+    EXPECT_EQ(a.finalPartitionLevel, b.finalPartitionLevel);
+    EXPECT_EQ(a.missRetireTimes, b.missRetireTimes);
+}
+
+} // namespace
+
+TEST(ExperimentRunner, ParallelMatchesSequentialFieldForField)
+{
+    const std::vector<ExperimentPoint> points = samplePoints();
+
+    ExperimentRunner sequential(1);
+    ExperimentRunner parallel(4);
+    const std::vector<RunMetrics> seq = sequential.runAll(points);
+    const std::vector<RunMetrics> par = parallel.runAll(points);
+
+    ASSERT_EQ(seq.size(), points.size());
+    ASSERT_EQ(par.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i) + " (" +
+                     points[i].workload + ")");
+        expectSameMetrics(seq[i], par[i]);
+    }
+}
+
+TEST(ExperimentRunner, SequentialMatchesDirectRunWorkload)
+{
+    const SystemConfig cfg = smallSystem(Scheme::Shadow);
+    const RunMetrics direct =
+        runWorkload(cfg, "mcf", kMisses, kSeed);
+
+    ExperimentRunner sequential(1);
+    const RunMetrics viaRunner =
+        sequential.submit(cfg, "mcf", kMisses, kSeed).get();
+    expectSameMetrics(direct, viaRunner);
+}
+
+TEST(ExperimentRunner, TraceCacheIsPointerStableAndCorrect)
+{
+    const SharedTrace a = cachedTrace("sjeng", 700, 42);
+    const SharedTrace b = cachedTrace("sjeng", 700, 42);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get());  // Same cached object.
+
+    // Content identical to an uncached generation.
+    const std::vector<LlcMissRecord> fresh =
+        makeTrace("sjeng", 700, 42);
+    ASSERT_EQ(a->size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ((*a)[i].addr, fresh[i].addr);
+        EXPECT_EQ((*a)[i].isWrite, fresh[i].isWrite);
+        EXPECT_EQ((*a)[i].computeGap, fresh[i].computeGap);
+    }
+
+    // Distinct keys get distinct traces.
+    const SharedTrace c = cachedTrace("sjeng", 700, 43);
+    EXPECT_NE(a.get(), c.get());
+    const SharedTrace d = cachedTrace("mcf", 700, 42);
+    EXPECT_NE(a.get(), d.get());
+}
+
+TEST(ExperimentRunner, ConcurrentCacheLookupsShareOneTrace)
+{
+    ExperimentRunner pool(4);
+    std::vector<Future<SharedTrace>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(pool.defer(
+            [] { return cachedTrace("hmmer", 600, 7); }));
+    const SharedTrace first = futures.front().get();
+    for (Future<SharedTrace> &f : futures)
+        EXPECT_EQ(f.get().get(), first.get());
+}
+
+TEST(ExperimentRunner, SubmitTraceUsesProvidedTrace)
+{
+    const SharedTrace trace = cachedTrace("namd", 500, 11);
+    SystemConfig cfg = smallSystem(Scheme::Tiny);
+
+    ExperimentRunner pool(2);
+    const RunMetrics viaShared =
+        pool.submitTrace(cfg, trace).get();
+    const RunMetrics direct = runSystem(cfg, *trace);
+    expectSameMetrics(direct, viaShared);
+}
+
+TEST(ExperimentRunner, RunAllPreservesSubmissionOrder)
+{
+    // Points with different workloads produce different request
+    // counts; check results line up with their submission slots.
+    std::vector<ExperimentPoint> points;
+    for (const char *wl : {"mcf", "libquantum", "namd", "gobmk"})
+        points.push_back(
+            {smallSystem(Scheme::Tiny), wl, 400, kSeed});
+
+    ExperimentRunner pool(4);
+    const std::vector<RunMetrics> got = pool.runAll(points);
+    ASSERT_EQ(got.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunMetrics want = runWorkload(
+            points[i].cfg, points[i].workload, 400, kSeed);
+        SCOPED_TRACE(points[i].workload);
+        expectSameMetrics(want, got[i]);
+    }
+}
+
+TEST(ExperimentRunner, DefaultThreadsRespectsEnvironment)
+{
+    // Only checks the parsing contract: an explicit override wins.
+    // (The environment is process-global, so restore it.)
+    const char *old = std::getenv("SB_BENCH_THREADS");
+    const std::string saved = old ? old : "";
+
+    setenv("SB_BENCH_THREADS", "3", 1);
+    EXPECT_EQ(ExperimentRunner::defaultThreads(), 3u);
+    setenv("SB_BENCH_THREADS", "1", 1);
+    EXPECT_EQ(ExperimentRunner::defaultThreads(), 1u);
+
+    if (old)
+        setenv("SB_BENCH_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("SB_BENCH_THREADS");
+}
