@@ -117,6 +117,26 @@ submitPoint(const SystemConfig &cfg, const std::string &workload)
     return runner().submit(cfg, workload, missesPerRun(), kBenchSeed);
 }
 
+/**
+ * get() with a health check: a run that overflowed the stash produced
+ * numbers from a broken protocol state, so the bench output must say
+ * so instead of silently printing them (the row is still printed —
+ * the warning names the point so it can be rerun at a larger M).
+ */
+inline const RunMetrics &
+getChecked(const Future<RunMetrics> &future, const std::string &label)
+{
+    const RunMetrics &m = future.get();
+    if (m.stashOverflows > 0) {
+        SB_WARN("%s: stash overflowed %llu times (peak %llu reals) — "
+                "results suspect; rerun with a larger stashCapacity",
+                label.c_str(),
+                static_cast<unsigned long long>(m.stashOverflows),
+                static_cast<unsigned long long>(m.stashPeakReal));
+    }
+    return m;
+}
+
 /** Run one (config, workload) point synchronously (legacy helper). */
 inline RunMetrics
 runPoint(const SystemConfig &cfg, const std::string &workload)

@@ -41,9 +41,9 @@ main()
     std::size_t rowIdx = 0;
     for (const std::string &wl : benchWorkloads()) {
         Row &row = rows[rowIdx++];
-        const RunMetrics tiny = row.tiny.get();
-        const RunMetrics rd = row.rd.get();
-        const RunMetrics hd = row.hd.get();
+        const RunMetrics tiny = getChecked(row.tiny, wl + "/tiny");
+        const RunMetrics rd = getChecked(row.rd, wl + "/rd");
+        const RunMetrics hd = getChecked(row.hd, wl + "/hd");
 
         NormalizedTime nt = normalize(tiny, tiny);
         NormalizedTime nr = normalize(rd, tiny);

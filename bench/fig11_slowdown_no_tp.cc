@@ -43,10 +43,10 @@ main()
     std::size_t rowIdx = 0;
     for (const std::string &wl : benchWorkloads()) {
         Row &row = rows[rowIdx++];
-        const RunMetrics ins = row.ins.get();
-        const RunMetrics tiny = row.tiny.get();
-        const RunMetrics st7 = row.st7.get();
-        const RunMetrics dyn3 = row.dyn3.get();
+        const RunMetrics ins = getChecked(row.ins, wl + "/ins");
+        const RunMetrics tiny = getChecked(row.tiny, wl + "/tiny");
+        const RunMetrics st7 = getChecked(row.st7, wl + "/st7");
+        const RunMetrics dyn3 = getChecked(row.dyn3, wl + "/dyn3");
 
         const double insT = static_cast<double>(ins.execTime);
         t.beginRow(wl);

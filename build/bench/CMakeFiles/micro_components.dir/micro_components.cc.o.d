@@ -244,12 +244,14 @@ bench/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/Plb.hh /root/repo/src/sim/../oram/Stash.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sim/../crypto/Prf.hh /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/TinyOram.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \

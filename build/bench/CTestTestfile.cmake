@@ -5,6 +5,8 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_smoke_perf "/root/repo/build/bench/perf_smoke")
-set_tests_properties(bench_smoke_perf PROPERTIES  ENVIRONMENT "SB_BENCH_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_perf PROPERTIES  ENVIRONMENT "SB_BENCH_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_fig13 "/root/repo/build/bench/fig13_dup_tp")
-set_tests_properties(bench_smoke_fig13 PROPERTIES  ENVIRONMENT "SB_BENCH_QUICK=1;SB_BENCH_MISSES=400;SB_BENCH_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig13 PROPERTIES  ENVIRONMENT "SB_BENCH_QUICK=1;SB_BENCH_MISSES=400;SB_BENCH_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fault_sweep "/root/repo/build/bench/fault_sweep")
+set_tests_properties(bench_smoke_fault_sweep PROPERTIES  ENVIRONMENT "SB_BENCH_QUICK=1;SB_BENCH_MISSES=2000;SB_BENCH_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

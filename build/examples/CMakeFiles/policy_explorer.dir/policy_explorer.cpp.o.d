@@ -155,6 +155,17 @@ examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o: \
  /root/repo/src/sim/../common/Logging.hh \
  /root/repo/src/sim/../mem/DramTiming.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/../crypto/Otp.hh \
+ /root/repo/src/sim/../crypto/Prf.hh /root/repo/src/sim/../crypto/Prf.hh \
  /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -166,17 +177,8 @@ examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/sim/../oram/Block.hh \
+ /usr/include/c++/12/array /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/TinyOram.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -250,9 +252,7 @@ examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
  /usr/include/c++/12/optional /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/OramTree.hh \
- /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
- /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../oram/OramTree.hh /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \

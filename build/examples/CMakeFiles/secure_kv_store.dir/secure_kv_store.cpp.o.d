@@ -238,12 +238,13 @@ examples/CMakeFiles/secure_kv_store.dir/secure_kv_store.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/OramTree.hh /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
- /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../oram/OramTree.hh /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("common")
 subdirs("crypto")
+subdirs("fault")
 subdirs("mem")
 subdirs("oram")
 subdirs("shadow")

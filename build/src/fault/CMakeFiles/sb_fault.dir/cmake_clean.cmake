@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_fault.dir/FaultInjector.cc.o"
+  "CMakeFiles/sb_fault.dir/FaultInjector.cc.o.d"
+  "libsb_fault.a"
+  "libsb_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -132,5 +132,7 @@ src/oram/CMakeFiles/sb_oram.dir/OramTree.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/oram/../fault/FaultInjector.hh \
  /root/repo/src/oram/../crypto/Otp.hh \
+ /root/repo/src/oram/../crypto/Prf.hh \
  /root/repo/src/oram/../crypto/Prf.hh

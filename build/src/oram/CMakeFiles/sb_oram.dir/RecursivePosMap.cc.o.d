@@ -123,4 +123,16 @@ src/oram/CMakeFiles/sb_oram.dir/RecursivePosMap.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/oram/../common/Types.hh /root/repo/src/oram/Plb.hh
+ /root/repo/src/oram/../common/Types.hh \
+ /root/repo/src/oram/../fault/FaultInjector.hh \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/oram/../crypto/Otp.hh \
+ /root/repo/src/oram/../crypto/Prf.hh \
+ /root/repo/src/oram/../crypto/Prf.hh /root/repo/src/oram/Plb.hh

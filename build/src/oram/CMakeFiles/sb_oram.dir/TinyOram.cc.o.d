@@ -202,14 +202,16 @@ src/oram/CMakeFiles/sb_oram.dir/TinyOram.cc.o: \
  /root/repo/src/oram/DuplicationPolicy.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/oram/OramConfig.hh \
- /root/repo/src/oram/../common/Logging.hh /root/repo/src/oram/OramTree.hh \
+ /root/repo/src/oram/../common/Logging.hh \
+ /root/repo/src/oram/../fault/FaultInjector.hh \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/oram/../crypto/Otp.hh \
- /root/repo/src/oram/../crypto/Prf.hh /root/repo/src/oram/Plb.hh \
- /root/repo/src/oram/PositionMap.hh \
+ /root/repo/src/oram/../crypto/Prf.hh \
+ /root/repo/src/oram/../crypto/Prf.hh /root/repo/src/oram/OramTree.hh \
+ /root/repo/src/oram/Plb.hh /root/repo/src/oram/PositionMap.hh \
  /root/repo/src/oram/RecursivePosMap.hh /root/repo/src/oram/Stash.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -248,4 +250,5 @@ src/oram/CMakeFiles/sb_oram.dir/TinyOram.cc.o: \
  /root/repo/src/oram/../mem/AddressMap.hh \
  /root/repo/src/oram/../mem/DramTiming.hh \
  /root/repo/src/oram/../mem/DramModel.hh \
- /root/repo/src/oram/../mem/AddressMap.hh
+ /root/repo/src/oram/../mem/AddressMap.hh \
+ /root/repo/src/oram/../common/Errors.hh

@@ -206,7 +206,7 @@ src/security/CMakeFiles/sb_security.dir/InvariantChecker.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/security/../oram/OramConfig.hh \
  /root/repo/src/security/../common/Logging.hh \
- /root/repo/src/security/../oram/OramTree.hh \
+ /root/repo/src/security/../fault/FaultInjector.hh \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -214,6 +214,8 @@ src/security/CMakeFiles/sb_security.dir/InvariantChecker.cc.o: \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/security/../crypto/Otp.hh \
  /root/repo/src/security/../crypto/Prf.hh \
+ /root/repo/src/security/../crypto/Prf.hh \
+ /root/repo/src/security/../oram/OramTree.hh \
  /root/repo/src/security/../oram/Plb.hh \
  /root/repo/src/security/../oram/PositionMap.hh \
  /root/repo/src/security/../oram/RecursivePosMap.hh \
@@ -255,4 +257,5 @@ src/security/CMakeFiles/sb_security.dir/InvariantChecker.cc.o: \
  /root/repo/src/security/../mem/AddressMap.hh \
  /root/repo/src/security/../mem/DramTiming.hh \
  /root/repo/src/security/../mem/DramModel.hh \
- /root/repo/src/security/../mem/AddressMap.hh
+ /root/repo/src/security/../mem/AddressMap.hh \
+ /root/repo/src/security/../common/Errors.hh

@@ -16,9 +16,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
   "/root/repo/build/src/oram/CMakeFiles/sb_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/sb_security.dir/DependInfo.cmake"
   "/root/repo/build/src/shadow/CMakeFiles/sb_shadow.dir/DependInfo.cmake"
   "/root/repo/build/src/cpu/CMakeFiles/sb_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/sb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sb_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/sb_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/mem/CMakeFiles/sb_mem.dir/DependInfo.cmake"
   )

@@ -253,17 +253,17 @@ src/sim/CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o: \
  /root/repo/src/sim/../common/Logging.hh \
  /root/repo/src/sim/../mem/DramTiming.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../crypto/Prf.hh /root/repo/src/sim/../oram/Stash.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/TinyOram.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/OramTree.hh \
- /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
- /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../oram/OramTree.hh /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \
@@ -276,5 +276,6 @@ src/sim/CMakeFiles/sb_sim.dir/ExperimentRunner.cc.o: \
  /root/repo/src/sim/../shadow/HotAddressCache.hh \
  /root/repo/src/sim/../shadow/PartitionController.hh \
  /root/repo/src/sim/../common/SatCounter.hh \
- /root/repo/src/sim/../common/Logging.hh /usr/include/c++/12/future \
+ /root/repo/src/sim/../common/Logging.hh \
+ /root/repo/src/sim/../common/Errors.hh /usr/include/c++/12/future \
  /usr/include/c++/12/bits/atomic_futex.h

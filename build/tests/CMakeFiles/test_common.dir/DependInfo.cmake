@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/LoggingTest.cc" "tests/CMakeFiles/test_common.dir/common/LoggingTest.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/LoggingTest.cc.o.d"
   "/root/repo/tests/common/RngTest.cc" "tests/CMakeFiles/test_common.dir/common/RngTest.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/RngTest.cc.o.d"
   "/root/repo/tests/common/SatCounterTest.cc" "tests/CMakeFiles/test_common.dir/common/SatCounterTest.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/SatCounterTest.cc.o.d"
   "/root/repo/tests/common/StatsTest.cc" "tests/CMakeFiles/test_common.dir/common/StatsTest.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/StatsTest.cc.o.d"
@@ -25,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cpu/CMakeFiles/sb_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/sb_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sb_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/LoggingTest.cc.o"
+  "CMakeFiles/test_common.dir/common/LoggingTest.cc.o.d"
   "CMakeFiles/test_common.dir/common/RngTest.cc.o"
   "CMakeFiles/test_common.dir/common/RngTest.cc.o.d"
   "CMakeFiles/test_common.dir/common/SatCounterTest.cc.o"

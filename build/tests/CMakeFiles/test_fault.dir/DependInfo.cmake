@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/FaultTest.cc" "tests/CMakeFiles/test_fault.dir/fault/FaultTest.cc.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/FaultTest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/sb_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sb_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/sb_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sb_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -326,17 +326,17 @@ tests/CMakeFiles/test_integration.dir/integration/SchemeMatrixTest.cc.o: \
  /root/repo/src/sim/../common/Logging.hh \
  /root/repo/src/sim/../mem/DramTiming.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../crypto/Prf.hh /root/repo/src/sim/../oram/Stash.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/TinyOram.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/OramTree.hh \
- /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
- /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../oram/OramTree.hh /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh \

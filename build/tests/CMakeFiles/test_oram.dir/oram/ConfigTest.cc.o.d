@@ -295,4 +295,7 @@ tests/CMakeFiles/test_oram.dir/oram/ConfigTest.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../oram/OramConfig.hh \
  /root/repo/src/sim/../common/Logging.hh \
- /root/repo/src/sim/../common/Types.hh
+ /root/repo/src/sim/../common/Types.hh \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../crypto/Prf.hh

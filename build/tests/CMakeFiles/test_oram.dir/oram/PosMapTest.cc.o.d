@@ -299,4 +299,6 @@ tests/CMakeFiles/test_oram.dir/oram/PosMapTest.cc.o: \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/Plb.hh
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../crypto/Prf.hh /root/repo/src/sim/../oram/Plb.hh

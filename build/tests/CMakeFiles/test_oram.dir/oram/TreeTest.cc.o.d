@@ -298,4 +298,6 @@ tests/CMakeFiles/test_oram.dir/oram/TreeTest.cc.o: \
  /root/repo/src/sim/../common/Types.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
  /root/repo/src/sim/../common/Logging.hh \
- /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh
+ /root/repo/src/sim/../fault/FaultInjector.hh \
+ /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../crypto/Prf.hh

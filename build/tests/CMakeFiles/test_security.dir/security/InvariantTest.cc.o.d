@@ -303,9 +303,10 @@ tests/CMakeFiles/test_security.dir/security/InvariantTest.cc.o: \
  /root/repo/src/sim/../oram/Block.hh \
  /root/repo/src/sim/../oram/DuplicationPolicy.hh \
  /root/repo/src/sim/../oram/OramConfig.hh \
- /root/repo/src/sim/../oram/OramTree.hh \
+ /root/repo/src/sim/../fault/FaultInjector.hh \
  /root/repo/src/sim/../crypto/Otp.hh /root/repo/src/sim/../crypto/Prf.hh \
- /root/repo/src/sim/../oram/Plb.hh \
+ /root/repo/src/sim/../crypto/Prf.hh \
+ /root/repo/src/sim/../oram/OramTree.hh /root/repo/src/sim/../oram/Plb.hh \
  /root/repo/src/sim/../oram/PositionMap.hh \
  /root/repo/src/sim/../oram/RecursivePosMap.hh \
  /root/repo/src/sim/../oram/Stash.hh /usr/include/c++/12/algorithm \

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cpu/CMakeFiles/sb_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/sb_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sb_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -13,5 +13,8 @@ include("/root/repo/build/tests/test_baseline[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
 include("/root/repo/build/tests/test_cpu[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
 include("/root/repo/build/tests/test_security[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(sanitize_smoke "/root/repo/tests/../tools/sanitize_smoke.sh" "/root/repo")
+set_tests_properties(sanitize_smoke PROPERTIES  LABELS "slow" TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

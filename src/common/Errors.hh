@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Exception types for recoverable simulation failures.
+ *
+ * The simulator historically had exactly two failure modes: fatal()
+ * (configuration error, exit) and panic() (internal bug, abort).
+ * Fault injection adds a third class — the simulated machine detected
+ * corrupted untrusted memory and could not heal it.  That is neither a
+ * configuration error nor a simulator bug: the experiment harness
+ * wants to catch it, classify it, and possibly retry the point with a
+ * fresh fault realisation.  These exceptions propagate through the
+ * ExperimentRunner's futures (Future::get() rethrows on the caller's
+ * thread).
+ */
+
+#ifndef SBORAM_COMMON_ERRORS_HH
+#define SBORAM_COMMON_ERRORS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sboram {
+
+/** Base class for failures of a simulated run (not of the simulator). */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg)
+        : std::runtime_error(msg) {}
+
+    /** True when rerunning the point may succeed (transient fault). */
+    virtual bool retryable() const { return false; }
+};
+
+/**
+ * Detected memory corruption that the shadow-copy recovery path could
+ * not heal.  Carries the machine-readable coordinates a fault-sweep
+ * harness needs to classify the loss.
+ */
+class CorruptionError : public SimError
+{
+  public:
+    CorruptionError(const std::string &msg, std::uint64_t accessCount,
+                    std::uint64_t bucket, unsigned level,
+                    bool transient)
+        : SimError(msg), _accessCount(accessCount), _bucket(bucket),
+          _level(level), _transient(transient) {}
+
+    std::uint64_t accessCount() const { return _accessCount; }
+    std::uint64_t bucket() const { return _bucket; }
+    unsigned level() const { return _level; }
+    bool retryable() const override { return _transient; }
+
+  private:
+    std::uint64_t _accessCount;
+    std::uint64_t _bucket;
+    unsigned _level;
+    bool _transient;
+};
+
+/**
+ * The invariant watchdog observed a violated controller invariant
+ * (checkInvariants failed mid-run).  Never retryable: the state
+ * machine diverged deterministically.
+ */
+class InvariantViolationError : public SimError
+{
+  public:
+    InvariantViolationError(const std::string &violation,
+                            std::uint64_t accessCount)
+        : SimError("invariant violation after " +
+                   std::to_string(accessCount) + " accesses: " +
+                   violation),
+          _violation(violation), _accessCount(accessCount) {}
+
+    const std::string &violation() const { return _violation; }
+    std::uint64_t accessCount() const { return _accessCount; }
+
+  private:
+    std::string _violation;
+    std::uint64_t _accessCount;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_COMMON_ERRORS_HH

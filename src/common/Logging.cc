@@ -17,7 +17,22 @@ logMutex()
     return m;
 }
 
+/** Per-thread diagnostic context printed by panicImpl. */
+thread_local std::string g_panicDiag;
+
 } // namespace
+
+void
+setPanicDiag(std::string diag)
+{
+    g_panicDiag = std::move(diag);
+}
+
+const std::string &
+panicDiag()
+{
+    return g_panicDiag;
+}
 
 std::string
 strprintf(const char *fmt, ...)
@@ -46,7 +61,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
-    std::exit(1);
+    std::exit(kFatalExitCode);
 }
 
 void
@@ -56,6 +71,12 @@ panicImpl(const char *file, int line, const std::string &msg)
         std::lock_guard<std::mutex> lock(logMutex());
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
+        // One machine-readable line for harnesses that classify
+        // failures (fault sweeps parse this, not the prose above).
+        if (!g_panicDiag.empty())
+            std::fprintf(stderr, "panic-diag: %s\n",
+                         g_panicDiag.c_str());
+        std::fflush(stderr);
     }
     std::abort();
 }

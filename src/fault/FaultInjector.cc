@@ -1,0 +1,187 @@
+#include "FaultInjector.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+
+namespace {
+
+/** Distinct PRF streams so one access's draws are independent. */
+constexpr std::uint64_t kStreamGate = 0x6761746500000000ULL;
+constexpr std::uint64_t kStreamKind = 0x6b696e6400000000ULL;
+constexpr std::uint64_t kStreamTarget = 0x7461726700000000ULL;
+constexpr std::uint64_t kStreamBit = 0x62697400'00000000ULL;
+constexpr std::uint64_t kStreamGarble = 0x67617262'00000000ULL;
+
+bool
+envDouble(const char *name, double &out)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE ||
+        !(parsed >= 0.0) || parsed > 1.0) {
+        SB_WARN("ignoring invalid %s='%s' (want a rate in [0, 1])",
+                name, v);
+        return false;
+    }
+    out = parsed;
+    return true;
+}
+
+bool
+envU64(const char *name, std::uint64_t &out)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE) {
+        SB_WARN("ignoring invalid %s='%s' (want an integer)", name, v);
+        return false;
+    }
+    out = parsed;
+    return true;
+}
+
+} // namespace
+
+FaultConfig
+FaultConfig::fromEnv(FaultConfig base)
+{
+    envDouble("SB_FAULT_RATE", base.rate);
+    std::uint64_t seed = base.seed;
+    if (envU64("SB_FAULT_SEED", seed))
+        base.seed = seed;
+
+    if (const char *kinds = std::getenv("SB_FAULT_KINDS")) {
+        base.bitFlips = std::strstr(kinds, "flip") != nullptr;
+        base.droppedWrites = std::strstr(kinds, "drop") != nullptr;
+        base.stuckBits = std::strstr(kinds, "stuck") != nullptr;
+        if (!base.bitFlips && !base.droppedWrites && !base.stuckBits) {
+            SB_WARN("SB_FAULT_KINDS='%s' names no known kind "
+                    "(flip, drop, stuck); enabling all", kinds);
+            base.bitFlips = base.droppedWrites = base.stuckBits = true;
+        }
+    }
+
+    if (const char *p = std::getenv("SB_FAULT_UNRECOVERABLE")) {
+        if (std::strcmp(p, "panic") == 0)
+            base.onUnrecoverable = UnrecoverablePolicy::Panic;
+        else if (std::strcmp(p, "throw") == 0)
+            base.onUnrecoverable = UnrecoverablePolicy::Throw;
+        else if (std::strcmp(p, "count") == 0)
+            base.onUnrecoverable = UnrecoverablePolicy::Count;
+        else
+            SB_WARN("ignoring invalid SB_FAULT_UNRECOVERABLE='%s' "
+                    "(want panic|throw|count)", p);
+    }
+    return base;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg) : _cfg(cfg)
+{
+    SB_ASSERT(cfg.rate >= 0.0 && cfg.rate <= 1.0,
+              "fault rate %f outside [0, 1]", cfg.rate);
+    _key.lo = cfg.seed * 0x9e3779b97f4a7c15ULL + 0xfa17ULL;
+    _key.hi = cfg.seed ^ 0x5bd1e9955bd1e995ULL;
+}
+
+bool
+FaultInjector::shouldInject(std::uint64_t accessCount) const
+{
+    if (!_cfg.enabled())
+        return false;
+    // Same 53-bit uniform mapping as Rng::uniform.
+    const double u =
+        (draw(accessCount, kStreamGate) >> 11) * 0x1.0p-53;
+    return u < _cfg.rate;
+}
+
+std::uint64_t
+FaultInjector::pickTarget(std::uint64_t accessCount,
+                          std::uint64_t choices) const
+{
+    SB_ASSERT(choices > 0, "no fault targets to pick from");
+    return draw(accessCount, kStreamTarget) % choices;
+}
+
+FaultKind
+FaultInjector::pickKind(std::uint64_t accessCount) const
+{
+    FaultKind enabled[3];
+    unsigned n = 0;
+    if (_cfg.bitFlips)
+        enabled[n++] = FaultKind::BitFlip;
+    if (_cfg.droppedWrites)
+        enabled[n++] = FaultKind::DroppedWrite;
+    if (_cfg.stuckBits)
+        enabled[n++] = FaultKind::StuckBit;
+    SB_ASSERT(n > 0, "fault injection enabled with no fault kinds");
+    return enabled[draw(accessCount, kStreamKind) % n];
+}
+
+void
+FaultInjector::corrupt(CipherText &ct, std::uint64_t accessCount,
+                       FaultKind kind, std::uint64_t slotIdx)
+{
+    SB_ASSERT(!ct.lanes.empty(), "corrupting an empty ciphertext");
+    const unsigned bits =
+        static_cast<unsigned>(ct.lanes.size()) * 64;
+    const unsigned bit = static_cast<unsigned>(
+        draw(accessCount, kStreamBit) % bits);
+
+    switch (kind) {
+    case FaultKind::BitFlip:
+        ct.lanes[bit / 64] ^= std::uint64_t(1) << (bit % 64);
+        ++_stats.bitFlips;
+        break;
+    case FaultKind::DroppedWrite:
+        // The fresh bucket encryption never reached DRAM: the
+        // read-back mixes stale cells with the new nonce/tag, so
+        // every lane is inconsistent.
+        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
+            ct.lanes[i] ^= draw(accessCount, kStreamGarble + i);
+        ++_stats.droppedWrites;
+        break;
+    case FaultKind::StuckBit:
+        ct.lanes[bit / 64] ^= std::uint64_t(1) << (bit % 64);
+        _stuck[slotIdx] = StuckCell{bit, _cfg.stuckWrites};
+        ++_stats.stuckBits;
+        break;
+    }
+}
+
+bool
+FaultInjector::onSlotRewritten(std::uint64_t slotIdx, CipherText &ct)
+{
+    if (_stuck.empty())
+        return false;
+    auto it = _stuck.find(slotIdx);
+    if (it == _stuck.end())
+        return false;
+    StuckCell &cell = it->second;
+    if (cell.remaining == 0 ||
+        cell.bit >= ct.lanes.size() * 64) {
+        _stuck.erase(it);
+        return false;
+    }
+    ct.lanes[cell.bit / 64] ^= std::uint64_t(1) << (cell.bit % 64);
+    ++_stats.stuckReapplied;
+    if (--cell.remaining == 0)
+        _stuck.erase(it);
+    return true;
+}
+
+} // namespace sboram

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic fault injection for the untrusted ORAM memory.
+ *
+ * The paper's mechanism is redundancy: shadow blocks duplicate real
+ * blocks (Rule-2, version-consistent), which makes the duplication
+ * policies a *reliability* feature as well as a latency one — a
+ * corrupted real copy can be healed from a same-version shadow.  This
+ * module supplies the adversarial memory behaviour needed to exercise
+ * that claim: bit flips in bucket ciphertexts, dropped DRAM writes,
+ * and transiently stuck storage cells.
+ *
+ * Everything is scheduled by the controller's access counter through
+ * a keyed PRF, so a run is bit-reproducible for a given
+ * (rate, seed) at any ExperimentRunner thread count: thread
+ * scheduling never touches the fault schedule.
+ *
+ * The injector knows nothing about the ORAM tree; it operates on
+ * CipherText objects and abstract slot indices, and the controller
+ * decides which slot of which path is exposed to it (layering:
+ * sb_fault depends only on sb_common and sb_crypto).
+ */
+
+#ifndef SBORAM_FAULT_FAULTINJECTOR_HH
+#define SBORAM_FAULT_FAULTINJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/Types.hh"
+#include "crypto/Otp.hh"
+#include "crypto/Prf.hh"
+
+namespace sboram {
+
+/** The modelled classes of memory misbehaviour. */
+enum class FaultKind : std::uint8_t
+{
+    BitFlip,       ///< One flipped bit in a stored ciphertext lane.
+    DroppedWrite,  ///< A DRAM write that never landed (stale lanes).
+    StuckBit,      ///< A cell stuck for the next few bucket rewrites.
+};
+
+/** What the controller should do when recovery fails. */
+enum class UnrecoverablePolicy : std::uint8_t
+{
+    Panic,  ///< Abort with a machine-readable diagnostic (default).
+    Throw,  ///< Throw CorruptionError (propagates through futures).
+    Count,  ///< Count the loss, zero-fill the payload, continue.
+};
+
+/** Knobs for the injector; all off by default (rate 0). */
+struct FaultConfig
+{
+    /** Expected faults per path access; 0 disables injection. */
+    double rate = 0.0;
+    std::uint64_t seed = 1;
+
+    bool bitFlips = true;
+    bool droppedWrites = true;
+    bool stuckBits = true;
+    /** Bucket rewrites a stuck bit survives before the cell heals. */
+    unsigned stuckWrites = 3;
+
+    UnrecoverablePolicy onUnrecoverable = UnrecoverablePolicy::Panic;
+
+    bool enabled() const { return rate > 0.0; }
+
+    /**
+     * Overrides from the environment: SB_FAULT_RATE, SB_FAULT_SEED,
+     * SB_FAULT_KINDS (comma list of flip,drop,stuck) and
+     * SB_FAULT_UNRECOVERABLE (panic|throw|count).  Unset variables
+     * leave the corresponding field untouched.
+     */
+    static FaultConfig fromEnv(FaultConfig base);
+    static FaultConfig fromEnv() { return fromEnv(FaultConfig{}); }
+};
+
+/** Injection counters, by kind. */
+struct FaultStats
+{
+    std::uint64_t bitFlips = 0;
+    std::uint64_t droppedWrites = 0;
+    std::uint64_t stuckBits = 0;
+    std::uint64_t stuckReapplied = 0;  ///< Rewrites re-corrupted.
+
+    std::uint64_t
+    total() const
+    {
+        return bitFlips + droppedWrites + stuckBits;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    const FaultConfig &config() const { return _cfg; }
+    const FaultStats &stats() const { return _stats; }
+
+    /** Deterministic: does access #n draw a fault? */
+    bool shouldInject(std::uint64_t accessCount) const;
+
+    /** Deterministic choice among @p choices targets for access #n. */
+    std::uint64_t pickTarget(std::uint64_t accessCount,
+                             std::uint64_t choices) const;
+
+    /** Deterministic fault kind for access #n (enabled kinds only). */
+    FaultKind pickKind(std::uint64_t accessCount) const;
+
+    /**
+     * Apply a fault of @p kind to the ciphertext stored at
+     * @p slotIdx.  BitFlip flips one PRF-chosen lane bit;
+     * DroppedWrite garbles every lane (the fresh bucket encryption
+     * never landed, so the read-back is inconsistent with the
+     * recorded nonce); StuckBit flips one bit and arms the cell so
+     * the next stuckWrites rewrites re-corrupt it.
+     */
+    void corrupt(CipherText &ct, std::uint64_t accessCount,
+                 FaultKind kind, std::uint64_t slotIdx);
+
+    /**
+     * Hook for every completed slot rewrite: if @p slotIdx has a
+     * stuck cell armed, re-applies the stuck bit to the fresh
+     * ciphertext and decrements its remaining lifetime.  Returns
+     * true when the ciphertext was corrupted.
+     */
+    bool onSlotRewritten(std::uint64_t slotIdx, CipherText &ct);
+
+  private:
+    /** Keyed draw: uniform 64-bit value for (accessCount, stream). */
+    std::uint64_t
+    draw(std::uint64_t accessCount, std::uint64_t stream) const
+    {
+        return prf64(_key, accessCount, stream);
+    }
+
+    struct StuckCell
+    {
+        unsigned bit = 0;       ///< Flattened lane*64 + bit position.
+        unsigned remaining = 0; ///< Rewrites left before healing.
+    };
+
+    FaultConfig _cfg;
+    PrfKey _key;
+    std::unordered_map<std::uint64_t, StuckCell> _stuck;
+    FaultStats _stats;
+};
+
+} // namespace sboram
+
+#endif // SBORAM_FAULT_FAULTINJECTOR_HH

@@ -16,6 +16,7 @@
 
 #include "common/Logging.hh"
 #include "common/Types.hh"
+#include "fault/FaultInjector.hh"
 
 namespace sboram {
 
@@ -67,6 +68,13 @@ struct OramConfig
     Cycles aesLatency = 32;      ///< Table I.
     Cycles stashHitLatency = 2;  ///< CAM lookup.
     Cycles onChipLatency = 10;   ///< Treetop / controller pipeline.
+
+    /**
+     * Deterministic fault injection into the untrusted memory
+     * (payload mode only — faults corrupt stored ciphertexts).
+     * rate 0 disables it and leaves every code path untouched.
+     */
+    FaultConfig fault;
 
     std::uint64_t seed = 1;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/Errors.hh"
+
 namespace sboram {
 
 namespace {
@@ -36,6 +38,12 @@ TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
     }
     SB_ASSERT(cfg.treetopLevels <= _geo.leafLevel,
               "treetop deeper than the tree");
+    if (cfg.fault.enabled()) {
+        if (!cfg.payloadEnabled)
+            SB_FATAL("fault injection corrupts stored ciphertexts "
+                     "and needs payload mode (payloadEnabled)");
+        _faults = std::make_unique<FaultInjector>(cfg.fault);
+    }
     _realLevel.assign(_geo.totalBlocks, kInStash);
     _stash.setHotnessOracle(
         [this](Addr addr) { return _policy->hotnessOf(addr); });
@@ -141,6 +149,117 @@ TinyOram::estimatePathReadLatency()
     return t.finish + _cfg.aesLatency;
 }
 
+void
+TinyOram::maybeInjectFaults(LeafLabel leaf)
+{
+    // Scheduled off the path-read counter: one deterministic draw
+    // per path access, independent of thread count and of how many
+    // requests an access chain bundles.
+    const std::uint64_t tick = _stats.pathReads;
+    if (!_faults->shouldInject(tick))
+        return;
+
+    // Candidate targets: occupied off-chip slots on this path (the
+    // treetop lives on-chip and is not exposed to DRAM faults).
+    std::vector<std::uint64_t> targets;
+    targets.reserve((_geo.leafLevel + 1 - _cfg.treetopLevels) *
+                    _cfg.slotsPerBucket);
+    for (unsigned level = _cfg.treetopLevels; level <= _geo.leafLevel;
+         ++level) {
+        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+            if (_tree.slot(b, s).valid())
+                targets.push_back(_tree.slotIndex(b, s));
+        }
+    }
+    if (targets.empty())
+        return;
+
+    const std::uint64_t slotIdx =
+        targets[_faults->pickTarget(tick, targets.size())];
+    _faults->corrupt(_tree.mutableCipherAt(slotIdx), tick,
+                     _faults->pickKind(tick), slotIdx);
+    ++_stats.faultsInjected;
+}
+
+bool
+TinyOram::recoverRealPayload(const Slot &slot, unsigned level,
+                             LeafLabel leaf,
+                             std::vector<std::uint64_t> &out)
+{
+    // 1. A stash shadow (includes shadows this very path read pulled
+    //    in from shallower levels).
+    if (const StashEntry *sh = _stash.find(slot.addr);
+        sh && sh->isShadow() && sh->version == slot.version) {
+        out = sh->payload;
+        return true;
+    }
+
+    // 2. Shadows vacuumed into the eviction path buffer (already
+    //    decrypted and verified when they entered it).
+    for (const StashEntry &buf : _evictShadows) {
+        if (buf.addr == slot.addr && buf.version == slot.version) {
+            out = buf.payload;
+            return true;
+        }
+    }
+
+    // 3. A shallower tree slot on this path: Rule-2 keeps every tree
+    //    shadow strictly above its real copy, and Rule-1 keeps it on
+    //    the block's own path, whose buckets above `level` coincide
+    //    with this path's.
+    for (unsigned lvl = 0; lvl < level; ++lvl) {
+        const BucketIndex b = _tree.bucketOnPath(leaf, lvl);
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+            const Slot &cand = _tree.slot(b, s);
+            if (!cand.isShadow() || cand.addr != slot.addr ||
+                cand.version != slot.version)
+                continue;
+            if (_codec.verifyDecrypt(
+                    _tree.cipherAt(_tree.slotIndex(b, s)), out))
+                return true;
+            // That copy is corrupt too; keep looking.
+        }
+    }
+    return false;
+}
+
+void
+TinyOram::handleUnrecoverable(const Slot &slot, BucketIndex bucket,
+                              unsigned level,
+                              std::vector<std::uint64_t> &payload)
+{
+    setPanicDiag(strprintf(
+        "event=corruption access=%llu path_reads=%llu bucket=%llu "
+        "level=%u addr=%u version=%u recovered=0",
+        static_cast<unsigned long long>(_accessCounter),
+        static_cast<unsigned long long>(_stats.pathReads),
+        static_cast<unsigned long long>(bucket), level, slot.addr,
+        slot.version));
+
+    switch (_cfg.fault.onUnrecoverable) {
+    case UnrecoverablePolicy::Throw:
+        throw CorruptionError(
+            strprintf("integrity violation at bucket %llu level %u: "
+                      "block %u has no intact copy",
+                      static_cast<unsigned long long>(bucket), level,
+                      slot.addr),
+            _accessCounter, bucket, level,
+            /*transient=*/_faults != nullptr);
+    case UnrecoverablePolicy::Count:
+        // Declare the block lost but keep simulating: deterministic
+        // zero data so downstream timing stays reproducible.
+        payload.assign(_cfg.blockBytes / 8, 0);
+        return;
+    case UnrecoverablePolicy::Panic:
+        break;
+    }
+    SB_PANIC("integrity violation at bucket %llu level %u "
+             "(block %u unrecoverable)",
+             static_cast<unsigned long long>(bucket), level,
+             slot.addr);
+}
+
 TinyOram::PathReadOutcome
 TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                    Cycles startTime)
@@ -148,6 +267,8 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
     ++_stats.pathReads;
     if (_traceSink)
         _traceSink->onPathAccess(leaf, false);
+    if (_faults)
+        maybeInjectFaults(leaf);
 
     const unsigned ttl = _cfg.treetopLevels;
     std::vector<DramCoord> &coords = _readCoords;
@@ -218,14 +339,32 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 // Decrypt into a pooled buffer (verifyDecrypt reuses
                 // its capacity) instead of allocating per block.
                 e.payload = _payloadPool.acquire(_cfg.blockBytes / 8);
-                // Integrity verification (Tiny ORAM baseline [18]):
-                // a tampered ciphertext is an active attack and
-                // stops the machine.
+                // Integrity verification (Tiny ORAM baseline [18]).
+                // A failed tag on a *shadow* copy is harmless — the
+                // real copy is authoritative — so the slot is simply
+                // dropped.  A failed tag on a *real* copy triggers
+                // self-healing: rebuild the payload from a
+                // same-version shadow copy (the duplication the
+                // policies maintain for latency doubles as
+                // redundancy) before declaring the block lost.
                 if (!_codec.verifyDecrypt(_tree.cipherAt(slotIdx),
                                           e.payload)) {
-                    SB_PANIC("integrity violation at bucket %llu "
-                             "slot %u",
-                             static_cast<unsigned long long>(b), s);
+                    ++_stats.faultsDetected;
+                    if (slot.isShadow()) {
+                        ++_stats.faultsRecovered;
+                        _payloadPool.release(std::move(e.payload));
+                        slot.clear();
+                        _tree.eraseCipher(slotIdx);
+                        continue;
+                    }
+                    if (recoverRealPayload(slot, level, leaf,
+                                           e.payload)) {
+                        ++_stats.faultsRecovered;
+                    } else {
+                        ++_stats.faultsUnrecoverable;
+                        handleUnrecoverable(slot, b, level,
+                                            e.payload);
+                    }
                 }
             }
             if (mode == ReadMode::Evict && e.isShadow()) {
@@ -366,6 +505,10 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             if (_cfg.payloadEnabled) {
                 _codec.encryptInto(entry->payload,
                                    _tree.cipherSlot(slotIdx));
+                if (_faults &&
+                    _faults->onSlotRewritten(slotIdx,
+                                             _tree.cipherSlot(slotIdx)))
+                    ++_stats.faultsInjected;
                 // The entry leaves the stash right below; hand its
                 // buffer to the duplication pass instead of copying.
                 placedPayload[entry->addr] = std::move(entry->payload);
@@ -444,6 +587,10 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
                           "shadow candidate has no payload");
                 _codec.encryptInto(pit->second,
                                    _tree.cipherSlot(slotIdx));
+                if (_faults &&
+                    _faults->onSlotRewritten(slotIdx,
+                                             _tree.cipherSlot(slotIdx)))
+                    ++_stats.faultsInjected;
             }
         } else if (_cfg.payloadEnabled) {
             _tree.eraseCipher(slotIdx);

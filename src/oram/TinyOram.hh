@@ -71,6 +71,11 @@ struct OramStats
     std::uint64_t evictions = 0;
     /** Sum of (levels advanced) over shadow-forwarded reads. */
     std::uint64_t levelsAdvanced = 0;
+    /** Fault-injection accounting (payload mode, FaultConfig). */
+    std::uint64_t faultsInjected = 0;      ///< Corruptions planted.
+    std::uint64_t faultsDetected = 0;      ///< Tag failures on read.
+    std::uint64_t faultsRecovered = 0;     ///< Healed via duplication.
+    std::uint64_t faultsUnrecoverable = 0; ///< No intact copy left.
 };
 
 class TinyOram
@@ -127,6 +132,8 @@ class TinyOram
     Cycles freeAt() const { return _freeAt; }
 
     const OramStats &stats() const { return _stats; }
+    /** The fault injector, or nullptr when injection is disabled. */
+    const FaultInjector *faultInjector() const { return _faults.get(); }
     const Stash &stash() const { return _stash; }
     const OramTree &tree() const { return _tree; }
     const PositionMap &posMap() const { return _posMap; }
@@ -194,6 +201,29 @@ class TinyOram
     /** Reverse-lexicographic eviction leaf sequence. */
     LeafLabel nextEvictionLeaf();
 
+    /** Plant this path access's scheduled fault, if any. */
+    void maybeInjectFaults(LeafLabel leaf);
+
+    /**
+     * Self-healing (the duplication mechanism as a reliability win):
+     * fill @p out with the payload of @p slot's address from a
+     * same-version shadow copy — stash, eviction path buffer, or a
+     * shallower tree slot on this path (InvariantChecker invariants
+     * 3–4 guarantee those are the only places one can live).
+     */
+    bool recoverRealPayload(const Slot &slot, unsigned level,
+                            LeafLabel leaf,
+                            std::vector<std::uint64_t> &out);
+
+    /**
+     * All copies of @p slot's block are gone.  Panic, throw
+     * CorruptionError, or zero-fill and count, per
+     * FaultConfig::onUnrecoverable.
+     */
+    void handleUnrecoverable(const Slot &slot, BucketIndex bucket,
+                             unsigned level,
+                             std::vector<std::uint64_t> &payload);
+
     void initializeTree();
     std::vector<std::uint64_t> patternPayload(Addr addr,
                                               std::uint32_t version) const;
@@ -215,6 +245,8 @@ class TinyOram
     AddressMap _addressMap;
     OtpCodec _codec;
     std::unique_ptr<DuplicationPolicy> _policy;
+    /** Deterministic memory-fault source (null when rate is 0). */
+    std::unique_ptr<FaultInjector> _faults;
     Rng _remapRng;
     Rng _dummyRng;
 

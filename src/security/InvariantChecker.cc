@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/Errors.hh"
 #include "common/Logging.hh"
 
 namespace sboram {
@@ -197,6 +198,15 @@ checkInvariants(const TinyOram &oram)
     }
 
     return report;
+}
+
+void
+enforceInvariants(const TinyOram &oram, std::uint64_t accessCount)
+{
+    InvariantReport report = checkInvariants(oram);
+    if (!report.ok)
+        throw InvariantViolationError(report.firstViolation,
+                                      accessCount);
 }
 
 } // namespace sboram

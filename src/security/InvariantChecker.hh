@@ -40,6 +40,15 @@ struct InvariantReport
 /** Run every invariant check against the controller's state. */
 InvariantReport checkInvariants(const TinyOram &oram);
 
+/**
+ * Watchdog form: run checkInvariants and throw
+ * InvariantViolationError on the first violation (propagates through
+ * ExperimentRunner futures instead of aborting the whole sweep).
+ * @param accessCount Included in the error message for triage.
+ */
+void enforceInvariants(const TinyOram &oram,
+                       std::uint64_t accessCount = 0);
+
 } // namespace sboram
 
 #endif // SBORAM_SECURITY_INVARIANTCHECKER_HH

@@ -125,24 +125,37 @@ ExperimentRunner::workerLoop()
 
 Future<RunMetrics>
 ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
-                         std::uint64_t misses, std::uint64_t seed)
+                         std::uint64_t misses, std::uint64_t seed,
+                         unsigned retries)
 {
     // Trace generation happens on the worker so it parallelises too;
     // the cache deduplicates concurrent generation per key.
-    return defer([cfg, workload = std::move(workload), misses, seed] {
-        SharedTrace trace = cachedTrace(workload, misses, seed);
-        return runSystem(cfg, *trace);
-    });
+    return deferRetry(
+        [cfg, workload = std::move(workload), misses,
+         seed](unsigned attempt) {
+            SharedTrace trace = cachedTrace(workload, misses, seed);
+            // A retry reruns the point under a shifted fault seed: a
+            // fresh fault realisation, same workload.  Attempt 0 is
+            // bit-identical to a plain submit.
+            SystemConfig c = cfg;
+            c.oram.fault.seed += attempt;
+            return runSystem(c, *trace);
+        },
+        retries);
 }
 
 Future<RunMetrics>
 ExperimentRunner::submitTrace(const SystemConfig &cfg,
-                              SharedTrace trace)
+                              SharedTrace trace, unsigned retries)
 {
     SB_ASSERT(trace != nullptr, "null trace submitted");
-    return defer([cfg, trace = std::move(trace)] {
-        return runSystem(cfg, *trace);
-    });
+    return deferRetry(
+        [cfg, trace = std::move(trace)](unsigned attempt) {
+            SystemConfig c = cfg;
+            c.oram.fault.seed += attempt;
+            return runSystem(c, *trace);
+        },
+        retries);
 }
 
 std::vector<RunMetrics>
@@ -151,7 +164,8 @@ ExperimentRunner::runAll(const std::vector<ExperimentPoint> &points)
     std::vector<Future<RunMetrics>> futures;
     futures.reserve(points.size());
     for (const ExperimentPoint &p : points)
-        futures.push_back(submit(p.cfg, p.workload, p.misses, p.seed));
+        futures.push_back(
+            submit(p.cfg, p.workload, p.misses, p.seed, p.retries));
     std::vector<RunMetrics> results;
     results.reserve(futures.size());
     for (const Future<RunMetrics> &f : futures)

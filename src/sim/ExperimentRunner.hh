@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "System.hh"
+#include "common/Errors.hh"
 #include "workload/Workload.hh"
 
 namespace sboram {
@@ -50,6 +52,8 @@ struct FutureState
     std::mutex mutex;
     std::condition_variable ready;
     std::optional<T> value;
+    /** Set instead of value when the task threw; get() rethrows. */
+    std::exception_ptr error;
 };
 
 } // namespace detail
@@ -57,7 +61,9 @@ struct FutureState
 /**
  * Handle to a submitted experiment's result.  get() blocks until the
  * worker finishes; the reference stays valid as long as any copy of
- * the future is alive.
+ * the future is alive.  A task that threw fails the future: get()
+ * rethrows the exception on the caller's thread (every call — a
+ * failed future stays failed).
  */
 template <typename T>
 class Future
@@ -69,8 +75,12 @@ class Future
     get() const
     {
         std::unique_lock<std::mutex> lock(_state->mutex);
-        _state->ready.wait(lock,
-                           [&] { return _state->value.has_value(); });
+        _state->ready.wait(lock, [&] {
+            return _state->value.has_value() ||
+                   _state->error != nullptr;
+        });
+        if (_state->error)
+            std::rethrow_exception(_state->error);
         return *_state->value;
     }
 
@@ -102,6 +112,8 @@ struct ExperimentPoint
     std::string workload;
     std::uint64_t misses = 0;
     std::uint64_t seed = 0;
+    /** Extra attempts after a retryable SimError (transient faults). */
+    unsigned retries = 0;
 };
 
 class ExperimentRunner
@@ -119,15 +131,23 @@ class ExperimentRunner
 
     unsigned threads() const { return _threads; }
 
-    /** Run one experiment point (trace via the process-wide cache). */
+    /**
+     * Run one experiment point (trace via the process-wide cache).
+     * @param retries Extra attempts after a *retryable* SimError
+     * (e.g. a transient-fault CorruptionError).  Each retry shifts
+     * the point's fault seed so the rerun sees a fresh fault
+     * realisation; attempt 0 is always the configured seed.
+     */
     Future<RunMetrics> submit(const SystemConfig &cfg,
                               std::string workload,
                               std::uint64_t misses,
-                              std::uint64_t seed);
+                              std::uint64_t seed,
+                              unsigned retries = 0);
 
     /** Run one point over an already-materialised trace. */
     Future<RunMetrics> submitTrace(const SystemConfig &cfg,
-                                   SharedTrace trace);
+                                   SharedTrace trace,
+                                   unsigned retries = 0);
 
     /**
      * Run a batch and return results in submission order, regardless
@@ -149,14 +169,44 @@ class ExperimentRunner
         using R = std::invoke_result_t<Fn &>;
         auto state = std::make_shared<detail::FutureState<R>>();
         post([state, fn = std::move(fn)]() mutable {
-            R result = fn();
-            {
+            // A throwing task must fail its future, not unwind the
+            // worker thread: an uncaught exception here would
+            // std::terminate the process and leave every other
+            // get() deadlocked.
+            try {
+                R result = fn();
                 std::lock_guard<std::mutex> lock(state->mutex);
                 state->value.emplace(std::move(result));
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->error = std::current_exception();
             }
             state->ready.notify_all();
         });
         return Future<R>(state);
+    }
+
+    /**
+     * defer() with bounded retry: @p fn receives the attempt number
+     * (0-based).  A SimError whose retryable() is true is retried up
+     * to @p retries extra times; the final error fails the future.
+     * Non-retryable errors fail immediately.
+     */
+    template <typename Fn>
+    auto
+    deferRetry(Fn fn, unsigned retries)
+        -> Future<std::invoke_result_t<Fn &, unsigned>>
+    {
+        return defer([fn = std::move(fn), retries]() mutable {
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    return fn(attempt);
+                } catch (const SimError &e) {
+                    if (!e.retryable() || attempt >= retries)
+                        throw;
+                }
+            }
+        });
     }
 
     /**

@@ -6,6 +6,7 @@
 #include "baseline/InsecureMemory.hh"
 #include "common/Logging.hh"
 #include "mem/EnergyModel.hh"
+#include "security/InvariantChecker.hh"
 #include "workload/SpecProfiles.hh"
 
 namespace sboram {
@@ -46,9 +47,10 @@ class OramPort : public MemoryPort
 {
   public:
     OramPort(TinyOram &oram, bool timingProtection, Cycles interval,
-             bool virtualDummies)
+             bool virtualDummies, std::uint64_t watchdogInterval)
         : _oram(oram), _tp(timingProtection), _interval(interval),
-          _virtualDummies(virtualDummies)
+          _virtualDummies(virtualDummies),
+          _watchdogInterval(watchdogInterval)
     {
         SB_ASSERT(!_tp || _interval > 0, "TP needs an interval");
         _idleThreshold = interval > 0 ? interval : 1;
@@ -57,6 +59,12 @@ class OramPort : public MemoryPort
     MemoryReply
     request(Addr addr, Op op, Cycles issueTime) override
     {
+        if (_watchdogInterval &&
+            ++_sinceWatchdog >= _watchdogInterval) {
+            _sinceWatchdog = 0;
+            enforceInvariants(_oram, _oram.stats().requests);
+        }
+
         if (_oram.wouldHitStash(addr, op)) {
             AccessResult r = _oram.access(addr, op, issueTime);
             return MemoryReply{r.forwardAt};
@@ -106,6 +114,8 @@ class OramPort : public MemoryPort
     bool _tp;
     Cycles _interval;
     bool _virtualDummies;
+    std::uint64_t _watchdogInterval;
+    std::uint64_t _sinceWatchdog = 0;
     Cycles _idleThreshold;
     Cycles _nextSlot = 0;
     Cycles _lastComplete = 0;
@@ -222,7 +232,7 @@ runSystem(const SystemConfig &cfg,
         interval = oram.estimatePathReadLatency();
 
     OramPort port(oram, cfg.timingProtection, interval,
-                  cfg.virtualDummies);
+                  cfg.virtualDummies, cfg.watchdogInterval);
     CpuRunResult r = runCpu(maybeRecord(port));
 
     m.execTime = r.finishTime;
@@ -246,6 +256,10 @@ runSystem(const SystemConfig &cfg,
     m.energy = energy.totalEnergy(dram.stats(), m.execTime);
     m.stashPeakReal = oram.stash().stats().peakReal;
     m.stashOverflows = oram.stash().stats().overflowEvents;
+    m.faultsInjected = os.faultsInjected;
+    m.faultsDetected = os.faultsDetected;
+    m.faultsRecovered = os.faultsRecovered;
+    m.faultsUnrecoverable = os.faultsUnrecoverable;
     if (shadowPolicy)
         m.finalPartitionLevel = shadowPolicy->partitionLevel();
     return m;

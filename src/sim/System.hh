@@ -64,6 +64,15 @@ struct SystemConfig
     /** Record each miss's data-forward time (Fig. 6 needs the
      *  per-miss execution-time curve). */
     bool recordPerMiss = false;
+
+    /**
+     * Opt-in invariant watchdog: run the full InvariantChecker walk
+     * every N served ORAM requests and throw
+     * InvariantViolationError on the first violation.  0 disables it
+     * (the walk is O(tree), so this is for debugging and fault
+     * studies, not performance sweeps).
+     */
+    std::uint64_t watchdogInterval = 0;
 };
 
 /** Everything the benches need from one run. */
@@ -85,6 +94,11 @@ struct RunMetrics
     std::uint64_t stashOverflows = 0;
     double avgForwardLevel = 0.0;
     unsigned finalPartitionLevel = 0;
+    /** Fault-injection accounting (zero when injection is off). */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t faultsRecovered = 0;
+    std::uint64_t faultsUnrecoverable = 0;
     /** Per-miss forward times, in trace order (recordPerMiss). */
     std::vector<Cycles> missRetireTimes;
 };

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "common/Logging.hh"
+
+using namespace sboram;
+
+/**
+ * The two failure modes must be distinguishable by exit status alone
+ * (harnesses classify dead bench processes without parsing prose):
+ * fatal() → kFatalExitCode, panic() → SIGABRT.
+ */
+TEST(LoggingDeath, FatalExitsWithDocumentedCode)
+{
+    EXPECT_EXIT(SB_FATAL("bad config value %d", 7),
+                testing::ExitedWithCode(kFatalExitCode),
+                "fatal: bad config value 7");
+}
+
+TEST(LoggingDeath, PanicRaisesSigabrt)
+{
+    EXPECT_EXIT(SB_PANIC("state machine wedged"),
+                testing::KilledBySignal(SIGABRT),
+                "panic: state machine wedged");
+}
+
+TEST(LoggingDeath, PanicDumpsRegisteredDiagLine)
+{
+    EXPECT_EXIT(
+        {
+            setPanicDiag("event=corruption access=12 bucket=3 "
+                         "level=1");
+            SB_PANIC("integrity violation");
+        },
+        testing::KilledBySignal(SIGABRT),
+        "panic-diag: event=corruption access=12 bucket=3 level=1");
+}
+
+TEST(Logging, PanicDiagRoundTrips)
+{
+    setPanicDiag("abc=1");
+    EXPECT_EQ(panicDiag(), "abc=1");
+    setPanicDiag("");
+    EXPECT_TRUE(panicDiag().empty());
+}

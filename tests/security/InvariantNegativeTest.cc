@@ -64,39 +64,46 @@ TEST(InvariantNegative, DetectsOffPathBlock)
     tree.slot(b, s).leaf ^= 1;
     InvariantReport report = checkInvariants(fx->oram);
     EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.firstViolation.find("posmap label"),
+              std::string::npos)
+        << report.firstViolation;
 }
 
 TEST(InvariantNegative, DetectsDuplicateRealCopy)
 {
     auto fx = workedFixture();
     auto &tree = const_cast<OramTree &>(fx->oram.tree());
-    BucketIndex b;
-    unsigned s;
-    ASSERT_TRUE(findSlot(tree,
-                         [](const Slot &sl) { return sl.isReal(); },
-                         b, s));
-    // Clone the real block into a dummy slot of the same bucket...
-    BucketIndex b2;
-    unsigned s2;
-    ASSERT_TRUE(findSlot(tree,
-                         [](const Slot &sl) { return !sl.valid(); },
-                         b2, s2));
-    // ...then force it onto the victim's path by reusing the exact
-    // same bucket: find a free slot in bucket b first if possible.
-    bool sameBucketFree = false;
-    for (unsigned k = 0; k < tree.slotsPerBucket(); ++k) {
-        if (!tree.slot(b, k).valid()) {
-            b2 = b;
-            s2 = k;
-            sameBucketFree = true;
-            break;
+    // Clone a real block into a spare slot of the same bucket (same
+    // level, so only the one-real-copy rule is broken).  Shadow slots
+    // are droppable by design, so displacing one is fair game.
+    for (BucketIndex b = 0; b < tree.numBuckets(); ++b) {
+        int realSlot = -1;
+        int spareSlot = -1;
+        for (unsigned s = 0; s < tree.slotsPerBucket(); ++s) {
+            const Slot &sl = tree.slot(b, s);
+            if (sl.isReal()) {
+                if (realSlot < 0)
+                    realSlot = static_cast<int>(s);
+            } else if (spareSlot < 0 ||
+                       tree.slot(b, static_cast<unsigned>(spareSlot))
+                           .valid()) {
+                // Prefer an empty slot over evicting a shadow.
+                if (!sl.valid() || spareSlot < 0)
+                    spareSlot = static_cast<int>(s);
+            }
         }
+        if (realSlot < 0 || spareSlot < 0)
+            continue;
+        tree.slot(b, static_cast<unsigned>(spareSlot)) =
+            tree.slot(b, static_cast<unsigned>(realSlot));
+        InvariantReport report = checkInvariants(fx->oram);
+        EXPECT_FALSE(report.ok);
+        EXPECT_NE(report.firstViolation.find("real copies"),
+                  std::string::npos)
+            << report.firstViolation;
+        return;
     }
-    if (!sameBucketFree)
-        GTEST_SKIP() << "no free slot alongside a real block";
-    tree.slot(b2, s2) = tree.slot(b, s);
-    InvariantReport report = checkInvariants(fx->oram);
-    EXPECT_FALSE(report.ok);
+    GTEST_SKIP() << "no bucket holds a real block and a spare slot";
 }
 
 TEST(InvariantNegative, DetectsShadowBelowReal)
@@ -125,6 +132,10 @@ TEST(InvariantNegative, DetectsShadowBelowReal)
                     checkInvariants(fx->oram);
                 EXPECT_FALSE(report.ok)
                     << "shadow strictly below real went unnoticed";
+                EXPECT_NE(report.firstViolation.find(
+                              "not above real"),
+                          std::string::npos)
+                    << report.firstViolation;
                 return;
             }
         }
@@ -143,38 +154,91 @@ TEST(InvariantNegative, DetectsVersionDivergence)
     tree.slot(b, s).version += 7;
     InvariantReport report = checkInvariants(fx->oram);
     EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.firstViolation.find("divergent versions"),
+              std::string::npos)
+        << report.firstViolation;
 }
 
 TEST(InvariantNegative, DetectsRealLevelTableDrift)
 {
     auto fx = workedFixture();
     auto &tree = const_cast<OramTree &>(fx->oram.tree());
-    BucketIndex b;
-    unsigned s;
-    ASSERT_TRUE(findSlot(
-        tree,
-        [&](const Slot &sl) {
-            return sl.isReal() &&
-                   AddressMap::levelOf(
-                       tree.bucketOnPath(sl.leaf, 0)) == 0;
-        },
-        b, s));
-    // Move the real block one level up along its own path (stays on
+    // Move a real block one level up along its own path (it stays on
     // the path, but the controller's level table now disagrees).
-    const Slot copy = tree.slot(b, s);
-    const unsigned level = AddressMap::levelOf(b);
-    if (level == 0)
-        GTEST_SKIP() << "victim already at the root";
-    const BucketIndex parent =
-        tree.bucketOnPath(copy.leaf, level - 1);
-    for (unsigned k = 0; k < tree.slotsPerBucket(); ++k) {
-        if (!tree.slot(parent, k).valid()) {
-            tree.slot(parent, k) = copy;
-            tree.slot(b, s).clear();
+    // Scan every below-root real; displace a parent shadow if the
+    // parent bucket has no empty slot (shadows are droppable).
+    for (BucketIndex b = 0; b < tree.numBuckets(); ++b) {
+        const unsigned level = AddressMap::levelOf(b);
+        if (level == 0)
+            continue;
+        for (unsigned s = 0; s < tree.slotsPerBucket(); ++s) {
+            Slot &slot = tree.slot(b, s);
+            if (!slot.isReal())
+                continue;
+            const BucketIndex parent =
+                tree.bucketOnPath(slot.leaf, level - 1);
+            int dest = -1;
+            for (unsigned k = 0; k < tree.slotsPerBucket(); ++k) {
+                const Slot &p = tree.slot(parent, k);
+                if (!p.valid()) {
+                    dest = static_cast<int>(k);
+                    break;
+                }
+                if (!p.isReal() && dest < 0)
+                    dest = static_cast<int>(k);
+            }
+            if (dest < 0)
+                continue;
+            tree.slot(parent, static_cast<unsigned>(dest)) = slot;
+            slot.clear();
             InvariantReport report = checkInvariants(fx->oram);
             EXPECT_FALSE(report.ok);
+            EXPECT_NE(report.firstViolation.find("realLevel table"),
+                      std::string::npos)
+                << report.firstViolation;
             return;
         }
     }
-    GTEST_SKIP() << "no free parent slot";
+    GTEST_SKIP() << "no movable below-root real block";
+}
+
+TEST(InvariantNegative, DetectsTreeShadowOfStashResidentReal)
+{
+    auto fx = workedFixture();
+    auto &tree = const_cast<OramTree &>(fx->oram.tree());
+
+    // Find a real block living in the stash...
+    StashEntry victim;
+    bool found = false;
+    fx->oram.stash().forEach([&](const StashEntry &e) {
+        if (!found && e.type == BlockType::Real) {
+            victim = e;
+            found = true;
+        }
+    });
+    if (!found)
+        GTEST_SKIP() << "no real block in the stash";
+
+    // ...and plant a tree shadow of it anywhere on its path.
+    for (unsigned level = 0; level <= tree.leafLevel(); ++level) {
+        const BucketIndex b = tree.bucketOnPath(victim.leaf, level);
+        for (unsigned s = 0; s < tree.slotsPerBucket(); ++s) {
+            Slot &slot = tree.slot(b, s);
+            if (slot.valid())
+                continue;
+            slot.type = BlockType::Shadow;
+            slot.addr = static_cast<std::uint32_t>(victim.addr);
+            slot.leaf = static_cast<std::uint32_t>(victim.leaf);
+            slot.version = victim.version;
+            InvariantReport report = checkInvariants(fx->oram);
+            EXPECT_FALSE(report.ok)
+                << "tree shadow of a stash-resident real unnoticed";
+            EXPECT_NE(report.firstViolation.find(
+                          "real copy is in the stash"),
+                      std::string::npos)
+                << report.firstViolation;
+            return;
+        }
+    }
+    GTEST_SKIP() << "no free slot on the victim's path";
 }

@@ -63,6 +63,10 @@ expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
     EXPECT_EQ(a.stashOverflows, b.stashOverflows);
     EXPECT_EQ(a.avgForwardLevel, b.avgForwardLevel);
     EXPECT_EQ(a.finalPartitionLevel, b.finalPartitionLevel);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.faultsDetected, b.faultsDetected);
+    EXPECT_EQ(a.faultsRecovered, b.faultsRecovered);
+    EXPECT_EQ(a.faultsUnrecoverable, b.faultsUnrecoverable);
     EXPECT_EQ(a.missRetireTimes, b.missRetireTimes);
 }
 
@@ -164,6 +168,83 @@ TEST(ExperimentRunner, RunAllPreservesSubmissionOrder)
         SCOPED_TRACE(points[i].workload);
         expectSameMetrics(want, got[i]);
     }
+}
+
+TEST(ExperimentRunner, ThrowingTaskFailsTheFuturePromptly)
+{
+    // Regression: a worker task that threw used to leave its future
+    // value-less forever — every get() deadlocked.  Now the
+    // exception is captured and rethrown on the caller's thread.
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ExperimentRunner pool(threads);
+        Future<int> bad = pool.defer(
+            []() -> int { throw SimError("task exploded"); });
+        Future<int> good = pool.defer([] { return 17; });
+        EXPECT_THROW(bad.get(), SimError);
+        // A failed future stays failed on repeated get()...
+        EXPECT_THROW(bad.get(), SimError);
+        // ...and does not poison unrelated tasks.
+        EXPECT_EQ(good.get(), 17);
+    }
+}
+
+TEST(ExperimentRunner, DeferRetryHonoursRetryability)
+{
+    struct Transient : SimError
+    {
+        Transient() : SimError("transient") {}
+        bool retryable() const override { return true; }
+    };
+
+    ExperimentRunner pool(1);
+
+    // Transient failures retry up to the budget, then propagate.
+    unsigned calls = 0;
+    Future<unsigned> healed = pool.deferRetry(
+        [&calls](unsigned attempt) -> unsigned {
+            ++calls;
+            if (attempt < 2)
+                throw Transient();
+            return attempt;
+        },
+        /*retries=*/3);
+    EXPECT_EQ(healed.get(), 2u);
+    EXPECT_EQ(calls, 3u);
+
+    calls = 0;
+    Future<unsigned> exhausted = pool.deferRetry(
+        [&calls](unsigned) -> unsigned {
+            ++calls;
+            throw Transient();
+        },
+        /*retries=*/2);
+    EXPECT_THROW(exhausted.get(), SimError);
+    EXPECT_EQ(calls, 3u);  // Initial attempt + 2 retries.
+
+    // Non-retryable errors fail immediately, no second attempt.
+    calls = 0;
+    Future<unsigned> fatal = pool.deferRetry(
+        [&calls](unsigned) -> unsigned {
+            ++calls;
+            throw SimError("permanent");
+        },
+        /*retries=*/5);
+    EXPECT_THROW(fatal.get(), SimError);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(ExperimentRunner, RetriedPointShiftsOnlyTheFaultSeed)
+{
+    // retries > 0 must not change attempt 0: a clean point returns
+    // bit-identical metrics with or without a retry budget.
+    const SystemConfig cfg = smallSystem(Scheme::Shadow);
+    ExperimentRunner pool(2);
+    const RunMetrics plain =
+        pool.submit(cfg, "mcf", kMisses, kSeed).get();
+    const RunMetrics withBudget =
+        pool.submit(cfg, "mcf", kMisses, kSeed, /*retries=*/3).get();
+    expectSameMetrics(plain, withBudget);
 }
 
 TEST(ExperimentRunner, DefaultThreadsRespectsEnvironment)
