@@ -17,10 +17,13 @@
 #define SBORAM_BENCH_BENCHUTIL_HH
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "ckpt/Checkpoint.hh"
+#include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "common/Stats.hh"
 #include "common/Table.hh"
@@ -164,6 +167,34 @@ normalize(const RunMetrics &m, const RunMetrics &base)
     n.interval = m.driTime / ref;
     n.total = static_cast<double>(m.execTime) / ref;
     return n;
+}
+
+/**
+ * Standard bench entry point.  Validates SB_CKPT_DIR up front (an
+ * unusable directory is a one-line diagnostic and a nonzero exit, not
+ * a hang into ENOSPC mid-sweep), installs SIGINT/SIGTERM checkpoint
+ * handlers when checkpointing is active, and maps the two expected
+ * exception families onto conventional exit codes: an interrupted run
+ * (final snapshot already on disk) exits 130 like a ^C'd shell job,
+ * and any other simulator error exits kFatalExitCode.
+ */
+inline int
+guardedMain(int (*body)())
+{
+    try {
+        if (ckpt::activeDirectory() != nullptr)
+            ckpt::installStopHandlers();
+        return body();
+    } catch (const InterruptedError &e) {
+        std::fprintf(stderr,
+                     "interrupted: %s; rerun with the same SB_CKPT_DIR "
+                     "to resume\n",
+                     e.what());
+        return 130;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return kFatalExitCode;
+    }
 }
 
 } // namespace sboram::bench

@@ -43,8 +43,8 @@ faultSystem()
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     FaultConfig faultBase;
     faultBase.seed = 99;
@@ -138,4 +138,10 @@ main()
                     e.level());
     }
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     const std::uint64_t misses = 480;  // Three full phase pairs.
     SharedTrace trace = cachedTrace("hmmer", misses, kBenchSeed);
@@ -66,4 +66,10 @@ main()
                 static_cast<unsigned long long>(hd.back()),
                 static_cast<unsigned long long>(dyn.back()));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

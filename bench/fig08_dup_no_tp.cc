@@ -11,8 +11,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = false;
@@ -75,4 +75,10 @@ main()
                 "data ratio %.3f)\n",
                 gmean(hdTotals), gmean(hdIntv), gmean(hdData));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

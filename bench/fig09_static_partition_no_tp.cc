@@ -9,8 +9,14 @@
 
 #include "PartitionSweep.hh"
 
+static int
+runBench()
+{
+    return sboram::bench::runPartitionSweep(false);
+}
+
 int
 main()
 {
-    return sboram::bench::runPartitionSweep(false);
+    return sboram::bench::guardedMain(runBench);
 }

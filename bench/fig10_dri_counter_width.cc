@@ -10,8 +10,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = false;
@@ -91,4 +91,10 @@ main()
     std::printf("measured: %u-bit best (%.3f of Tiny)\n", bestWidth,
                 best);
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

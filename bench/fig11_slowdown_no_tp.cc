@@ -11,8 +11,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = false;
@@ -73,4 +73,10 @@ main()
                 100.0 * gmean(st7S) / gmean(tinyS), gmean(dyn3S),
                 100.0 * gmean(dyn3S) / gmean(tinyS));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = false;
@@ -69,4 +69,10 @@ main()
                 100.0 * (1.0 - gmean(st7E) / gmean(tinyE)),
                 100.0 * (1.0 - gmean(dyn3E) / gmean(tinyE)));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;
@@ -70,4 +70,10 @@ main()
     std::printf("measured (gmean): RD total %.3f, HD total %.3f\n",
                 gmean(rdTotals), gmean(hdTotals));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

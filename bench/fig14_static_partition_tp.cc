@@ -8,8 +8,14 @@
 
 #include "PartitionSweep.hh"
 
+static int
+runBench()
+{
+    return sboram::bench::runPartitionSweep(true);
+}
+
 int
 main()
 {
-    return sboram::bench::runPartitionSweep(true);
+    return sboram::bench::guardedMain(runBench);
 }

@@ -11,8 +11,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;
@@ -72,4 +72,10 @@ main()
                 100.0 * (1.0 - gmean(st4S) / gmean(tinyS)),
                 100.0 * (1.0 - gmean(dyn3S) / gmean(tinyS)));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;  // Matches the paper's Section VI-D.
@@ -66,4 +66,10 @@ main()
                 amean(s3) / std::max(amean(t3), 1e-9),
                 amean(s7) / std::max(amean(t7), 1e-9));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

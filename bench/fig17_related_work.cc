@@ -11,8 +11,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;
@@ -79,4 +79,10 @@ main()
                 100.0 * (gmean(sb3S) / gmean(sbS) - 1.0),
                 100.0 * (gmean(sb7S) / gmean(sbS) - 1.0));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

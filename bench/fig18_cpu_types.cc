@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;
@@ -71,4 +71,10 @@ main()
     std::printf("measured: O3 %.3fx vs in-order %.3fx\n", gmean(o3S),
                 gmean(inS));
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -12,8 +12,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     SystemConfig base = paperSystem();
     base.timingProtection = true;
@@ -76,4 +76,10 @@ main()
     std::printf("\npaper: the impact of the ORAM size is slight, "
                 "with a mild increase for larger trees\n");
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

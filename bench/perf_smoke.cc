@@ -20,8 +20,8 @@
 using namespace sboram;
 using namespace sboram::bench;
 
-int
-main()
+static int
+runBench()
 {
     // Fixed workload: every scheme the figures use, over three
     // workloads with distinct memory intensity, 2500 misses each.
@@ -94,4 +94,10 @@ main()
                      "perf_smoke: cannot write BENCH_perf.json\n");
     }
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -67,8 +67,8 @@ observe(const std::vector<Addr> &addrs, std::uint64_t seed)
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     const std::size_t n = quickMode() ? 4000 : 8000;
     std::vector<Addr> scan, cyclic;
@@ -112,4 +112,10 @@ main()
                    c.chi2 < 1.8
         ? 0
         : 1;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

@@ -72,8 +72,8 @@ drive(bool shadow, std::uint64_t seed, std::uint64_t accesses)
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     const std::uint64_t accesses = quickMode() ? 4000 : 12000;
     Table t("Stash occupancy (real blocks) — Tiny vs Shadow Block "
@@ -128,4 +128,10 @@ main()
                 allIdentical ? "are bit-identical"
                              : "DIVERGED (bug!)");
     return allIdentical ? 0 : 1;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

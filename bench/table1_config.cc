@@ -43,8 +43,8 @@ geometryRows(Table &t, const char *label, OramConfig cfg)
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     Table cfgTable("Table I — processor and memory configuration");
     cfgTable.header({"parameter", "value"});
@@ -98,4 +98,10 @@ main()
     overhead.row({"DRI counter register", "3 bits (best width)"});
     overhead.print();
     return 0;
+}
+
+int
+main()
+{
+    return sboram::bench::guardedMain(runBench);
 }

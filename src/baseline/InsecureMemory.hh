@@ -52,6 +52,9 @@ class InsecureMemory
 
     Cycles freeAt() const { return _freeAt; }
 
+    /** Restore the controller's only mutable state (ckpt resume). */
+    void restoreFreeAt(Cycles t) { _freeAt = t; }
+
   private:
     DramModel &_dram;
     AddressMap _map;

@@ -1,0 +1,277 @@
+#include "ckpt/Checkpoint.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/Logging.hh"
+
+namespace sboram {
+namespace ckpt {
+
+namespace {
+
+std::mutex gDirMutex;
+bool gDirResolved = false;
+bool gDirEnabled = false;
+std::string gDir;
+const char *gDirOverride = nullptr;
+bool gHaveOverride = false;
+
+std::atomic<bool> gStopFlag{false};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    gStopFlag.store(true, std::memory_order_relaxed);
+}
+
+/** mkdir + write-probe; false (with reason) when unusable. */
+bool
+probeDirectory(const std::string &dir, std::string &reason)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        reason = std::strerror(errno);
+        return false;
+    }
+    const std::string probe =
+        dir + "/.sbckpt-probe-" + std::to_string(::getpid());
+    try {
+        writeFileAtomic(probe, {0x53, 0x42});
+    } catch (const CkptIoError &e) {
+        reason = e.what();
+        return false;
+    }
+    ::unlink(probe.c_str());
+    return true;
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+Counters &
+counters()
+{
+    static Counters c;
+    return c;
+}
+
+const std::string *
+activeDirectory()
+{
+    std::lock_guard<std::mutex> lock(gDirMutex);
+    if (!gDirResolved) {
+        const char *dir = gHaveOverride ? gDirOverride
+                                        : std::getenv("SB_CKPT_DIR");
+        gDirResolved = true;
+        gDirEnabled = false;
+        if (dir != nullptr && dir[0] != '\0') {
+            std::string reason;
+            if (!probeDirectory(dir, reason))
+                SB_FATAL("SB_CKPT_DIR '%s' is not writable: %s",
+                         dir, reason.c_str());
+            gDir = dir;
+            gDirEnabled = true;
+        }
+    }
+    return gDirEnabled ? &gDir : nullptr;
+}
+
+void
+setDirectoryForTesting(const char *dir)
+{
+    std::lock_guard<std::mutex> lock(gDirMutex);
+    gHaveOverride = dir != nullptr;
+    gDirOverride = dir;
+    gDirResolved = false;
+}
+
+std::uint64_t
+defaultInterval()
+{
+    if (const char *env = std::getenv("SB_CKPT_INTERVAL")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return v;
+        SB_WARN("ignoring malformed SB_CKPT_INTERVAL='%s'", env);
+    }
+    return 2000;
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = stopSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+stopRequested()
+{
+    return gStopFlag.load(std::memory_order_relaxed);
+}
+
+void
+requestStop()
+{
+    gStopFlag.store(true, std::memory_order_relaxed);
+}
+
+void
+clearStopForTesting()
+{
+    gStopFlag.store(false, std::memory_order_relaxed);
+}
+
+CheckpointSession::CheckpointSession(const std::string &dir,
+                                     std::uint64_t key)
+    : _dir(dir), _key(key)
+{
+}
+
+std::string
+CheckpointSession::slotPath(unsigned slot) const
+{
+    return _dir + "/pt-" + hexKey(_key) + ".g" + std::to_string(slot);
+}
+
+std::string
+CheckpointSession::donePath() const
+{
+    return _dir + "/pt-" + hexKey(_key) + ".done";
+}
+
+std::unique_ptr<SnapshotReader>
+CheckpointSession::loadLatest()
+{
+    // Verify both generations independently; any defect demotes that
+    // slot.  CkptIoError with ENOENT-ish causes is the common "fresh
+    // start" case, so only genuinely rejected snapshots are logged.
+    std::unique_ptr<SnapshotReader> readers[2];
+    bool present[2] = {false, false};
+    for (unsigned slot = 0; slot < 2; ++slot) {
+        const std::string path = slotPath(slot);
+        std::vector<std::uint8_t> image;
+        try {
+            image = readFile(path);
+        } catch (const CkptIoError &) {
+            continue; // Absent slot: not an error.
+        }
+        present[slot] = true;
+        try {
+            auto r = std::make_unique<SnapshotReader>(std::move(image));
+            if (r->fingerprint() != _key)
+                throw CkptMismatchError(
+                    "snapshot fingerprint does not match point key");
+            readers[slot] = std::move(r);
+        } catch (const CheckpointError &e) {
+            SB_WARN("rejecting checkpoint '%s': %s", path.c_str(),
+                    e.what());
+        }
+    }
+
+    const bool anyPresent = present[0] || present[1];
+    unsigned best = 2;
+    for (unsigned slot = 0; slot < 2; ++slot) {
+        if (readers[slot] &&
+            (best == 2 || readers[slot]->seq() > readers[best]->seq()))
+            best = slot;
+    }
+    if (best == 2) {
+        if (anyPresent) {
+            counters().replaysFromStart.fetch_add(1);
+            SB_INFORM("point %s: no valid checkpoint generation, "
+                      "replaying deterministically from trace start",
+                      hexKey(_key).c_str());
+        }
+        return nullptr;
+    }
+
+    // "Latest" means the slot the newest write landed in: the slot
+    // whose seq is higher, or the only present one.  If a *newer*
+    // generation existed but was rejected, this recovery is a
+    // fallback to the previous generation.
+    bool fellBack = false;
+    const unsigned other = best ^ 1u;
+    if (present[other] && !readers[other])
+        fellBack = true; // Other slot existed but failed verification.
+    if (fellBack) {
+        counters().resumedFromFallback.fetch_add(1);
+        SB_INFORM("point %s: newest checkpoint rejected, resuming "
+                  "from previous generation (seq %llu)",
+                  hexKey(_key).c_str(),
+                  static_cast<unsigned long long>(readers[best]->seq()));
+    } else {
+        counters().resumedFromLatest.fetch_add(1);
+        SB_INFORM("point %s: resuming from latest checkpoint (seq "
+                  "%llu)", hexKey(_key).c_str(),
+                  static_cast<unsigned long long>(readers[best]->seq()));
+    }
+    _seq = readers[best]->seq();
+    return std::move(readers[best]);
+}
+
+void
+CheckpointSession::commitSnapshot(SnapshotWriter &writer)
+{
+    ++_seq;
+    writeFileAtomic(slotPath(_seq & 1u), writer.finish(_seq, _key));
+    counters().snapshotsWritten.fetch_add(1);
+}
+
+std::unique_ptr<SnapshotReader>
+CheckpointSession::loadResult()
+{
+    std::vector<std::uint8_t> image;
+    try {
+        image = readFile(donePath());
+    } catch (const CkptIoError &) {
+        return nullptr;
+    }
+    try {
+        auto r = std::make_unique<SnapshotReader>(std::move(image));
+        if (r->fingerprint() != _key)
+            throw CkptMismatchError(
+                "result fingerprint does not match point key");
+        counters().pointsReused.fetch_add(1);
+        return r;
+    } catch (const CheckpointError &e) {
+        SB_WARN("rejecting completed-point marker '%s': %s (point "
+                "will be rerun)", donePath().c_str(), e.what());
+        return nullptr;
+    }
+}
+
+void
+CheckpointSession::commitResult(SnapshotWriter &writer)
+{
+    writeFileAtomic(donePath(), writer.finish(_seq + 1, _key));
+}
+
+void
+CheckpointSession::removeSnapshots()
+{
+    for (unsigned slot = 0; slot < 2; ++slot)
+        ::unlink(slotPath(slot).c_str());
+}
+
+} // namespace ckpt
+} // namespace sboram

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Checkpoint directory management, per-point sessions with K=2
+ * generation rotation, and the stop-signal plumbing that turns
+ * SIGINT/SIGTERM into a final checkpoint plus InterruptedError.
+ *
+ * Directory layout under SB_CKPT_DIR (one sweep per directory):
+ *
+ *     pt-<16-hex-key>.g0 / .g1   in-flight snapshot generations
+ *     pt-<16-hex-key>.done       final RunMetrics of a finished point
+ *
+ * The <key> is a 64-bit fingerprint over (config, workload, misses,
+ * seed, attempt), so concurrent runner threads and relaunches address
+ * the same point at the same files.  Recovery tiers on resume:
+ *
+ *     1. newest valid generation       (resumedFromLatest)
+ *     2. the other generation          (resumedFromFallback)
+ *     3. deterministic replay from 0   (replaysFromStart)
+ *
+ * A bad snapshot never crashes the run — every verification failure
+ * is caught, logged, and demoted to the next tier.
+ */
+
+#ifndef SBORAM_CKPT_CHECKPOINT_HH
+#define SBORAM_CKPT_CHECKPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ckpt/Snapshot.hh"
+
+namespace sboram {
+namespace ckpt {
+
+/** Process-wide tallies of checkpoint activity (tests assert these). */
+struct Counters
+{
+    std::atomic<std::uint64_t> snapshotsWritten{0};
+    std::atomic<std::uint64_t> resumedFromLatest{0};
+    std::atomic<std::uint64_t> resumedFromFallback{0};
+    std::atomic<std::uint64_t> replaysFromStart{0};
+    std::atomic<std::uint64_t> pointsReused{0};
+};
+
+Counters &counters();
+
+/**
+ * The active checkpoint directory, or nullptr when checkpointing is
+ * off.  Reads SB_CKPT_DIR once (or the test override); on first use
+ * the directory is created if missing and probed with a write — an
+ * unusable directory is a configuration error and exits via
+ * SB_FATAL with a one-line diagnostic (exit code 2).
+ */
+const std::string *activeDirectory();
+
+/** Test hook: override (or with nullptr, re-read) SB_CKPT_DIR. */
+void setDirectoryForTesting(const char *dir);
+
+/** Checkpoint cadence in accesses: SB_CKPT_INTERVAL or 2000. */
+std::uint64_t defaultInterval();
+
+/** Install SIGINT/SIGTERM handlers that set the stop flag. */
+void installStopHandlers();
+
+/** True once a stop signal (or requestStop) has been seen. */
+bool stopRequested();
+
+/** Programmatic equivalent of a stop signal (tests, benches). */
+void requestStop();
+
+/** Test hook: reset the stop flag between cases. */
+void clearStopForTesting();
+
+/**
+ * Snapshot lifecycle for one experiment point, identified by its
+ * 64-bit key.  Not thread-safe; each runner thread owns the session
+ * for the point it is executing (keys are distinct per point).
+ */
+class CheckpointSession
+{
+  public:
+    CheckpointSession(const std::string &dir, std::uint64_t key);
+
+    std::uint64_t key() const { return _key; }
+
+    /**
+     * Best-effort load of the newest valid in-flight snapshot,
+     * walking the recovery tiers.  Returns nullptr when both
+     * generations are absent or invalid (tier 3: caller replays from
+     * the trace start).  Never throws on snapshot defects.
+     */
+    std::unique_ptr<SnapshotReader> loadLatest();
+
+    /**
+     * Frame and atomically persist a snapshot as the next
+     * generation.  Alternates between the .g0/.g1 slots so a torn
+     * write can only lose the newest generation.
+     */
+    void commitSnapshot(SnapshotWriter &writer);
+
+    /**
+     * Final metrics of a previously completed point, or nullptr if
+     * absent/invalid (invalid .done files are ignored, the point is
+     * simply rerun).
+     */
+    std::unique_ptr<SnapshotReader> loadResult();
+
+    /** Persist the final metrics marker for a completed point. */
+    void commitResult(SnapshotWriter &writer);
+
+    /** Delete in-flight generations (point completed or abandoned). */
+    void removeSnapshots();
+
+  private:
+    std::string slotPath(unsigned slot) const;
+    std::string donePath() const;
+
+    std::string _dir;
+    std::uint64_t _key;
+    std::uint64_t _seq = 0; ///< Last committed generation number.
+};
+
+} // namespace ckpt
+} // namespace sboram
+
+#endif // SBORAM_CKPT_CHECKPOINT_HH

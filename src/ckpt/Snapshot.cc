@@ -1,0 +1,241 @@
+#include "ckpt/Snapshot.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "crypto/Prf.hh"
+
+namespace sboram {
+namespace ckpt {
+
+namespace {
+
+const char kMagic[8] = {'S', 'B', 'C', 'K', 'P', 'T', '0', '1'};
+
+/// Fixed key for the snapshot MAC.  The MAC defends against torn
+/// writes and bit rot, not against an adversary with the binary, so a
+/// compiled-in key is fine (same trust model as the OTP default key).
+const PrfKey kMacKey{0x73626f72616d636bULL, 0x70742d6d61632d31ULL};
+
+/** PRF-MAC chain over a byte range: absorb 8 bytes per step. */
+std::uint64_t
+macOver(const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t tag = prf64(kMacKey, 0xa5a5a5a5a5a5a5a5ULL, len);
+    std::size_t pos = 0;
+    std::uint64_t counter = 0;
+    while (pos < len) {
+        std::uint64_t word = 0;
+        std::size_t chunk = len - pos < 8 ? len - pos : 8;
+        std::memcpy(&word, data + pos, chunk);
+        tag = prf64(kMacKey, tag ^ word, ++counter);
+        pos += chunk;
+    }
+    return tag;
+}
+
+} // namespace
+
+Serializer &
+SnapshotWriter::section(std::uint32_t id)
+{
+    auto it = _sections.find(id);
+    if (it == _sections.end()) {
+        _order.push_back(id);
+        it = _sections.emplace(id, Serializer()).first;
+    }
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+SnapshotWriter::finish(std::uint64_t seq, std::uint64_t fingerprint)
+{
+    std::uint64_t payloadBytes = 0;
+    for (std::uint32_t id : _order)
+        payloadBytes += 4 + 8 + _sections.at(id).buffer().size();
+
+    Serializer out;
+    out.bytes(reinterpret_cast<const std::uint8_t *>(kMagic),
+              sizeof(kMagic));
+    out.u32(kSnapshotVersion);
+    out.u32(static_cast<std::uint32_t>(_order.size()));
+    out.u64(seq);
+    out.u64(fingerprint);
+    out.u64(payloadBytes);
+    for (std::uint32_t id : _order) {
+        const auto &body = _sections.at(id).buffer();
+        out.u32(id);
+        out.u64(body.size());
+        out.bytes(body.data(), body.size());
+    }
+    std::vector<std::uint8_t> image = out.take();
+    const std::uint64_t mac = macOver(image.data(), image.size());
+    for (int i = 0; i < 8; ++i)
+        image.push_back(static_cast<std::uint8_t>(mac >> (8 * i)));
+    _order.clear();
+    _sections.clear();
+    return image;
+}
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> image)
+    : _image(std::move(image))
+{
+    // Header: magic(8) + version(4) + count(4) + seq(8) + fp(8) +
+    // payloadBytes(8) = 40 bytes, then payload, then MAC(8).
+    constexpr std::size_t kHeaderBytes = 40;
+    if (_image.size() < kHeaderBytes + 8)
+        throw CkptTruncatedError(
+            "snapshot shorter than header + MAC (" +
+            std::to_string(_image.size()) + " bytes)");
+    if (std::memcmp(_image.data(), kMagic, sizeof(kMagic)) != 0)
+        throw CkptBadMagicError("snapshot magic mismatch");
+
+    Deserializer hdr(_image.data() + sizeof(kMagic),
+                     kHeaderBytes - sizeof(kMagic));
+    const std::uint32_t version = hdr.u32();
+    if (version != kSnapshotVersion)
+        throw CkptVersionError(
+            "snapshot format version " + std::to_string(version) +
+            ", expected " + std::to_string(kSnapshotVersion));
+    const std::uint32_t count = hdr.u32();
+    _seq = hdr.u64();
+    _fingerprint = hdr.u64();
+    const std::uint64_t payloadBytes = hdr.u64();
+
+    if (_image.size() != kHeaderBytes + payloadBytes + 8)
+        throw CkptTruncatedError(
+            "snapshot length mismatch: header promises " +
+            std::to_string(kHeaderBytes + payloadBytes + 8) +
+            " bytes, file has " + std::to_string(_image.size()));
+
+    const std::size_t macAt = _image.size() - 8;
+    std::uint64_t storedMac = 0;
+    for (int i = 0; i < 8; ++i)
+        storedMac |= std::uint64_t(_image[macAt + i]) << (8 * i);
+    if (macOver(_image.data(), macAt) != storedMac)
+        throw CkptChecksumError("snapshot MAC verification failed");
+
+    // Walk section frames; any overrun is a truncation-class defect
+    // (the MAC passed, so this only fires on writer bugs, but the
+    // reader must never index out of bounds regardless).
+    std::size_t pos = kHeaderBytes;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (macAt - pos < 12)
+            throw CkptTruncatedError("section header overruns payload");
+        Deserializer sh(_image.data() + pos, 12);
+        const std::uint32_t id = sh.u32();
+        const std::uint64_t len = sh.u64();
+        pos += 12;
+        if (len > macAt - pos)
+            throw CkptTruncatedError(
+                "section " + std::to_string(id) + " overruns payload");
+        _sections[id] = {pos, static_cast<std::size_t>(len)};
+        pos += static_cast<std::size_t>(len);
+    }
+    if (pos != macAt)
+        throw CkptTruncatedError("trailing bytes after last section");
+}
+
+bool
+SnapshotReader::hasSection(std::uint32_t id) const
+{
+    return _sections.count(id) != 0;
+}
+
+Deserializer
+SnapshotReader::section(std::uint32_t id) const
+{
+    auto it = _sections.find(id);
+    if (it == _sections.end())
+        throw CkptMismatchError(
+            "snapshot lacks section " + std::to_string(id));
+    return Deserializer(_image.data() + it->second.first,
+                        it->second.second);
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        throw CkptIoError("cannot create '" + tmp + "': " +
+                          std::strerror(errno));
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + written,
+                                  bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw CkptIoError("write to '" + tmp + "' failed: " +
+                              std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw CkptIoError("fsync of '" + tmp + "' failed: " +
+                          std::strerror(err));
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw CkptIoError("rename to '" + path + "' failed: " +
+                          std::strerror(err));
+    }
+    // Persist the rename itself.  Failure to fsync the directory only
+    // weakens durability of the very last snapshot, so do not unlink
+    // the (complete, verified) file on error.
+    std::string dir = ".";
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos)
+        dir = path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw CkptIoError("cannot open '" + path + "': " +
+                          std::strerror(errno));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            throw CkptIoError("read of '" + path + "' failed: " +
+                              std::strerror(err));
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+} // namespace ckpt
+} // namespace sboram

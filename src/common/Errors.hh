@@ -60,6 +60,86 @@ class CorruptionError : public SimError
 };
 
 /**
+ * Base class for checkpoint/restore failures (src/ckpt).  A corrupt
+ * or unreadable snapshot is never retryable by itself — the recovery
+ * tiers (previous generation, then deterministic replay from the
+ * trace start) handle it; these types exist so each rejection reason
+ * is distinguishable by the harness and by tests.
+ */
+class CheckpointError : public SimError
+{
+  public:
+    explicit CheckpointError(const std::string &msg) : SimError(msg) {}
+};
+
+/** The snapshot file cannot be opened/read/written at the OS level. */
+class CkptIoError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/** The file does not start with the snapshot magic. */
+class CkptBadMagicError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/**
+ * The file is shorter than its header promises, a section overruns
+ * the payload, or a serialized field runs past its section — a torn
+ * write or a truncated copy.
+ */
+class CkptTruncatedError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/** The PRF-MAC over the snapshot bytes does not verify (bit rot or
+ *  deliberate tampering). */
+class CkptChecksumError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/** The snapshot was written by an incompatible format version. */
+class CkptVersionError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/** The snapshot verifies but belongs to a different experiment point
+ *  (fingerprint mismatch) or lacks an expected section. */
+class CkptMismatchError : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/**
+ * The run was stopped on purpose (SIGINT/SIGTERM, or the
+ * interruptAfterAccesses test seam) after writing a final
+ * checkpoint.  Not retryable: the point is meant to be *resumed*
+ * from its snapshot by a relaunch, not rerun from scratch.
+ */
+class InterruptedError : public SimError
+{
+  public:
+    InterruptedError(const std::string &msg, std::uint64_t accessesDone)
+        : SimError(msg), _accessesDone(accessesDone) {}
+
+    /** CPU trace records consumed before the stop. */
+    std::uint64_t accessesDone() const { return _accessesDone; }
+
+  private:
+    std::uint64_t _accessesDone;
+};
+
+/**
  * The invariant watchdog observed a violated controller invariant
  * (checkInvariants failed mid-run).  Never retryable: the state
  * machine diverged deterministically.

@@ -102,6 +102,22 @@ class Rng
         return static_cast<std::uint64_t>(val);
     }
 
+    /** Copy out the raw 256-bit generator state (checkpointing). */
+    void
+    stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = _state[i];
+    }
+
+    /** Restore a previously captured raw generator state. */
+    void
+    setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            _state[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

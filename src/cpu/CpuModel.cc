@@ -10,48 +10,65 @@ CpuRunResult
 InOrderCpu::run(const std::vector<LlcMissRecord> &trace,
                 MemoryPort &port) const
 {
-    CpuRunResult result;
-    Cycles t = 0;
-    for (const LlcMissRecord &rec : trace) {
-        t += rec.computeGap;
+    CpuCursor cursor;
+    return run(trace, port, cursor, CpuStepHook{});
+}
+
+CpuRunResult
+InOrderCpu::run(const std::vector<LlcMissRecord> &trace,
+                MemoryPort &port, CpuCursor &cur,
+                const CpuStepHook &hook) const
+{
+    while (cur.nextIdx < trace.size()) {
+        const LlcMissRecord &rec = trace[cur.nextIdx];
+        cur.time += rec.computeGap;
         const Op op = rec.isWrite ? Op::Write : Op::Read;
-        MemoryReply reply = port.request(rec.addr, op, t);
+        MemoryReply reply = port.request(rec.addr, op, cur.time);
         if (op == Op::Read) {
             // In-order core: stall until the data returns.
-            t = std::max(t, reply.forwardAt);
-            ++result.reads;
+            cur.time = std::max(cur.time, reply.forwardAt);
+            ++cur.partial.reads;
         } else {
-            ++result.writes;
+            ++cur.partial.writes;
         }
-        result.finishTime = std::max(result.finishTime, t);
-        result.finishTime = std::max(result.finishTime,
-                                     reply.forwardAt);
+        cur.partial.finishTime = std::max(cur.partial.finishTime,
+                                          cur.time);
+        cur.partial.finishTime = std::max(cur.partial.finishTime,
+                                          reply.forwardAt);
+        ++cur.nextIdx;
+        ++cur.accessesDone;
+        if (hook)
+            hook(cur);
     }
-    return result;
+    return cur.partial;
 }
 
 CpuRunResult
 OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
             MemoryPort &port) const
 {
+    CpuCursor cursor;
+    return run(traces, port, cursor, CpuStepHook{});
+}
+
+CpuRunResult
+OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
+            MemoryPort &port, CpuCursor &cur,
+            const CpuStepHook &hook) const
+{
     SB_ASSERT(traces.size() == _cores, "need one trace per core");
 
-    struct Core
-    {
-        std::size_t idx = 0;
-        Cycles lastIssue = 0;
-        Cycles lastForward = 0;
-        std::vector<Cycles> forwards;  ///< Ring of window entries.
-    };
-
-    std::vector<Core> cores(_cores);
-    for (Core &c : cores)
-        c.forwards.assign(_window, 0);
-
-    CpuRunResult result;
+    if (cur.cores.empty()) {
+        cur.cores.assign(_cores, CpuCursor::Core{});
+        for (CpuCursor::Core &c : cur.cores)
+            c.forwards.assign(_window, 0);
+    }
+    SB_ASSERT(cur.cores.size() == _cores,
+              "cursor core count %zu differs from model %u",
+              cur.cores.size(), _cores);
 
     auto readyTime = [&](unsigned ci) -> Cycles {
-        const Core &c = cores[ci];
+        const CpuCursor::Core &c = cur.cores[ci];
         const LlcMissRecord &rec = traces[ci][c.idx];
         Cycles ready;
         if (rec.dependsOnPrev) {
@@ -72,7 +89,7 @@ OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
         unsigned best = _cores;
         Cycles bestReady = kNoCycles;
         for (unsigned ci = 0; ci < _cores; ++ci) {
-            if (cores[ci].idx >= traces[ci].size())
+            if (cur.cores[ci].idx >= traces[ci].size())
                 continue;
             const Cycles r = readyTime(ci);
             if (r < bestReady) {
@@ -83,7 +100,7 @@ OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
         if (best == _cores)
             break;  // All traces drained.
 
-        Core &c = cores[best];
+        CpuCursor::Core &c = cur.cores[best];
         const LlcMissRecord &rec = traces[best][c.idx];
         const Op op = rec.isWrite ? Op::Write : Op::Read;
         MemoryReply reply = port.request(rec.addr, op, bestReady);
@@ -96,12 +113,15 @@ OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
         ++c.idx;
 
         if (op == Op::Read)
-            ++result.reads;
+            ++cur.partial.reads;
         else
-            ++result.writes;
-        result.finishTime = std::max(result.finishTime, fwd);
+            ++cur.partial.writes;
+        cur.partial.finishTime = std::max(cur.partial.finishTime, fwd);
+        ++cur.accessesDone;
+        if (hook)
+            hook(cur);
     }
-    return result;
+    return cur.partial;
 }
 
 } // namespace sboram

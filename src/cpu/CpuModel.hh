@@ -14,8 +14,10 @@
 #define SBORAM_CPU_CPUMODEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "ckpt/Serde.hh"
 #include "common/Types.hh"
 #include "workload/Workload.hh"
 
@@ -44,6 +46,79 @@ struct CpuRunResult
 };
 
 /**
+ * Resumable position inside a CPU run: everything the front-end
+ * needs to continue a trace exactly where it stopped.  A
+ * default-constructed cursor means "start of trace".  The in-order
+ * model uses (time, nextIdx); the out-of-order model uses the
+ * per-core records.  `partial` accumulates the eventual CpuRunResult.
+ */
+struct CpuCursor
+{
+    std::uint64_t accessesDone = 0;
+
+    // In-order state.
+    Cycles time = 0;
+    std::uint64_t nextIdx = 0;
+
+    // Out-of-order per-core state.
+    struct Core
+    {
+        std::uint64_t idx = 0;
+        Cycles lastIssue = 0;
+        Cycles lastForward = 0;
+        std::vector<Cycles> forwards;  ///< Ring of window entries.
+    };
+    std::vector<Core> cores;
+
+    CpuRunResult partial;
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(accessesDone);
+        out.u64(time);
+        out.u64(nextIdx);
+        out.u64(cores.size());
+        for (const Core &c : cores) {
+            out.u64(c.idx);
+            out.u64(c.lastIssue);
+            out.u64(c.lastForward);
+            out.vecU64(c.forwards);
+        }
+        out.u64(partial.finishTime);
+        out.u64(partial.reads);
+        out.u64(partial.writes);
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        accessesDone = in.u64();
+        time = in.u64();
+        nextIdx = in.u64();
+        cores.assign(static_cast<std::size_t>(in.u64()), Core{});
+        for (Core &c : cores) {
+            c.idx = in.u64();
+            c.lastIssue = in.u64();
+            c.lastForward = in.u64();
+            c.forwards = in.vecU64();
+        }
+        partial.finishTime = in.u64();
+        partial.reads = in.u64();
+        partial.writes = in.u64();
+    }
+};
+
+/**
+ * Called after every completed memory request with the post-request
+ * cursor.  The checkpoint layer uses it to snapshot at access
+ * boundaries and may throw (InterruptedError) to stop the run; the
+ * cursor already points past the completed request, so a resumed run
+ * continues with the next one.
+ */
+using CpuStepHook = std::function<void(const CpuCursor &)>;
+
+/**
  * Single in-order core: stalls on every read miss until the data is
  * forwarded; writes retire through a write buffer without stalling.
  */
@@ -52,6 +127,13 @@ class InOrderCpu
   public:
     CpuRunResult run(const std::vector<LlcMissRecord> &trace,
                      MemoryPort &port) const;
+
+    /** Resumable variant: continues from @p cursor, invoking @p hook
+     *  after each request.  Both run() overloads compute identical
+     *  results for the same trace and port. */
+    CpuRunResult run(const std::vector<LlcMissRecord> &trace,
+                     MemoryPort &port, CpuCursor &cursor,
+                     const CpuStepHook &hook) const;
 };
 
 /**
@@ -70,6 +152,12 @@ class OooCpu
     CpuRunResult run(const std::vector<std::vector<LlcMissRecord>>
                          &traces,
                      MemoryPort &port) const;
+
+    /** Resumable variant; see InOrderCpu::run. */
+    CpuRunResult run(const std::vector<std::vector<LlcMissRecord>>
+                         &traces,
+                     MemoryPort &port, CpuCursor &cursor,
+                     const CpuStepHook &hook) const;
 
   private:
     unsigned _cores;

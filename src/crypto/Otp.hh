@@ -95,6 +95,13 @@ class OtpCodec
 
     std::uint64_t noncesIssued() const { return _nonceCounter; }
 
+    /**
+     * Restore the nonce counter from a checkpoint.  Only valid with
+     * the counter a snapshot of this codec reported; rewinding it
+     * would reuse nonces and break the one-time-pad contract.
+     */
+    void restoreNonceCounter(std::uint64_t n) { _nonceCounter = n; }
+
   private:
     /** Keyed MAC over (nonce, lanes): a PRF chain.  Not
      *  cryptographically strong (see Prf.hh) but structurally

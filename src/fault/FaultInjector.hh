@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "ckpt/Serde.hh"
 #include "common/Types.hh"
 #include "crypto/Otp.hh"
 #include "crypto/Prf.hh"
@@ -127,6 +128,44 @@ class FaultInjector
      * true when the ciphertext was corrupted.
      */
     bool onSlotRewritten(std::uint64_t slotIdx, CipherText &ct);
+
+    /**
+     * Checkpoint the schedule cursor: the armed stuck cells and the
+     * counters.  The config and PRF key are reconstructed from
+     * FaultConfig at construction, so they do not travel.
+     */
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_stats.bitFlips);
+        out.u64(_stats.droppedWrites);
+        out.u64(_stats.stuckBits);
+        out.u64(_stats.stuckReapplied);
+        out.u64(_stuck.size());
+        for (const auto &kv : _stuck) {
+            out.u64(kv.first);
+            out.u32(kv.second.bit);
+            out.u32(kv.second.remaining);
+        }
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _stats.bitFlips = in.u64();
+        _stats.droppedWrites = in.u64();
+        _stats.stuckBits = in.u64();
+        _stats.stuckReapplied = in.u64();
+        _stuck.clear();
+        const std::uint64_t count = in.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t slotIdx = in.u64();
+            StuckCell cell;
+            cell.bit = in.u32();
+            cell.remaining = in.u32();
+            _stuck.emplace(slotIdx, cell);
+        }
+    }
 
   private:
     /** Keyed draw: uniform 64-bit value for (accessCount, stream). */

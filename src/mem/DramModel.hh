@@ -24,6 +24,7 @@
 
 #include "AddressMap.hh"
 #include "DramTiming.hh"
+#include "ckpt/Serde.hh"
 #include "common/Types.hh"
 
 namespace sboram {
@@ -88,6 +89,68 @@ class DramModel
 
     const DramTiming &timing() const { return _timing; }
     const DramGeometry &geometry() const { return _geo; }
+
+    /** Checkpoint bank/rank/channel timing state and the counters. */
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_banks.size());
+        for (const Bank &b : _banks) {
+            out.u8(b.rowOpen ? 1 : 0);
+            out.u64(b.openRow);
+            out.u64(b.nextColumnAt);
+            out.u64(b.lastActivateAt);
+            out.u64(b.prechargeOkAt);
+        }
+        out.u64(_ranks.size());
+        for (const Rank &r : _ranks) {
+            out.u64(r.nextColumnAt);
+            out.u64(r.lastActivateAt);
+            out.u64(r.writeToReadOkAt);
+        }
+        out.u64(_channels.size());
+        for (const Channel &c : _channels) {
+            out.u64(c.busFreeAt);
+            out.u8(c.lastWasWrite ? 1 : 0);
+        }
+        out.u64(_stats.activates);
+        out.u64(_stats.reads);
+        out.u64(_stats.writes);
+        out.u64(_stats.rowHits);
+        out.u64(_stats.rowMisses);
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        if (in.u64() != _banks.size())
+            throw CkptMismatchError("DRAM bank count mismatch");
+        for (Bank &b : _banks) {
+            b.rowOpen = in.u8() != 0;
+            b.openRow = in.u64();
+            b.nextColumnAt = in.u64();
+            b.lastActivateAt = in.u64();
+            b.prechargeOkAt = in.u64();
+        }
+        if (in.u64() != _ranks.size())
+            throw CkptMismatchError("DRAM rank count mismatch");
+        for (Rank &r : _ranks) {
+            r.nextColumnAt = in.u64();
+            r.lastActivateAt = in.u64();
+            r.writeToReadOkAt = in.u64();
+        }
+        if (in.u64() != _channels.size())
+            throw CkptMismatchError("DRAM channel count mismatch");
+        for (Channel &c : _channels) {
+            c.busFreeAt = in.u64();
+            c.lastWasWrite = in.u8() != 0;
+        }
+        _stats.activates = in.u64();
+        _stats.reads = in.u64();
+        _stats.writes = in.u64();
+        _stats.rowHits = in.u64();
+        _stats.rowMisses = in.u64();
+    }
 
   private:
     struct Bank

@@ -31,4 +31,52 @@ OramTree::countReal() const
     return n;
 }
 
+void
+OramTree::saveState(ckpt::Serializer &out) const
+{
+    out.u64(_store.size());
+    for (const Slot &s : _store) {
+        out.u32(s.addr);
+        out.u32(s.leaf);
+        out.u32(s.version);
+        out.u8(static_cast<std::uint8_t>(s.type));
+    }
+    // Ciphertext side table.  unordered_map order is arbitrary but
+    // irrelevant: restore rebuilds a content-equal map.
+    out.u64(_cipher.size());
+    for (const auto &kv : _cipher) {
+        out.u64(kv.first);
+        out.u64(kv.second.nonce);
+        out.u64(kv.second.tag);
+        out.vecU64(kv.second.lanes);
+    }
+}
+
+void
+OramTree::loadState(ckpt::Deserializer &in)
+{
+    const std::uint64_t slots = in.u64();
+    if (slots != _store.size())
+        throw CkptMismatchError(
+            "tree slot count mismatch: snapshot has " +
+            std::to_string(slots) + ", geometry has " +
+            std::to_string(_store.size()));
+    for (Slot &s : _store) {
+        s.addr = in.u32();
+        s.leaf = in.u32();
+        s.version = in.u32();
+        s.type = static_cast<BlockType>(in.u8());
+    }
+    _cipher.clear();
+    const std::uint64_t ciphers = in.u64();
+    for (std::uint64_t i = 0; i < ciphers; ++i) {
+        const std::uint64_t slotIdx = in.u64();
+        CipherText ct;
+        ct.nonce = in.u64();
+        ct.tag = in.u64();
+        ct.lanes = in.vecU64();
+        _cipher.emplace(slotIdx, std::move(ct));
+    }
+}
+
 } // namespace sboram

@@ -18,6 +18,7 @@
 
 #include "Block.hh"
 #include "OramConfig.hh"
+#include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
 #include "crypto/Otp.hh"
@@ -126,6 +127,11 @@ class OramTree
     std::uint64_t countOccupied() const;
     /** Count of real slots only. */
     std::uint64_t countReal() const;
+
+    /** Serialize slots + ciphertext table into a checkpoint section. */
+    void saveState(ckpt::Serializer &out) const;
+    /** Restore from a checkpoint; geometry must match construction. */
+    void loadState(ckpt::Deserializer &in);
 
   private:
     unsigned _leafLevel;

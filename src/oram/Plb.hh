@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
 
@@ -43,6 +44,35 @@ class Plb
     std::uint64_t misses() const { return _misses; }
     unsigned numSets() const { return _numSets; }
     unsigned associativity() const { return _assoc; }
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_useCounter);
+        out.u64(_hits);
+        out.u64(_misses);
+        out.u64(_ways.size());
+        for (const Way &w : _ways) {
+            out.u8(w.valid ? 1 : 0);
+            out.u64(w.tag);
+            out.u64(w.lastUse);
+        }
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _useCounter = in.u64();
+        _hits = in.u64();
+        _misses = in.u64();
+        if (in.u64() != _ways.size())
+            throw CkptMismatchError("PLB geometry mismatch");
+        for (Way &w : _ways) {
+            w.valid = in.u8() != 0;
+            w.tag = in.u64();
+            w.lastUse = in.u64();
+        }
+    }
 
   private:
     struct Way

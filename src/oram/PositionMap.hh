@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
 
@@ -43,6 +44,17 @@ class PositionMap
     }
 
     std::uint64_t size() const { return _labels.size(); }
+
+    void saveState(ckpt::Serializer &out) const { out.vecU32(_labels); }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        std::vector<std::uint32_t> labels = in.vecU32();
+        if (labels.size() != _labels.size())
+            throw CkptMismatchError("position-map size mismatch");
+        _labels = std::move(labels);
+    }
 
   private:
     std::vector<std::uint32_t> _labels;

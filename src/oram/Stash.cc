@@ -131,4 +131,52 @@ Stash::trackOccupancy()
         ++_stats.overflowEvents;
 }
 
+void
+Stash::saveState(ckpt::Serializer &out) const
+{
+    out.u64(_nextSeq);
+    out.u64(_realCount);
+    out.u64(_stats.peakReal);
+    out.u64(_stats.overflowEvents);
+    out.u64(_stats.mergesRealWins);
+    out.u64(_stats.mergesShadowDup);
+    // Map order is arbitrary; every consumer of stash contents sorts
+    // by the (unique) seq numbers restored below, so a content-equal
+    // stash is behaviour-equal.
+    out.u64(_entries.size());
+    for (const auto &kv : _entries) {
+        const StashEntry &e = kv.second;
+        out.u64(e.addr);
+        out.u64(e.leaf);
+        out.u32(e.version);
+        out.u8(static_cast<std::uint8_t>(e.type));
+        out.u64(e.seq);
+        out.vecU64(e.payload);
+    }
+}
+
+void
+Stash::loadState(ckpt::Deserializer &in)
+{
+    _nextSeq = in.u64();
+    _realCount = in.u64();
+    _stats.peakReal = in.u64();
+    _stats.overflowEvents = in.u64();
+    _stats.mergesRealWins = in.u64();
+    _stats.mergesShadowDup = in.u64();
+    _entries.clear();
+    const std::uint64_t count = in.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        StashEntry e;
+        e.addr = in.u64();
+        e.leaf = in.u64();
+        e.version = in.u32();
+        e.type = static_cast<BlockType>(in.u8());
+        e.seq = in.u64();
+        e.payload = in.vecU64();
+        const Addr addr = e.addr;
+        _entries.emplace(addr, std::move(e));
+    }
+}
+
 } // namespace sboram

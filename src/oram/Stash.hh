@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "Block.hh"
+#include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
 
@@ -247,6 +248,15 @@ class Stash
     {
         _recycle = std::move(fn);
     }
+
+    /** Serialize entries + counters into a checkpoint section. */
+    void saveState(ckpt::Serializer &out) const;
+    /**
+     * Restore from a checkpoint, bypassing merge/capacity logic (the
+     * snapshot already holds a legal post-merge stash).  The hotness
+     * oracle and payload recycler are not state and stay installed.
+     */
+    void loadState(ckpt::Deserializer &in);
 
   private:
     void trackOccupancy();

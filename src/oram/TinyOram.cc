@@ -420,19 +420,31 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     // duplication policy: Rule-1 bounds them by their label's common
     // prefix with this path, Rule-2 by their real copy's tree level.
     if (_cfg.recirculateShadows) {
+        // Offer in seq order, not map order: the stash hash map's
+        // iteration order is an implementation detail that a
+        // checkpoint restore does not reproduce, and the offer order
+        // decides which candidates the duplication queues pop first.
+        std::vector<const StashEntry *> stashShadows;
         _stash.forEach([&](const StashEntry &e) {
-        if (!e.isShadow())
-            return;
-        const std::uint8_t realLvl = _realLevel[e.addr];
-        SB_ASSERT(realLvl != kInStash,
-                  "stash shadow coexists with a stash real copy");
-        const unsigned maxLevel = std::min<unsigned>(
-            _tree.commonLevel(e.leaf, leaf), realLvl);
-        if (_cfg.payloadEnabled)
-            placedPayload[e.addr] = e.payload;
-        _policy->offerStashShadow(e.addr, e.leaf, e.version, realLvl,
-                                  maxLevel);
+            if (e.isShadow())
+                stashShadows.push_back(&e);
         });
+        std::sort(stashShadows.begin(), stashShadows.end(),
+                  [](const StashEntry *a, const StashEntry *b) {
+                      return a->seq < b->seq;
+                  });
+        for (const StashEntry *ep : stashShadows) {
+            const StashEntry &e = *ep;
+            const std::uint8_t realLvl = _realLevel[e.addr];
+            SB_ASSERT(realLvl != kInStash,
+                      "stash shadow coexists with a stash real copy");
+            const unsigned maxLevel = std::min<unsigned>(
+                _tree.commonLevel(e.leaf, leaf), realLvl);
+            if (_cfg.payloadEnabled)
+                placedPayload[e.addr] = e.payload;
+            _policy->offerStashShadow(e.addr, e.leaf, e.version,
+                                      realLvl, maxLevel);
+        }
 
         // Shadows vacuumed by this eviction's path read circulate
         // the same way.  If the real copy came off this same path
@@ -792,6 +804,141 @@ TinyOram::peekPayload(Addr addr) const
     }
     SB_PANIC("block %llu not found anywhere",
              static_cast<unsigned long long>(addr));
+}
+
+namespace {
+
+void
+saveStashEntry(ckpt::Serializer &out, const StashEntry &e)
+{
+    out.u64(e.addr);
+    out.u64(e.leaf);
+    out.u32(e.version);
+    out.u8(static_cast<std::uint8_t>(e.type));
+    out.u64(e.seq);
+    out.vecU64(e.payload);
+}
+
+StashEntry
+loadStashEntry(ckpt::Deserializer &in)
+{
+    StashEntry e;
+    e.addr = in.u64();
+    e.leaf = in.u64();
+    e.version = in.u32();
+    e.type = static_cast<BlockType>(in.u8());
+    e.seq = in.u64();
+    e.payload = in.vecU64();
+    return e;
+}
+
+} // namespace
+
+void
+TinyOram::saveState(ckpt::Serializer &out) const
+{
+    out.u64(_freeAt);
+    out.u64(_lastEvictionDone);
+    out.u64(_accessCounter);
+    out.u64(_evictionCounter);
+    out.u64(_codec.noncesIssued());
+
+    std::uint64_t rng[4];
+    _remapRng.stateWords(rng);
+    for (std::uint64_t w : rng)
+        out.u64(w);
+    _dummyRng.stateWords(rng);
+    for (std::uint64_t w : rng)
+        out.u64(w);
+
+    out.u64(_stats.requests);
+    out.u64(_stats.stashHits);
+    out.u64(_stats.shadowStashHits);
+    out.u64(_stats.onChipHits);
+    out.u64(_stats.shadowForwards);
+    out.u64(_stats.pathReads);
+    out.u64(_stats.pathWrites);
+    out.u64(_stats.dummyAccesses);
+    out.u64(_stats.posMapAccesses);
+    out.u64(_stats.shadowsWritten);
+    out.u64(_stats.evictions);
+    out.u64(_stats.levelsAdvanced);
+    out.u64(_stats.faultsInjected);
+    out.u64(_stats.faultsDetected);
+    out.u64(_stats.faultsRecovered);
+    out.u64(_stats.faultsUnrecoverable);
+
+    out.vecU8(_realLevel);
+
+    out.u64(_evictShadows.size());
+    for (const StashEntry &e : _evictShadows)
+        saveStashEntry(out, e);
+
+    _tree.saveState(out);
+    _stash.saveState(out);
+    _posMap.saveState(out);
+    _plb.saveState(out);
+
+    out.u8(_faults ? 1 : 0);
+    if (_faults)
+        _faults->saveState(out);
+}
+
+void
+TinyOram::loadState(ckpt::Deserializer &in)
+{
+    _freeAt = in.u64();
+    _lastEvictionDone = in.u64();
+    _accessCounter = in.u64();
+    _evictionCounter = in.u64();
+    _codec.restoreNonceCounter(in.u64());
+
+    std::uint64_t rng[4];
+    for (std::uint64_t &w : rng)
+        w = in.u64();
+    _remapRng.setStateWords(rng);
+    for (std::uint64_t &w : rng)
+        w = in.u64();
+    _dummyRng.setStateWords(rng);
+
+    _stats.requests = in.u64();
+    _stats.stashHits = in.u64();
+    _stats.shadowStashHits = in.u64();
+    _stats.onChipHits = in.u64();
+    _stats.shadowForwards = in.u64();
+    _stats.pathReads = in.u64();
+    _stats.pathWrites = in.u64();
+    _stats.dummyAccesses = in.u64();
+    _stats.posMapAccesses = in.u64();
+    _stats.shadowsWritten = in.u64();
+    _stats.evictions = in.u64();
+    _stats.levelsAdvanced = in.u64();
+    _stats.faultsInjected = in.u64();
+    _stats.faultsDetected = in.u64();
+    _stats.faultsRecovered = in.u64();
+    _stats.faultsUnrecoverable = in.u64();
+
+    std::vector<std::uint8_t> realLevel = in.vecU8();
+    if (realLevel.size() != _realLevel.size())
+        throw CkptMismatchError("realLevel table size mismatch");
+    _realLevel = std::move(realLevel);
+
+    _evictShadows.clear();
+    const std::uint64_t nShadows = in.u64();
+    for (std::uint64_t i = 0; i < nShadows; ++i)
+        _evictShadows.push_back(loadStashEntry(in));
+
+    _tree.loadState(in);
+    _stash.loadState(in);
+    _posMap.loadState(in);
+    _plb.loadState(in);
+
+    const bool hadFaults = in.u8() != 0;
+    if (hadFaults != (_faults != nullptr))
+        throw CkptMismatchError(
+            "fault-injector presence differs from configuration");
+    if (_faults)
+        _faults->loadState(in);
 }
 
 } // namespace sboram

@@ -160,6 +160,17 @@ class TinyOram
         return _realLevel[addr];
     }
 
+    /**
+     * Checkpoint the whole controller (tree, stash, position map,
+     * PLB, RNG/nonce state, counters, eviction buffers, fault-
+     * injector cursor) at an access boundary.  The duplication
+     * policy's own state is checkpointed separately by the system
+     * layer, which knows its concrete type.
+     */
+    void saveState(ckpt::Serializer &out) const;
+    /** Restore a controller built from the identical OramConfig. */
+    void loadState(ckpt::Deserializer &in);
+
   private:
     struct PathReadOutcome
     {

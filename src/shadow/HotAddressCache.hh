@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
 
@@ -33,6 +34,33 @@ class HotAddressCache
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_hits);
+        out.u64(_misses);
+        out.u64(_ways.size());
+        for (const Way &w : _ways) {
+            out.u8(w.valid ? 1 : 0);
+            out.u64(w.tag);
+            out.u32(w.counter);
+        }
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _hits = in.u64();
+        _misses = in.u64();
+        if (in.u64() != _ways.size())
+            throw CkptMismatchError("hot-address-cache geometry mismatch");
+        for (Way &w : _ways) {
+            w.valid = in.u8() != 0;
+            w.tag = in.u64();
+            w.counter = in.u32();
+        }
+    }
 
   private:
     struct Way

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "ckpt/Serde.hh"
 #include "common/SatCounter.hh"
 #include "common/Types.hh"
 
@@ -71,6 +72,25 @@ class PartitionController
             if (_level > 0)
                 --_level;
         }
+    }
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u32(_level);
+        out.u8(_prevWasDummy ? 1 : 0);
+        out.u32(_counter.value());
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        const std::uint32_t level = in.u32();
+        if (level > _maxLevel)
+            throw CkptMismatchError("partition level out of range");
+        _level = level;
+        _prevWasDummy = in.u8() != 0;
+        _counter.set(in.u32());
     }
 
   private:

@@ -18,6 +18,7 @@
 #include "DupQueues.hh"
 #include "HotAddressCache.hh"
 #include "PartitionController.hh"
+#include "ckpt/Serde.hh"
 #include "oram/DuplicationPolicy.hh"
 
 namespace sboram {
@@ -81,6 +82,37 @@ class ShadowPolicy : public DuplicationPolicy
 
     const ShadowPolicyStats &stats() const { return _stats; }
     const HotAddressCache &hotCache() const { return _hot; }
+
+    /**
+     * Checkpoint the policy at an access boundary.  The duplication
+     * queues and the per-path-write candidate list are rebuilt by
+     * beginPathWrite() and always empty between accesses, so only the
+     * durable pieces travel: hot cache, partition state, stats, and
+     * the candidate sequence counter.
+     */
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_candidateSeq);
+        out.u64(_stats.rdDuplications);
+        out.u64(_stats.hdDuplications);
+        out.u64(_stats.dummySlotsSeen);
+        out.u64(_stats.partitionAdjustments);
+        _hot.saveState(out);
+        _partition.saveState(out);
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _candidateSeq = in.u64();
+        _stats.rdDuplications = in.u64();
+        _stats.hdDuplications = in.u64();
+        _stats.dummySlotsSeen = in.u64();
+        _stats.partitionAdjustments = in.u64();
+        _hot.loadState(in);
+        _partition.loadState(in);
+    }
 
   private:
     ShadowConfig _cfg;

@@ -4,6 +4,7 @@
 #include <future>
 #include <unordered_map>
 
+#include "ckpt/Checkpoint.hh"
 #include "common/Logging.hh"
 
 namespace sboram {
@@ -36,6 +37,59 @@ struct TraceKeyHash
 std::mutex g_traceMutex;
 std::unordered_map<TraceKey, std::shared_future<SharedTrace>,
                    TraceKeyHash> g_traceCache;
+
+/**
+ * Stable identity of one experiment point across process relaunches:
+ * everything that determines the run's outcome, including the retry
+ * attempt (each attempt shifts the fault seed, so attempts are
+ * distinct points with distinct snapshots).
+ */
+std::uint64_t
+pointKey(const SystemConfig &cfg, const std::string &workload,
+         std::uint64_t misses, std::uint64_t seed, unsigned attempt)
+{
+    ckpt::Serializer s;
+    s.u64(configFingerprint(cfg));
+    s.str(workload);
+    s.u64(misses);
+    s.u64(seed);
+    s.u32(attempt);
+    return ckpt::fnv1a(s.buffer().data(), s.buffer().size());
+}
+
+/**
+ * Execute one point with checkpoint durability when SB_CKPT_DIR is
+ * active: a completed point is answered from its .done marker (an
+ * invalid marker just reruns the point), an in-flight point resumes
+ * from its newest valid snapshot, and completion atomically persists
+ * the final metrics before the in-flight snapshots are deleted.
+ */
+RunMetrics
+runPointDurable(SystemConfig cfg, const std::string &workload,
+                std::uint64_t misses, std::uint64_t seed,
+                unsigned attempt, const SharedTrace &trace)
+{
+    const std::string *dir = ckpt::activeDirectory();
+    if (dir == nullptr)
+        return runSystem(cfg, *trace);
+
+    if (cfg.checkpointInterval == 0)
+        cfg.checkpointInterval = ckpt::defaultInterval();
+    ckpt::CheckpointSession session(
+        *dir, pointKey(cfg, workload, misses, seed, attempt));
+
+    if (auto done = session.loadResult()) {
+        auto d = done->section(ckpt::kSectionResult);
+        return loadRunMetrics(d);
+    }
+
+    RunMetrics m = runSystem(cfg, *trace, &session);
+    ckpt::SnapshotWriter writer;
+    saveRunMetrics(writer.section(ckpt::kSectionResult), m);
+    session.commitResult(writer);
+    session.removeSnapshots();
+    return m;
+}
 
 } // namespace
 
@@ -139,7 +193,8 @@ ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
             // bit-identical to a plain submit.
             SystemConfig c = cfg;
             c.oram.fault.seed += attempt;
-            return runSystem(c, *trace);
+            return runPointDurable(c, workload, misses, seed, attempt,
+                                   trace);
         },
         retries);
 }
@@ -149,6 +204,9 @@ ExperimentRunner::submitTrace(const SystemConfig &cfg,
                               SharedTrace trace, unsigned retries)
 {
     SB_ASSERT(trace != nullptr, "null trace submitted");
+    // Caller-materialised traces have no stable identity across
+    // process relaunches, so these points run checkpoint-free; use
+    // submit() for resumable sweeps.
     return deferRetry(
         [cfg, trace = std::move(trace)](unsigned attempt) {
             SystemConfig c = cfg;

@@ -1,9 +1,11 @@
 #include "System.hh"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "baseline/InsecureMemory.hh"
+#include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "mem/EnergyModel.hh"
 #include "security/InvariantChecker.hh"
@@ -30,6 +32,22 @@ class InsecurePort : public MemoryPort
     }
 
     double busyTime() const { return static_cast<double>(_busy); }
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_busy);
+        out.u64(_lastComplete);
+        out.u64(_mem.freeAt());
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _busy = in.u64();
+        _lastComplete = in.u64();
+        _mem.restoreFreeAt(in.u64());
+    }
 
   private:
     InsecureMemory &_mem;
@@ -102,6 +120,26 @@ class OramPort : public MemoryPort
     double dataBusyTime() const { return static_cast<double>(_dataBusy); }
     std::uint64_t dummiesFired() const { return _dummies; }
 
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.u64(_sinceWatchdog);
+        out.u64(_nextSlot);
+        out.u64(_lastComplete);
+        out.u64(_dataBusy);
+        out.u64(_dummies);
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _sinceWatchdog = in.u64();
+        _nextSlot = in.u64();
+        _lastComplete = in.u64();
+        _dataBusy = in.u64();
+        _dummies = in.u64();
+    }
+
   private:
     void
     fireDummy(Cycles slot)
@@ -152,6 +190,14 @@ RunMetrics
 runSystem(const SystemConfig &cfg,
           const std::vector<LlcMissRecord> &rawTrace)
 {
+    return runSystem(cfg, rawTrace, nullptr);
+}
+
+RunMetrics
+runSystem(const SystemConfig &cfg,
+          const std::vector<LlcMissRecord> &rawTrace,
+          ckpt::CheckpointSession *session)
+{
     // Fold workload addresses into the configured data space (the
     // profiles target the default 2^20-block ORAM; smaller studies
     // reuse them scaled down).
@@ -163,15 +209,55 @@ runSystem(const SystemConfig &cfg,
     DramModel dram(cfg.dramTiming, cfg.dramGeometry);
     EnergyModel energy(DramEnergy{}, cfg.dramGeometry.channels);
 
-    auto runCpu = [&](MemoryPort &port) -> CpuRunResult {
+    CpuCursor cursor;
+
+    auto runCpu = [&](MemoryPort &port,
+                      const CpuStepHook &hook) -> CpuRunResult {
         if (cfg.cpu == CpuKind::InOrder) {
             InOrderCpu cpu;
-            return cpu.run(trace, port);
+            return cpu.run(trace, port, cursor, hook);
         }
         OooCpu cpu(cfg.cores, cfg.window);
         return cpu.run(
             perCoreTraces(trace, cfg.cores, cfg.oram.dataBlocks),
-            port);
+            port, cursor, hook);
+    };
+
+    // The checkpoint hook fires after every completed memory request:
+    // snapshot when the cadence says so, and on a stop request write
+    // one final snapshot and unwind with InterruptedError.  With no
+    // session and no interrupt seam the hook is empty and the CPU
+    // models skip it entirely.
+    using SaveAllFn = std::function<void(ckpt::SnapshotWriter &)>;
+    std::uint64_t lastSnapshotAt = 0;
+    auto makeHook = [&](SaveAllFn saveAll) -> CpuStepHook {
+        if (session == nullptr && cfg.interruptAfterAccesses == 0)
+            return CpuStepHook{};
+        return [&cfg, session, &lastSnapshotAt,
+                saveAll](const CpuCursor &cur) {
+            const bool stopping =
+                ckpt::stopRequested() ||
+                (cfg.interruptAfterAccesses != 0 &&
+                 cur.accessesDone >= cfg.interruptAfterAccesses);
+            const bool due =
+                session != nullptr && cfg.checkpointInterval != 0 &&
+                cur.accessesDone - lastSnapshotAt >=
+                    cfg.checkpointInterval;
+            if (!stopping && !due)
+                return;
+            if (session != nullptr) {
+                ckpt::SnapshotWriter writer;
+                saveAll(writer);
+                session->commitSnapshot(writer);
+                lastSnapshotAt = cur.accessesDone;
+            }
+            if (stopping)
+                throw InterruptedError(
+                    "run stopped after " +
+                        std::to_string(cur.accessesDone) +
+                        " accesses (final checkpoint written)",
+                    cur.accessesDone);
+        };
     };
 
     struct RecordingPort : MemoryPort
@@ -199,7 +285,28 @@ runSystem(const SystemConfig &cfg,
     if (cfg.scheme == Scheme::Insecure) {
         InsecureMemory mem(dram);
         InsecurePort port(mem);
-        CpuRunResult r = runCpu(maybeRecord(port));
+        auto saveAll = [&](ckpt::SnapshotWriter &w) {
+            cursor.saveState(w.section(ckpt::kSectionCpu));
+            port.saveState(w.section(ckpt::kSectionMem));
+            dram.saveState(w.section(ckpt::kSectionDram));
+            w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+        };
+        if (session != nullptr) {
+            if (auto reader = session->loadLatest()) {
+                // Fetch every section first so a structurally wrong
+                // snapshot is rejected before any state mutates.
+                auto dCpu = reader->section(ckpt::kSectionCpu);
+                auto dMem = reader->section(ckpt::kSectionMem);
+                auto dDram = reader->section(ckpt::kSectionDram);
+                auto dMet = reader->section(ckpt::kSectionMetrics);
+                cursor.loadState(dCpu);
+                port.loadState(dMem);
+                dram.loadState(dDram);
+                m.missRetireTimes = dMet.vecU64();
+                lastSnapshotAt = cursor.accessesDone;
+            }
+        }
+        CpuRunResult r = runCpu(maybeRecord(port), makeHook(saveAll));
         m.execTime = r.finishTime;
         m.dataAccessTime = port.busyTime();
         m.driTime = static_cast<double>(m.execTime) - m.dataAccessTime;
@@ -209,7 +316,7 @@ runSystem(const SystemConfig &cfg,
     }
 
     std::unique_ptr<DuplicationPolicy> policy;
-    const ShadowPolicy *shadowPolicy = nullptr;
+    ShadowPolicy *shadowPolicy = nullptr;
     if (cfg.scheme == Scheme::Shadow) {
         const unsigned leafLevel = cfg.oram.deriveLevels();
         auto sp = std::make_unique<ShadowPolicy>(cfg.shadow,
@@ -233,7 +340,37 @@ runSystem(const SystemConfig &cfg,
 
     OramPort port(oram, cfg.timingProtection, interval,
                   cfg.virtualDummies, cfg.watchdogInterval);
-    CpuRunResult r = runCpu(maybeRecord(port));
+
+    auto saveAll = [&](ckpt::SnapshotWriter &w) {
+        cursor.saveState(w.section(ckpt::kSectionCpu));
+        port.saveState(w.section(ckpt::kSectionPort));
+        oram.saveState(w.section(ckpt::kSectionOram));
+        if (shadowPolicy != nullptr)
+            shadowPolicy->saveState(w.section(ckpt::kSectionPolicy));
+        dram.saveState(w.section(ckpt::kSectionDram));
+        w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+    };
+    if (session != nullptr) {
+        if (auto reader = session->loadLatest()) {
+            auto dCpu = reader->section(ckpt::kSectionCpu);
+            auto dPort = reader->section(ckpt::kSectionPort);
+            auto dOram = reader->section(ckpt::kSectionOram);
+            auto dDram = reader->section(ckpt::kSectionDram);
+            auto dMet = reader->section(ckpt::kSectionMetrics);
+            if (shadowPolicy != nullptr) {
+                auto dPol = reader->section(ckpt::kSectionPolicy);
+                shadowPolicy->loadState(dPol);
+            }
+            cursor.loadState(dCpu);
+            port.loadState(dPort);
+            oram.loadState(dOram);
+            dram.loadState(dDram);
+            m.missRetireTimes = dMet.vecU64();
+            lastSnapshotAt = cursor.accessesDone;
+        }
+    }
+
+    CpuRunResult r = runCpu(maybeRecord(port), makeHook(saveAll));
 
     m.execTime = r.finishTime;
     m.dataAccessTime = port.dataBusyTime();
@@ -270,6 +407,137 @@ runWorkload(const SystemConfig &cfg, const std::string &workload,
             std::uint64_t misses, std::uint64_t seed)
 {
     return runSystem(cfg, makeTrace(workload, misses, seed));
+}
+
+std::uint64_t
+configFingerprint(const SystemConfig &cfg)
+{
+    ckpt::Serializer s;
+    s.u8(static_cast<std::uint8_t>(cfg.scheme));
+
+    const OramConfig &o = cfg.oram;
+    s.u64(o.dataBlocks);
+    s.u64(o.blockBytes);
+    s.u32(o.slotsPerBucket);
+    s.u32(o.evictionRate);
+    s.f64(o.utilization);
+    s.u32(o.stashCapacity);
+    s.u8(static_cast<std::uint8_t>(o.posMapMode));
+    s.u64(o.plbBytes);
+    s.u64(o.onChipPosMapEntries);
+    s.u32(o.treetopLevels);
+    s.u8(o.xorCompression ? 1 : 0);
+    s.u8(o.payloadEnabled ? 1 : 0);
+    s.u8(o.serveFromShadow ? 1 : 0);
+    s.u8(o.recirculateShadows ? 1 : 0);
+    s.u64(o.aesLatency);
+    s.u64(o.stashHitLatency);
+    s.u64(o.onChipLatency);
+    s.f64(o.fault.rate);
+    s.u64(o.fault.seed);
+    s.u8(o.fault.bitFlips ? 1 : 0);
+    s.u8(o.fault.droppedWrites ? 1 : 0);
+    s.u8(o.fault.stuckBits ? 1 : 0);
+    s.u32(o.fault.stuckWrites);
+    s.u8(static_cast<std::uint8_t>(o.fault.onUnrecoverable));
+    s.u64(o.seed);
+
+    const ShadowConfig &sh = cfg.shadow;
+    s.u8(static_cast<std::uint8_t>(sh.mode));
+    s.u32(sh.staticLevel);
+    s.u32(sh.driCounterBits);
+    s.u32(sh.hotCacheEntries);
+    s.u32(sh.hotCacheAssoc);
+    s.u8(sh.refillQueues ? 1 : 0);
+
+    const DramTiming &t = cfg.dramTiming;
+    s.u64(t.cpuPerMemClk);
+    s.u64(t.tCL);
+    s.u64(t.tCWL);
+    s.u64(t.tRCD);
+    s.u64(t.tRP);
+    s.u64(t.tRAS);
+    s.u64(t.tRC);
+    s.u64(t.tCCD);
+    s.u64(t.tBURST);
+    s.u64(t.tWTR);
+    s.u64(t.tRTW);
+    s.u64(t.tWR);
+    s.u64(t.tRRD);
+
+    const DramGeometry &g = cfg.dramGeometry;
+    s.u32(g.channels);
+    s.u32(g.ranksPerChannel);
+    s.u32(g.banksPerRank);
+    s.u64(g.rowBytes);
+    s.u64(g.blockBytes);
+
+    s.u8(cfg.timingProtection ? 1 : 0);
+    s.u64(cfg.tpInterval);
+    s.u8(cfg.virtualDummies ? 1 : 0);
+    s.u8(static_cast<std::uint8_t>(cfg.cpu));
+    s.u32(cfg.cores);
+    s.u32(cfg.window);
+    s.u8(cfg.recordPerMiss ? 1 : 0);
+    s.u64(cfg.watchdogInterval);
+    // checkpointInterval and interruptAfterAccesses are intentionally
+    // omitted: they change *when* snapshots happen, never the result.
+
+    return ckpt::fnv1a(s.buffer().data(), s.buffer().size());
+}
+
+void
+saveRunMetrics(ckpt::Serializer &out, const RunMetrics &m)
+{
+    out.u64(m.execTime);
+    out.f64(m.dataAccessTime);
+    out.f64(m.driTime);
+    out.u64(m.requests);
+    out.u64(m.dummyRequests);
+    out.u64(m.stashHits);
+    out.u64(m.shadowStashHits);
+    out.u64(m.shadowForwards);
+    out.u64(m.pathReads);
+    out.u64(m.shadowsWritten);
+    out.f64(m.onChipHitRate);
+    out.f64(m.energy);
+    out.u64(m.stashPeakReal);
+    out.u64(m.stashOverflows);
+    out.f64(m.avgForwardLevel);
+    out.u32(m.finalPartitionLevel);
+    out.u64(m.faultsInjected);
+    out.u64(m.faultsDetected);
+    out.u64(m.faultsRecovered);
+    out.u64(m.faultsUnrecoverable);
+    out.vecU64(m.missRetireTimes);
+}
+
+RunMetrics
+loadRunMetrics(ckpt::Deserializer &in)
+{
+    RunMetrics m;
+    m.execTime = in.u64();
+    m.dataAccessTime = in.f64();
+    m.driTime = in.f64();
+    m.requests = in.u64();
+    m.dummyRequests = in.u64();
+    m.stashHits = in.u64();
+    m.shadowStashHits = in.u64();
+    m.shadowForwards = in.u64();
+    m.pathReads = in.u64();
+    m.shadowsWritten = in.u64();
+    m.onChipHitRate = in.f64();
+    m.energy = in.f64();
+    m.stashPeakReal = in.u64();
+    m.stashOverflows = in.u64();
+    m.avgForwardLevel = in.f64();
+    m.finalPartitionLevel = in.u32();
+    m.faultsInjected = in.u64();
+    m.faultsDetected = in.u64();
+    m.faultsRecovered = in.u64();
+    m.faultsUnrecoverable = in.u64();
+    m.missRetireTimes = in.vecU64();
+    return m;
 }
 
 } // namespace sboram

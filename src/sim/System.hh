@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/Checkpoint.hh"
 #include "common/Types.hh"
 #include "cpu/CpuModel.hh"
 #include "mem/DramModel.hh"
@@ -73,6 +74,23 @@ struct SystemConfig
      * studies, not performance sweeps).
      */
     std::uint64_t watchdogInterval = 0;
+
+    /**
+     * Write a crash-consistent snapshot every N served memory
+     * requests when a CheckpointSession is attached (see the
+     * three-argument runSystem).  0 = snapshot only on stop signals.
+     * Not part of the point fingerprint: any cadence resumes to the
+     * same final metrics.
+     */
+    std::uint64_t checkpointInterval = 0;
+
+    /**
+     * Test seam: after N memory requests, write a final snapshot (if
+     * a session is attached) and throw InterruptedError — a
+     * deterministic stand-in for SIGKILL/SIGINT arriving mid-run.
+     * 0 disables.  Not part of the point fingerprint.
+     */
+    std::uint64_t interruptAfterAccesses = 0;
 };
 
 /** Everything the benches need from one run. */
@@ -117,10 +135,36 @@ std::vector<LlcMissRecord> makeTrace(const std::string &workload,
 RunMetrics runSystem(const SystemConfig &cfg,
                      const std::vector<LlcMissRecord> &trace);
 
+/**
+ * Checkpoint-aware variant.  With a non-null @p session the run first
+ * tries to resume from the newest valid snapshot (falling back to the
+ * previous generation, then to a clean start), then periodically
+ * persists its full state per SystemConfig::checkpointInterval and on
+ * stop signals.  A resumed run produces metrics bit-identical to an
+ * uninterrupted one.  Throws InterruptedError after the final
+ * snapshot when a stop was requested.
+ */
+RunMetrics runSystem(const SystemConfig &cfg,
+                     const std::vector<LlcMissRecord> &trace,
+                     ckpt::CheckpointSession *session);
+
 /** Convenience: generate the trace and run. */
 RunMetrics runWorkload(const SystemConfig &cfg,
                        const std::string &workload,
                        std::uint64_t misses, std::uint64_t seed);
+
+/**
+ * 64-bit fingerprint over every semantic field of @p cfg — the
+ * fields that determine the run's outcome.  checkpointInterval and
+ * interruptAfterAccesses are deliberately excluded so a resumed run
+ * (different cadence, different interruption point) addresses the
+ * same checkpoint files.
+ */
+std::uint64_t configFingerprint(const SystemConfig &cfg);
+
+/** Serialize final RunMetrics (bit-exact doubles) for .done markers. */
+void saveRunMetrics(ckpt::Serializer &out, const RunMetrics &m);
+RunMetrics loadRunMetrics(ckpt::Deserializer &in);
 
 } // namespace sboram
 

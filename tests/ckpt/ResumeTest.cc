@@ -1,0 +1,404 @@
+/**
+ * @file
+ * End-to-end checkpoint/restore: a run interrupted mid-flight and
+ * resumed from its snapshot must produce RunMetrics bit-identical to
+ * an uninterrupted run, across every scheme — and a damaged snapshot
+ * must demote through the recovery tiers (previous generation, then
+ * deterministic replay) instead of crashing or silently diverging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "ckpt/Checkpoint.hh"
+#include "common/Errors.hh"
+#include "common/Logging.hh"
+#include "sim/ExperimentRunner.hh"
+
+using namespace sboram;
+
+namespace {
+
+constexpr std::uint64_t kMisses = 1500;
+constexpr std::uint64_t kSeed = 99;
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/sbckpt-resume-XXXXXX";
+        const char *d = mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        _path = d;
+    }
+
+    ~TempDir()
+    {
+        if (DIR *d = opendir(_path.c_str())) {
+            while (dirent *e = readdir(d)) {
+                const std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((_path + "/" + name).c_str());
+            }
+            closedir(d);
+        }
+        ::rmdir(_path.c_str());
+    }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+std::string
+slotFile(const std::string &dir, std::uint64_t key, unsigned slot)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir + "/pt-" + std::string(buf) + ".g" +
+           std::to_string(slot);
+}
+
+void
+flipByte(const std::string &path, std::size_t offset)
+{
+    std::vector<std::uint8_t> image = ckpt::readFile(path);
+    ASSERT_GT(image.size(), offset);
+    image[offset] ^= 0x40;
+    ckpt::writeFileAtomic(path, image);
+}
+
+SystemConfig
+smallSystem(Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.oram.dataBlocks = 1 << 14;
+    cfg.oram.posMapMode = PosMapMode::Recursive;
+    cfg.oram.onChipPosMapEntries = 1 << 10;
+    cfg.oram.seed = 3;
+    return cfg;
+}
+
+struct NamedConfig
+{
+    const char *name;
+    SystemConfig cfg;
+};
+
+/** Every scheme/feature combination the snapshot has to cover. */
+std::vector<NamedConfig>
+resumeMatrix()
+{
+    std::vector<NamedConfig> matrix;
+
+    matrix.push_back({"insecure", smallSystem(Scheme::Insecure)});
+
+    {
+        SystemConfig cfg = smallSystem(Scheme::Tiny);
+        cfg.oram.posMapMode = PosMapMode::OnChip;
+        matrix.push_back({"tiny-onchip", cfg});
+    }
+    matrix.push_back({"tiny-recursive", smallSystem(Scheme::Tiny)});
+
+    {
+        SystemConfig cfg = smallSystem(Scheme::Shadow);
+        cfg.shadow.mode = ShadowMode::RdOnly;
+        matrix.push_back({"shadow-rd", cfg});
+    }
+    {
+        SystemConfig cfg = smallSystem(Scheme::Shadow);
+        cfg.shadow.mode = ShadowMode::HdOnly;
+        matrix.push_back({"shadow-hd", cfg});
+    }
+    {
+        SystemConfig cfg = smallSystem(Scheme::Shadow);
+        cfg.shadow.mode = ShadowMode::DynamicPartition;
+        cfg.timingProtection = true;
+        cfg.recordPerMiss = true;
+        matrix.push_back({"shadow-dynamic-tp", cfg});
+    }
+    {
+        // Payload mode with live fault injection: the injector's
+        // stuck-cell table and the ciphertext store must both
+        // survive the round trip for the fault counters to match.
+        SystemConfig cfg = smallSystem(Scheme::Shadow);
+        cfg.oram.payloadEnabled = true;
+        cfg.oram.fault.rate = 0.02;
+        cfg.oram.fault.seed = 11;
+        cfg.oram.fault.onUnrecoverable = UnrecoverablePolicy::Count;
+        matrix.push_back({"shadow-faults", cfg});
+    }
+    {
+        SystemConfig cfg = smallSystem(Scheme::Tiny);
+        cfg.cpu = CpuKind::OutOfOrder;
+        cfg.cores = 2;
+        cfg.window = 4;
+        matrix.push_back({"tiny-ooo", cfg});
+    }
+    return matrix;
+}
+
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.dataAccessTime, b.dataAccessTime);
+    EXPECT_EQ(a.driTime, b.driTime);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.dummyRequests, b.dummyRequests);
+    EXPECT_EQ(a.stashHits, b.stashHits);
+    EXPECT_EQ(a.shadowStashHits, b.shadowStashHits);
+    EXPECT_EQ(a.shadowForwards, b.shadowForwards);
+    EXPECT_EQ(a.pathReads, b.pathReads);
+    EXPECT_EQ(a.shadowsWritten, b.shadowsWritten);
+    EXPECT_EQ(a.onChipHitRate, b.onChipHitRate);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.stashPeakReal, b.stashPeakReal);
+    EXPECT_EQ(a.stashOverflows, b.stashOverflows);
+    EXPECT_EQ(a.avgForwardLevel, b.avgForwardLevel);
+    EXPECT_EQ(a.finalPartitionLevel, b.finalPartitionLevel);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.faultsDetected, b.faultsDetected);
+    EXPECT_EQ(a.faultsRecovered, b.faultsRecovered);
+    EXPECT_EQ(a.faultsUnrecoverable, b.faultsUnrecoverable);
+    EXPECT_EQ(a.missRetireTimes, b.missRetireTimes);
+}
+
+/**
+ * Interrupt @p cfg after @p stopAt accesses (final snapshot written),
+ * then resume from the same directory and run to completion.
+ */
+RunMetrics
+interruptThenResume(const SystemConfig &cfg,
+                    const std::vector<LlcMissRecord> &trace,
+                    const std::string &dir, std::uint64_t interval,
+                    std::uint64_t stopAt)
+{
+    const std::uint64_t key = configFingerprint(cfg);
+
+    SystemConfig interrupted = cfg;
+    interrupted.checkpointInterval = interval;
+    interrupted.interruptAfterAccesses = stopAt;
+    ckpt::CheckpointSession first(dir, key);
+    EXPECT_THROW(runSystem(interrupted, trace, &first),
+                 InterruptedError);
+
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = interval;
+    ckpt::CheckpointSession second(dir, key);
+    return runSystem(resumed, trace, &second);
+}
+
+class CkptResume : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ckpt::clearStopForTesting(); }
+
+    void
+    TearDown() override
+    {
+        ckpt::clearStopForTesting();
+        ckpt::setDirectoryForTesting(nullptr);
+    }
+};
+
+} // namespace
+
+TEST_F(CkptResume, ResumedRunMatchesUninterruptedAcrossSchemes)
+{
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    for (const NamedConfig &point : resumeMatrix()) {
+        SCOPED_TRACE(point.name);
+        const RunMetrics m0 = runSystem(point.cfg, trace);
+
+        TempDir dir;
+        const RunMetrics m1 = interruptThenResume(
+            point.cfg, trace, dir.path(), 157, 450);
+        expectSameMetrics(m0, m1);
+    }
+}
+
+TEST_F(CkptResume, SurvivesRepeatedInterruptions)
+{
+    const auto trace = makeTrace("hmmer", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    cfg.shadow.mode = ShadowMode::DynamicPartition;
+    const RunMetrics m0 = runSystem(cfg, trace);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    for (std::uint64_t stopAt : {300u, 700u, 1100u}) {
+        SystemConfig interrupted = cfg;
+        interrupted.checkpointInterval = 200;
+        interrupted.interruptAfterAccesses = stopAt;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(runSystem(interrupted, trace, &session),
+                     InterruptedError);
+    }
+
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 200;
+    ckpt::CheckpointSession last(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &last));
+}
+
+TEST_F(CkptResume, CorruptedLatestFallsBackToPreviousGeneration)
+{
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    const RunMetrics m0 = runSystem(cfg, trace);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    {
+        SystemConfig interrupted = cfg;
+        interrupted.checkpointInterval = 157;
+        interrupted.interruptAfterAccesses = 450;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(runSystem(interrupted, trace, &session),
+                     InterruptedError);
+    }
+
+    // Both generations exist now; tamper with the newer one.
+    const std::string g0 = slotFile(dir.path(), key, 0);
+    const std::string g1 = slotFile(dir.path(), key, 1);
+    const std::uint64_t seq0 =
+        ckpt::SnapshotReader(ckpt::readFile(g0)).seq();
+    const std::uint64_t seq1 =
+        ckpt::SnapshotReader(ckpt::readFile(g1)).seq();
+    ASSERT_NE(seq0, seq1);
+    flipByte(seq0 > seq1 ? g0 : g1, 50);
+
+    const std::uint64_t fallbacksBefore =
+        ckpt::counters().resumedFromFallback.load();
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 157;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &session));
+    EXPECT_EQ(ckpt::counters().resumedFromFallback.load(),
+              fallbacksBefore + 1);
+}
+
+TEST_F(CkptResume, BothGenerationsCorruptedReplaysFromStart)
+{
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Tiny);
+    const RunMetrics m0 = runSystem(cfg, trace);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    {
+        SystemConfig interrupted = cfg;
+        interrupted.checkpointInterval = 157;
+        interrupted.interruptAfterAccesses = 450;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(runSystem(interrupted, trace, &session),
+                     InterruptedError);
+    }
+
+    // One generation tampered, the other torn mid-write.
+    flipByte(slotFile(dir.path(), key, 0), 50);
+    std::vector<std::uint8_t> torn =
+        ckpt::readFile(slotFile(dir.path(), key, 1));
+    torn.resize(60);
+    ckpt::writeFileAtomic(slotFile(dir.path(), key, 1), torn);
+
+    const std::uint64_t replaysBefore =
+        ckpt::counters().replaysFromStart.load();
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 157;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &session));
+    EXPECT_EQ(ckpt::counters().replaysFromStart.load(),
+              replaysBefore + 1);
+}
+
+TEST_F(CkptResume, StopRequestWritesFinalSnapshotThenResumes)
+{
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    const RunMetrics m0 = runSystem(cfg, trace);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    SystemConfig interrupted = cfg;
+    interrupted.checkpointInterval = 400;
+    ckpt::CheckpointSession first(dir.path(), key);
+    ckpt::requestStop(); // What SIGINT/SIGTERM would set.
+    EXPECT_THROW(runSystem(interrupted, trace, &first),
+                 InterruptedError);
+    ckpt::clearStopForTesting();
+
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 400;
+    ckpt::CheckpointSession second(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &second));
+}
+
+TEST_F(CkptResume, RunnerAnswersCompletedPointFromDoneMarker)
+{
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    cfg.recordPerMiss = true;
+
+    TempDir dir;
+    ckpt::setDirectoryForTesting(dir.path().c_str());
+
+    RunMetrics m0, m1;
+    {
+        ExperimentRunner runner(1);
+        m0 = runner.submit(cfg, "sjeng", kMisses, kSeed).get();
+    }
+    const std::uint64_t reusedBefore =
+        ckpt::counters().pointsReused.load();
+    {
+        ExperimentRunner runner(1);
+        m1 = runner.submit(cfg, "sjeng", kMisses, kSeed).get();
+    }
+    // The relaunch answered from the .done marker — same metrics,
+    // no rerun — which also round-trips every RunMetrics field
+    // through saveRunMetrics/loadRunMetrics.
+    EXPECT_EQ(ckpt::counters().pointsReused.load(), reusedBefore + 1);
+    expectSameMetrics(m0, m1);
+}
+
+TEST_F(CkptResume, FingerprintIgnoresCadenceButSeesSemantics)
+{
+    const SystemConfig base = smallSystem(Scheme::Shadow);
+
+    SystemConfig cadence = base;
+    cadence.checkpointInterval = 777;
+    cadence.interruptAfterAccesses = 5;
+    EXPECT_EQ(configFingerprint(base), configFingerprint(cadence));
+
+    SystemConfig semantic = base;
+    semantic.oram.evictionRate = 4;
+    EXPECT_NE(configFingerprint(base), configFingerprint(semantic));
+
+    SystemConfig shadow = base;
+    shadow.shadow.driCounterBits = 4;
+    EXPECT_NE(configFingerprint(base), configFingerprint(shadow));
+}
+
+TEST_F(CkptResume, UnwritableCheckpointDirIsOneLineFatal)
+{
+    // Satellite: SB_CKPT_DIR pointing somewhere unusable must be a
+    // nonzero exit with a diagnostic, not a silent no-checkpoint run.
+    EXPECT_EXIT(
+        {
+            ckpt::setDirectoryForTesting("/dev/null/not-a-dir");
+            ckpt::activeDirectory();
+        },
+        ::testing::ExitedWithCode(kFatalExitCode), "not writable");
+}

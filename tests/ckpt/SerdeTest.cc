@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The serializer/deserializer pair underneath every snapshot: fixed
+ * widths, bit-exact doubles, and bounds checks that turn truncation
+ * and hostile lengths into CkptTruncatedError instead of UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "ckpt/Serde.hh"
+#include "common/Errors.hh"
+
+using namespace sboram;
+using namespace sboram::ckpt;
+
+TEST(Serde, ScalarRoundTrip)
+{
+    Serializer s;
+    s.u8(0xab);
+    s.u32(0xdeadbeefu);
+    s.u64(0x0123456789abcdefULL);
+    s.f64(-1234.5678);
+    s.str("hello checkpoint");
+    s.str("");
+
+    Deserializer d(s.buffer().data(), s.buffer().size());
+    EXPECT_EQ(d.u8(), 0xab);
+    EXPECT_EQ(d.u32(), 0xdeadbeefu);
+    EXPECT_EQ(d.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(d.f64(), -1234.5678);
+    EXPECT_EQ(d.str(), "hello checkpoint");
+    EXPECT_EQ(d.str(), "");
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serde, DoublesAreBitExact)
+{
+    // The checkpoint claims byte-identical resume, so doubles must
+    // survive as bit patterns, not via any text round trip.
+    const double values[] = {0.0, -0.0,
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::infinity(),
+                             1.0 / 3.0};
+    Serializer s;
+    for (double v : values)
+        s.f64(v);
+    Deserializer d(s.buffer().data(), s.buffer().size());
+    for (double v : values) {
+        const double got = d.f64();
+        EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+    }
+
+    Serializer n;
+    n.f64(std::numeric_limits<double>::quiet_NaN());
+    Deserializer dn(n.buffer().data(), n.buffer().size());
+    EXPECT_TRUE(std::isnan(dn.f64()));
+}
+
+TEST(Serde, VectorRoundTrip)
+{
+    const std::vector<std::uint8_t> v8{1, 2, 3};
+    const std::vector<std::uint32_t> v32{};
+    const std::vector<std::uint64_t> v64{0, 0xffffffffffffffffULL, 42};
+
+    Serializer s;
+    s.vecU8(v8);
+    s.vecU32(v32);
+    s.vecU64(v64);
+
+    Deserializer d(s.buffer().data(), s.buffer().size());
+    EXPECT_EQ(d.vecU8(), v8);
+    EXPECT_EQ(d.vecU32(), v32);
+    EXPECT_EQ(d.vecU64(), v64);
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serde, LittleEndianOnTheWire)
+{
+    // The format is defined, not host-dependent.
+    Serializer s;
+    s.u32(0x01020304u);
+    ASSERT_EQ(s.buffer().size(), 4u);
+    EXPECT_EQ(s.buffer()[0], 0x04);
+    EXPECT_EQ(s.buffer()[3], 0x01);
+}
+
+TEST(Serde, TruncatedFieldThrowsTypedError)
+{
+    Serializer s;
+    s.u64(7);
+    // Every read past the end must throw the typed error, never read
+    // out of bounds.
+    Deserializer d(s.buffer().data(), 3);
+    EXPECT_THROW(d.u64(), CkptTruncatedError);
+
+    Deserializer empty(s.buffer().data(), 0);
+    EXPECT_THROW(empty.u8(), CkptTruncatedError);
+    EXPECT_THROW(
+        (Deserializer(s.buffer().data(), 0).str()),
+        CkptTruncatedError);
+}
+
+TEST(Serde, HostileVectorLengthDoesNotOverflow)
+{
+    // A length prefix of 2^61 must not wrap the (n * width) bounds
+    // arithmetic or reach reserve(); it must throw the typed error.
+    Serializer s;
+    s.u64(0x2000000000000000ULL);
+    Deserializer d32(s.buffer().data(), s.buffer().size());
+    EXPECT_THROW(d32.vecU32(), CkptTruncatedError);
+    Deserializer d64(s.buffer().data(), s.buffer().size());
+    EXPECT_THROW(d64.vecU64(), CkptTruncatedError);
+    Deserializer d8(s.buffer().data(), s.buffer().size());
+    EXPECT_THROW(d8.vecU8(), CkptTruncatedError);
+    Deserializer ds(s.buffer().data(), s.buffer().size());
+    EXPECT_THROW(ds.str(), CkptTruncatedError);
+}
+
+TEST(Serde, Fnv1aMatchesReference)
+{
+    // Reference vectors for 64-bit FNV-1a.
+    const std::uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a(a, 1), 0xaf63dc4c8601ec8cULL);
+    const std::uint8_t foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+    EXPECT_EQ(fnv1a(foobar, 6), 0x85944171f73967e8ULL);
+    EXPECT_EQ(fnv1a(nullptr, 0), 0xcbf29ce484222325ULL);
+}

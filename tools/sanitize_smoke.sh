@@ -1,12 +1,14 @@
 #!/bin/sh
-# Build the fault tests under ASan/UBSan in a nested build tree and
-# run them.  Registered as the `sanitize_smoke` ctest (tests/); also
-# usable standalone:  tools/sanitize_smoke.sh [source-dir]
+# Build the fault and checkpoint tests under ASan/UBSan in a nested
+# build tree and run them.  Registered as the `sanitize_smoke` ctest
+# (tests/); also usable standalone:  tools/sanitize_smoke.sh [source-dir]
 #
 # The fault subsystem is the code most worth sanitizing: it pokes
 # bits into live ciphertext buffers and drives the recovery paths
 # that splice payloads between the stash, the eviction buffer and the
-# tree.
+# tree.  The checkpoint subsystem joins it: snapshot parsing walks
+# attacker-shaped bytes (truncated, bit-flipped, hostile lengths)
+# where an out-of-bounds read is exactly the bug class ASan catches.
 set -eu
 
 SRC_DIR=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
@@ -15,8 +17,10 @@ BUILD_DIR="$SRC_DIR/build/sanitize"
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DSB_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_fault -j >/dev/null
+cmake --build "$BUILD_DIR" --target test_fault test_ckpt -j >/dev/null
 
 # Die on any UBSan report instead of just printing it.
 UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     "$BUILD_DIR/tests/test_fault"
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+    "$BUILD_DIR/tests/test_ckpt"
