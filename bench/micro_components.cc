@@ -31,8 +31,10 @@ BM_Prf64(benchmark::State &state)
 {
     PrfKey key;
     std::uint64_t n = 0;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(prf64(key, ++n, n & 7));
+    for (auto _ : state) {
+        ++n;
+        benchmark::DoNotOptimize(prf64(key, n, n & 7));
+    }
 }
 BENCHMARK(BM_Prf64);
 

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "BenchUtil.hh"
 #include "mem/DramModel.hh"
@@ -77,10 +78,10 @@ runBench()
         cyclic.push_back(static_cast<Addr>(i % 1500));
     }
 
-    Future<Observation> sF =
-        runner().defer([&scan] { return observe(scan, 3); });
-    Future<Observation> cF =
-        runner().defer([&cyclic] { return observe(cyclic, 3); });
+    Future<Observation> sF = runner().defer(
+        [trace = std::move(scan)] { return observe(trace, 3); });
+    Future<Observation> cF = runner().defer(
+        [trace = std::move(cyclic)] { return observe(trace, 3); });
     const Observation s = sF.get();
     const Observation c = cF.get();
 

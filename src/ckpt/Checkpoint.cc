@@ -74,8 +74,11 @@ activeDirectory()
 {
     std::lock_guard<std::mutex> lock(gDirMutex);
     if (!gDirResolved) {
-        const char *dir = gHaveOverride ? gDirOverride
-                                        : std::getenv("SB_CKPT_DIR");
+        const char *dir =
+            gHaveOverride
+                ? gDirOverride
+                // sblint:allow-next-line(ambient-nondeterminism): operator config knob resolved once under the lock, not simulated randomness
+                : std::getenv("SB_CKPT_DIR");
         gDirResolved = true;
         gDirEnabled = false;
         if (dir != nullptr && dir[0] != '\0') {
@@ -102,6 +105,7 @@ setDirectoryForTesting(const char *dir)
 std::uint64_t
 defaultInterval()
 {
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
     if (const char *env = std::getenv("SB_CKPT_INTERVAL")) {
         char *end = nullptr;
         const unsigned long long v = std::strtoull(env, &end, 10);

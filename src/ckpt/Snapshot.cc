@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "crypto/CtEq.hh"
 #include "crypto/Prf.hh"
 
 namespace sboram {
@@ -91,7 +92,9 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> image)
         throw CkptTruncatedError(
             "snapshot shorter than header + MAC (" +
             std::to_string(_image.size()) + " bytes)");
-    if (std::memcmp(_image.data(), kMagic, sizeof(kMagic)) != 0)
+    if (!constTimeEq(_image.data(),
+                     reinterpret_cast<const std::uint8_t *>(kMagic),
+                     sizeof(kMagic)))
         throw CkptBadMagicError("snapshot magic mismatch");
 
     Deserializer hdr(_image.data() + sizeof(kMagic),
@@ -116,7 +119,7 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> image)
     std::uint64_t storedMac = 0;
     for (int i = 0; i < 8; ++i)
         storedMac |= std::uint64_t(_image[macAt + i]) << (8 * i);
-    if (macOver(_image.data(), macAt) != storedMac)
+    if (!constTimeEq64(macOver(_image.data(), macAt), storedMac))
         throw CkptChecksumError("snapshot MAC verification failed");
 
     // Walk section frames; any overrun is a truncation-class defect

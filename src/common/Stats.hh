@@ -25,7 +25,9 @@ class Accumulator
     sample(double v)
     {
         ++_n;
+        // sblint:allow-next-line(float-accum): samples arrive in deterministic single-thread order per run; accumulation order is fixed
         _sum += v;
+        // sblint:allow-next-line(float-accum): same fixed sample order as _sum
         _sumSq += v * v;
         if (v < _min)
             _min = v;

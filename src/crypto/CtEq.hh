@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Constant-time equality for MAC/tag material.
+ *
+ * memcmp short-circuits on the first differing byte, which turns a
+ * tag comparison into a timing oracle.  The simulator's PRF-MAC only
+ * defends against torn writes and bit rot (see Snapshot.cc), but the
+ * comparison discipline is part of the determinism/obliviousness
+ * contract sblint enforces (`banned-fn`): every tag compare in the
+ * tree goes through these helpers so a future real-crypto backend
+ * cannot inherit a short-circuiting compare by accident.
+ */
+
+#ifndef SBORAM_CRYPTO_CTEQ_HH
+#define SBORAM_CRYPTO_CTEQ_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sboram {
+
+/** Constant-time byte-range equality: no data-dependent branches. */
+inline bool
+constTimeEq(const std::uint8_t *a, const std::uint8_t *b,
+            std::size_t len)
+{
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < len; ++i)
+        acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+    return acc == 0;
+}
+
+/** Constant-time 64-bit equality (tag words). */
+inline bool
+constTimeEq64(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t d = a ^ b;
+    // Fold to one bit without a comparison the optimiser can
+    // re-branch: (d | -d) has the sign bit set iff d != 0.
+    return ((d | (0 - d)) >> 63) == 0;
+}
+
+} // namespace sboram
+
+#endif // SBORAM_CRYPTO_CTEQ_HH

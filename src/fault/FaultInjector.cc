@@ -22,6 +22,7 @@ constexpr std::uint64_t kStreamGarble = 0x67617262'00000000ULL;
 bool
 envDouble(const char *name, double &out)
 {
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
     const char *v = std::getenv(name);
     if (!v)
         return false;
@@ -41,6 +42,7 @@ envDouble(const char *name, double &out)
 bool
 envU64(const char *name, std::uint64_t &out)
 {
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
     const char *v = std::getenv(name);
     if (!v)
         return false;
@@ -65,6 +67,7 @@ FaultConfig::fromEnv(FaultConfig base)
     if (envU64("SB_FAULT_SEED", seed))
         base.seed = seed;
 
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
     if (const char *kinds = std::getenv("SB_FAULT_KINDS")) {
         base.bitFlips = std::strstr(kinds, "flip") != nullptr;
         base.droppedWrites = std::strstr(kinds, "drop") != nullptr;
@@ -76,6 +79,7 @@ FaultConfig::fromEnv(FaultConfig base)
         }
     }
 
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
     if (const char *p = std::getenv("SB_FAULT_UNRECOVERABLE")) {
         if (std::strcmp(p, "panic") == 0)
             base.onUnrecoverable = UnrecoverablePolicy::Panic;

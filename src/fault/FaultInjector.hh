@@ -24,8 +24,10 @@
 #ifndef SBORAM_FAULT_FAULTINJECTOR_HH
 #define SBORAM_FAULT_FAULTINJECTOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "ckpt/Serde.hh"
 #include "common/Types.hh"
@@ -141,11 +143,20 @@ class FaultInjector
         out.u64(_stats.droppedWrites);
         out.u64(_stats.stuckBits);
         out.u64(_stats.stuckReapplied);
-        out.u64(_stuck.size());
-        for (const auto &kv : _stuck) {
-            out.u64(kv.first);
-            out.u32(kv.second.bit);
-            out.u32(kv.second.remaining);
+        // Armed cells in slot-index order: the snapshot must be
+        // byte-identical for identical injector state, so the hash
+        // map's arbitrary iteration order cannot leak into the image.
+        std::vector<std::uint64_t> slotIdxs;
+        slotIdxs.reserve(_stuck.size());
+        for (const auto &kv : _stuck)  // sblint:allow(unordered-iteration): key collection; serialized in the sorted order below
+            slotIdxs.push_back(kv.first);
+        std::sort(slotIdxs.begin(), slotIdxs.end());
+        out.u64(slotIdxs.size());
+        for (std::uint64_t slotIdx : slotIdxs) {
+            const StuckCell &cell = _stuck.at(slotIdx);
+            out.u64(slotIdx);
+            out.u32(cell.bit);
+            out.u32(cell.remaining);
         }
     }
 

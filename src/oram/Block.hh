@@ -20,6 +20,18 @@
 
 namespace sboram {
 
+/**
+ * Marks a declaration whose value is ORAM-protected secret data: the
+ * decrypted block payload, or anything derived from it.  The macro
+ * expands to nothing — it exists for `sblint`'s `secret-branch` rule,
+ * which flags control flow (if/switch/ternary/short-circuit) on
+ * annotated names inside src/oram and src/shadow.  Branching on
+ * payload contents would make the access trace data-dependent and
+ * break the obliviousness argument; branching on metadata (addr,
+ * leaf, type) is fine and deliberately unannotated.
+ */
+#define SB_SECRET
+
 /** What a tree slot or stash entry holds. */
 enum class BlockType : std::uint8_t { Dummy = 0, Real = 1, Shadow = 2 };
 

@@ -1,5 +1,7 @@
 #include "OramTree.hh"
 
+#include <algorithm>
+
 namespace sboram {
 
 OramTree::OramTree(const OramGeometry &geo, unsigned slotsPerBucket,
@@ -41,14 +43,23 @@ OramTree::saveState(ckpt::Serializer &out) const
         out.u32(s.version);
         out.u8(static_cast<std::uint8_t>(s.type));
     }
-    // Ciphertext side table.  unordered_map order is arbitrary but
-    // irrelevant: restore rebuilds a content-equal map.
-    out.u64(_cipher.size());
-    for (const auto &kv : _cipher) {
-        out.u64(kv.first);
-        out.u64(kv.second.nonce);
-        out.u64(kv.second.tag);
-        out.vecU64(kv.second.lanes);
+    // Ciphertext side table, in slot-index order.  Restore rebuilds a
+    // content-equal map from any order, but the snapshot bytes must be
+    // identical for identical tree contents (generation diffing,
+    // resume bit-equality tests), so the hash map's arbitrary
+    // iteration order cannot leak into the image.
+    std::vector<std::uint64_t> slotIdxs;
+    slotIdxs.reserve(_cipher.size());
+    for (const auto &kv : _cipher)  // sblint:allow(unordered-iteration): key collection; serialized in the sorted order below
+        slotIdxs.push_back(kv.first);
+    std::sort(slotIdxs.begin(), slotIdxs.end());
+    out.u64(slotIdxs.size());
+    for (std::uint64_t slotIdx : slotIdxs) {
+        const CipherText &ct = _cipher.at(slotIdx);
+        out.u64(slotIdx);
+        out.u64(ct.nonce);
+        out.u64(ct.tag);
+        out.vecU64(ct.lanes);
     }
 }
 

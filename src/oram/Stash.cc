@@ -16,6 +16,10 @@ Stash::enforceCapacity()
         Addr victim = kInvalidAddr;
         std::uint32_t coldest = ~std::uint32_t(0);
         std::uint64_t oldest = ~std::uint64_t(0);
+        // Victim selection below is a strict minimum over the
+        // (hotness, seq) key and seq is unique, so the choice is
+        // identical for any iteration order.
+        // sblint:allow-next-line(unordered-iteration): strict min over unique (hotness, seq) key is order-independent
         for (const auto &kv : _entries) {
             if (!kv.second.isShadow())
                 continue;
@@ -140,12 +144,23 @@ Stash::saveState(ckpt::Serializer &out) const
     out.u64(_stats.overflowEvents);
     out.u64(_stats.mergesRealWins);
     out.u64(_stats.mergesShadowDup);
-    // Map order is arbitrary; every consumer of stash contents sorts
-    // by the (unique) seq numbers restored below, so a content-equal
-    // stash is behaviour-equal.
-    out.u64(_entries.size());
-    for (const auto &kv : _entries) {
-        const StashEntry &e = kv.second;
+    // Serialize in seq order, not map order: the hash map's iteration
+    // order is an implementation detail that varies across processes,
+    // and a snapshot must be byte-identical for identical stash
+    // contents (generation diffing, resume bit-equality tests).
+    std::vector<const StashEntry *> ordered;
+    ordered.reserve(_entries.size());
+    // Collects every entry, then sorts by the unique seq.
+    // sblint:allow-next-line(unordered-iteration): order canonicalised by the seq sort below
+    for (const auto &kv : _entries)
+        ordered.push_back(&kv.second);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const StashEntry *a, const StashEntry *b) {
+                  return a->seq < b->seq;
+              });
+    out.u64(ordered.size());
+    for (const StashEntry *ep : ordered) {
+        const StashEntry &e = *ep;
         out.u64(e.addr);
         out.u64(e.leaf);
         out.u32(e.version);

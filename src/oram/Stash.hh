@@ -39,7 +39,7 @@ struct StashEntry
     std::uint32_t version = 0;
     BlockType type = BlockType::Dummy;
     std::uint64_t seq = 0;  ///< Insertion order, for determinism.
-    std::vector<std::uint64_t> payload;
+    SB_SECRET std::vector<std::uint64_t> payload;
 
     bool isShadow() const { return type == BlockType::Shadow; }
 };
@@ -104,6 +104,7 @@ class Stash
     eligibleForLevel(unsigned level, CommonLevelFn &&commonLevelFn) const
     {
         std::vector<const StashEntry *> picked;
+        // sblint:allow-next-line(unordered-iteration): membership filter only; order canonicalised by the (class, seq) sort below
         for (const auto &kv : _entries) {
             if (commonLevelFn(kv.second.leaf) >= level)
                 picked.push_back(&kv.second);
@@ -198,6 +199,7 @@ class Stash
     {
         EvictionPlan plan;
         plan._order.reserve(_entries.size());
+        // sblint:allow-next-line(unordered-iteration): bucketing pass only; order canonicalised by the (class, seq) sort below
         for (const auto &kv : _entries) {
             PlanEntry e;
             e.addr = kv.second.addr;
@@ -215,11 +217,16 @@ class Stash
         return plan;
     }
 
-    /** Visit every entry (order unspecified). */
+    /**
+     * Visit every entry (order unspecified by contract).  Callers
+     * that are order-sensitive must collect and sort by the unique
+     * seq — see TinyOram::pathWrite's stash-shadow offers.
+     */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
+        // sblint:allow-next-line(unordered-iteration): contract is order-unspecified; order-sensitive callers sort by unique seq
         for (const auto &kv : _entries)
             fn(kv.second);
     }
@@ -266,6 +273,7 @@ class Stash
     void
     recyclePayload(StashEntry &entry)
     {
+        // sblint:allow-next-line(secret-branch): branches on buffer presence (payload-mode config), never on payload contents
         if (_recycle && !entry.payload.empty())
             _recycle(std::move(entry.payload));
     }

@@ -347,8 +347,11 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 // same-version shadow copy (the duplication the
                 // policies maintain for latency doubles as
                 // redundancy) before declaring the block lost.
-                if (!_codec.verifyDecrypt(_tree.cipherAt(slotIdx),
-                                          e.payload)) {
+                // sblint:allow-next-line(secret-branch): branches on the MAC verdict (fault events are architecturally visible), not payload bits
+                if (!_codec.verifyDecrypt(
+                        _tree.cipherAt(slotIdx),
+                        // sblint:allow-next-line(secret-branch): same MAC-verdict branch as annotated above
+                        e.payload)) {
                     ++_stats.faultsDetected;
                     if (slot.isShadow()) {
                         ++_stats.faultsRecovered;
@@ -357,8 +360,11 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                         _tree.eraseCipher(slotIdx);
                         continue;
                     }
-                    if (recoverRealPayload(slot, level, leaf,
-                                           e.payload)) {
+                    // sblint:allow-next-line(secret-branch): branches on recovery success (a public fault-handling outcome), not payload bits
+                    if (recoverRealPayload(
+                            slot, level, leaf,
+                            // sblint:allow-next-line(secret-branch): same recovery-outcome branch as annotated above
+                            e.payload)) {
                         ++_stats.faultsRecovered;
                     } else {
                         ++_stats.faultsUnrecoverable;

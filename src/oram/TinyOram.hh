@@ -109,7 +109,7 @@ class TinyOram
     Cycles dummyAccess(Cycles issueTime);
 
     /** Read the current payload of @p addr (testing; payload mode). */
-    std::vector<std::uint64_t> peekPayload(Addr addr) const;
+    SB_SECRET std::vector<std::uint64_t> peekPayload(Addr addr) const;
 
     /**
      * True when access(addr, op, ...) would be served from the stash

@@ -236,6 +236,7 @@ ExperimentRunner::defaultThreads()
 {
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
+    // sblint:allow-next-line(ambient-nondeterminism): thread-count knob changes scheduling only; results are thread-count-invariant by construction
     if (const char *env = std::getenv("SB_BENCH_THREADS")) {
         char *end = nullptr;
         const unsigned long v = std::strtoul(env, &end, 10);

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Unit tests for the sblint analyzer library: every rule fires on a
+ * minimal fixture, path scoping works, suppressions (same-line and
+ * next-line) drop findings exactly when justified, defective
+ * suppressions surface as `bad-suppression`, and the JSON output
+ * round-trips losslessly.
+ *
+ * Fixtures are in-memory SourceFile snippets — the linter is a
+ * library precisely so these tests never touch the filesystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include "Lint.hh"
+
+using namespace sboram::lint;
+
+namespace {
+
+/** Lint one snippet at @p path; return the surviving findings. */
+std::vector<Finding>
+lintOne(const std::string &path, const std::string &content)
+{
+    return lintSources({{path, content}});
+}
+
+/** True when some finding matches @p rule. */
+bool
+fired(const std::vector<Finding> &fs, Rule rule)
+{
+    for (const Finding &f : fs)
+        if (f.rule == rule)
+            return true;
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(SbLintRegistry, NamesRoundTripThroughLookup)
+{
+    const auto &reg = ruleRegistry();
+    ASSERT_FALSE(reg.empty());
+    for (const RuleInfo &info : reg) {
+        Rule r;
+        ASSERT_TRUE(ruleFromName(info.name, r)) << info.name;
+        EXPECT_EQ(r, info.rule);
+        EXPECT_STREQ(ruleName(info.rule), info.name);
+        EXPECT_NE(info.description[0], '\0');
+    }
+}
+
+TEST(SbLintRegistry, UnknownNameIsRejected)
+{
+    Rule r;
+    EXPECT_FALSE(ruleFromName("no-such-rule", r));
+    EXPECT_FALSE(ruleFromName("", r));
+}
+
+// ---------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, UnorderedIterationFiresOnRangeFor)
+{
+    const auto fs = lintOne("src/oram/X.cc",
+                            "#include <unordered_map>\n"
+                            "std::unordered_map<int, int> _m;\n"
+                            "void f() {\n"
+                            "    for (const auto &kv : _m) { (void)kv; }\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::UnorderedIteration);
+    EXPECT_EQ(fs[0].line, 4u);
+}
+
+TEST(SbLintRules, UnorderedIterationFiresOnIteratorWalk)
+{
+    const auto fs = lintOne("src/ckpt/X.cc",
+                            "std::unordered_set<int> _s;\n"
+                            "void f() {\n"
+                            "    for (auto it = _s.begin(); it != _s.end(); ++it) {}\n"
+                            "}\n");
+    EXPECT_TRUE(fired(fs, Rule::UnorderedIteration));
+}
+
+TEST(SbLintRules, UnorderedIterationScopedToSeqSensitiveModules)
+{
+    const std::string body =
+        "std::unordered_map<int, int> _m;\n"
+        "void f() { for (const auto &kv : _m) { (void)kv; } }\n";
+    EXPECT_TRUE(fired(lintOne("src/shadow/X.cc", body),
+                      Rule::UnorderedIteration));
+    // Outside the sequence-sensitive modules the same code is fine.
+    EXPECT_FALSE(fired(lintOne("src/mem/X.cc", body),
+                       Rule::UnorderedIteration));
+    EXPECT_FALSE(fired(lintOne("tests/oram/X.cc", body),
+                       Rule::UnorderedIteration));
+}
+
+TEST(SbLintRules, UnorderedVarsAreCollectedAcrossFiles)
+{
+    // Declaration in a header, iteration in a .cc: the variable set
+    // must be the union over all linted sources.
+    const auto fs = lintSources(
+        {{"src/oram/X.hh",
+          "struct X { std::unordered_map<int, int> _m; };\n"},
+         {"src/oram/X.cc",
+          "void f(X &x) {\n"
+          "    for (const auto &kv : x._m) { (void)kv; }\n"
+          "}\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].file, "src/oram/X.cc");
+    EXPECT_EQ(fs[0].rule, Rule::UnorderedIteration);
+}
+
+TEST(SbLintRules, OrderedMapIterationIsClean)
+{
+    const auto fs = lintOne("src/oram/X.cc",
+                            "std::map<int, int> _m;\n"
+                            "void f() { for (const auto &kv : _m) { (void)kv; } }\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// ambient-nondeterminism
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, AmbientNondeterminismFiresOnBannedCalls)
+{
+    EXPECT_TRUE(fired(lintOne("src/sim/X.cc",
+                              "int f() { return rand(); }\n"),
+                      Rule::AmbientNondeterminism));
+    EXPECT_TRUE(fired(lintOne("src/common/X.cc",
+                              "long f() { return time(nullptr); }\n"),
+                      Rule::AmbientNondeterminism));
+    EXPECT_TRUE(
+        fired(lintOne("bench/x.cc",
+                      "const char *f() { return getenv(\"X\"); }\n"),
+              Rule::AmbientNondeterminism));
+    EXPECT_TRUE(fired(lintOne("src/oram/X.cc",
+                              "std::random_device rd;\n"),
+                      Rule::AmbientNondeterminism));
+}
+
+TEST(SbLintRules, AmbientNondeterminismExemptsTheRngWell)
+{
+    // The one sanctioned entropy/config well is exempt by path.
+    EXPECT_FALSE(fired(lintOne("src/common/Rng.hh",
+                               "int f() { return rand(); }\n"),
+                       Rule::AmbientNondeterminism));
+    EXPECT_FALSE(
+        fired(lintOne("bench/BenchUtil.hh",
+                      "const char *f() { return getenv(\"X\"); }\n"),
+              Rule::AmbientNondeterminism));
+}
+
+TEST(SbLintRules, MemberCallNamedTimeIsNotFlagged)
+{
+    EXPECT_FALSE(fired(lintOne("src/sim/X.cc",
+                               "void f(Clock &c) { c.time(); }\n"),
+                       Rule::AmbientNondeterminism));
+}
+
+// ---------------------------------------------------------------------
+// secret-branch
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, SecretBranchFiresOnAnnotatedName)
+{
+    const auto fs = lintSources(
+        {{"src/oram/X.hh",
+          "struct E { SB_SECRET std::vector<int> payload; };\n"},
+         {"src/oram/X.cc",
+          "void f(E &e) {\n"
+          "    if (e.payload.empty()) { return; }\n"
+          "}\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::SecretBranch);
+    EXPECT_EQ(fs[0].file, "src/oram/X.cc");
+    EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(SbLintRules, SecretBranchFiresOnTernaryAndShortCircuit)
+{
+    const std::string hdr = "SB_SECRET int secretWord;\n";
+    EXPECT_TRUE(fired(
+        lintSources({{"src/shadow/X.hh", hdr},
+                     {"src/shadow/X.cc",
+                      "int f() { return secretWord ? 1 : 0; }\n"}}),
+        Rule::SecretBranch));
+    EXPECT_TRUE(fired(
+        lintSources({{"src/shadow/X.hh", hdr},
+                     {"src/shadow/X.cc",
+                      "bool f(bool a) { return a && secretWord; }\n"}}),
+        Rule::SecretBranch));
+}
+
+TEST(SbLintRules, SecretBranchIgnoresUnannotatedMetadata)
+{
+    const auto fs = lintSources(
+        {{"src/oram/X.hh",
+          "struct E { SB_SECRET std::vector<int> payload; int addr; };\n"},
+         {"src/oram/X.cc",
+          "void f(E &e) { if (e.addr == 0) { return; } }\n"}});
+    EXPECT_FALSE(fired(fs, Rule::SecretBranch));
+}
+
+TEST(SbLintRules, SecretBranchScopedToModelledHardware)
+{
+    // Tests may branch on payloads freely (they check contents).
+    const auto fs = lintSources(
+        {{"src/oram/X.hh",
+          "struct E { SB_SECRET std::vector<int> payload; };\n"},
+         {"tests/oram/X.cc",
+          "void f(E &e) { if (e.payload.empty()) { return; } }\n"}});
+    EXPECT_FALSE(fired(fs, Rule::SecretBranch));
+}
+
+// ---------------------------------------------------------------------
+// unchecked-serde
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, UncheckedSerdeFiresOnDiscardedRead)
+{
+    const auto fs = lintOne("src/ckpt/X.cc",
+                            "void f(ckpt::Deserializer &in) {\n"
+                            "    in.u64();\n"
+                            "    (void)in.u32();\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, Rule::UncheckedSerde);
+    EXPECT_EQ(fs[0].line, 2u);
+    EXPECT_EQ(fs[1].rule, Rule::UncheckedSerde);
+    EXPECT_EQ(fs[1].line, 3u);
+}
+
+TEST(SbLintRules, ConsumedSerdeReadIsClean)
+{
+    const auto fs = lintOne("src/ckpt/X.cc",
+                            "std::uint64_t f(ckpt::Deserializer &in) {\n"
+                            "    const std::uint64_t v = in.u64();\n"
+                            "    in.skip(8);\n"
+                            "    return v;\n"
+                            "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// raw-new-delete
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, RawNewDeleteFires)
+{
+    const auto fs = lintOne("src/mem/X.cc",
+                            "int *f() { return new int(3); }\n"
+                            "void g(int *p) { delete p; }\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, Rule::RawNewDelete);
+    EXPECT_EQ(fs[1].rule, Rule::RawNewDelete);
+}
+
+TEST(SbLintRules, DeletedFunctionsAndMakeUniqueAreClean)
+{
+    const auto fs = lintOne(
+        "src/mem/X.cc",
+        "struct X { X(const X &) = delete; };\n"
+        "auto f() { return std::make_unique<int>(3); }\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// banned-fn
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, BannedFnFiresOnMemcmpAndStrcpy)
+{
+    const auto fs = lintOne(
+        "src/crypto/X.cc",
+        "bool eq(const void *a, const void *b) {\n"
+        "    return memcmp(a, b, 8) == 0;\n"
+        "}\n"
+        "void cp(char *d, const char *s) { strcpy(d, s); }\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, Rule::BannedFn);
+    EXPECT_EQ(fs[1].rule, Rule::BannedFn);
+}
+
+// ---------------------------------------------------------------------
+// float-accum
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, FloatAccumFiresInStats)
+{
+    const auto fs = lintOne("src/common/Stats.hh",
+                            "void f() {\n"
+                            "    double sum = 0.0;\n"
+                            "    sum += 1.5;\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::FloatAccum);
+    EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(SbLintRules, IntegerAccumulationIsClean)
+{
+    const auto fs = lintOne("src/common/Stats.hh",
+                            "void f() {\n"
+                            "    std::uint64_t n = 0;\n"
+                            "    n += 2;\n"
+                            "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// missing-stats-lock
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, MissingStatsLockFiresOnByRefCapture)
+{
+    const auto fs = lintOne(
+        "bench/x.cc",
+        "void f(ExperimentRunner &pool, int &n) {\n"
+        "    auto fut = pool.defer([&n] { return n; });\n"
+        "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::MissingStatsLock);
+}
+
+TEST(SbLintRules, ValueCaptureIsClean)
+{
+    const auto fs = lintOne(
+        "bench/x.cc",
+        "void f(ExperimentRunner &pool, int n) {\n"
+        "    auto fut = pool.defer([n] { return n; });\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintRules, MissingStatsLockFiresOnUnlockedSharedWrite)
+{
+    const auto fs = lintOne("src/sim/X.cc",
+                            "void f() {\n"
+                            "    g_traceCache.clear();\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::MissingStatsLock);
+}
+
+TEST(SbLintRules, LockedSharedWriteIsClean)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> lock(g_traceMutex);\n"
+        "    g_traceCache.clear();\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+TEST(SbLintSuppress, SameLineSuppressionDropsTheFinding)
+{
+    const auto fs = lintOne(
+        "src/crypto/X.cc",
+        "bool eq(const void *a, const void *b) {\n"
+        "    return memcmp(a, b, 8) == 0;"
+        "  // sblint:allow(banned-fn): public test constants\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintSuppress, NextLineSuppressionDropsTheFinding)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "int f() {\n"
+        "    // sblint:allow-next-line(ambient-nondeterminism): startup config read\n"
+        "    return rand();\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintSuppress, NextLineSuppressionOnlyCoversTheNextLine)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "int f() {\n"
+        "    // sblint:allow-next-line(ambient-nondeterminism): covers line 3 only\n"
+        "    int a = rand();\n"
+        "    int b = rand();\n"
+        "    return a + b;\n"
+        "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::AmbientNondeterminism);
+    EXPECT_EQ(fs[0].line, 4u);
+}
+
+TEST(SbLintSuppress, SuppressionIsRuleSpecific)
+{
+    // An allow for a different rule does not mute the real finding.
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "// sblint:allow-next-line(banned-fn): wrong rule on purpose\n"
+        "int f() { return rand(); }\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::AmbientNondeterminism);
+}
+
+TEST(SbLintSuppress, MultiRuleSuppressionCoversAllNamedRules)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "void f() {\n"
+        "    g_cache.clear();"
+        "  // sblint:allow(missing-stats-lock,unordered-iteration):"
+        " init path runs before workers start\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintSuppress, UnknownRuleNameIsABadSuppression)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "// sblint:allow-next-line(no-such-rule): misspelled\n"
+        "int f() { return 0; }\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::BadSuppression);
+    EXPECT_EQ(fs[0].line, 1u);
+}
+
+TEST(SbLintSuppress, MissingJustificationIsABadSuppression)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "int f() { return rand(); }"
+        "  // sblint:allow(ambient-nondeterminism)\n");
+    ASSERT_EQ(fs.size(), 2u);  // The defect AND the unmuted finding.
+    EXPECT_TRUE(fired(fs, Rule::BadSuppression));
+    EXPECT_TRUE(fired(fs, Rule::AmbientNondeterminism));
+}
+
+TEST(SbLintSuppress, BadSuppressionItselfCannotBeAllowed)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "// sblint:allow-next-line(bad-suppression): nice try\n"
+        "int f() { return 0; }\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::BadSuppression);
+}
+
+// ---------------------------------------------------------------------
+// Comments and strings are not code
+// ---------------------------------------------------------------------
+
+TEST(SbLintStrip, CommentedAndQuotedCodeNeverFires)
+{
+    const auto fs = lintOne(
+        "src/sim/X.cc",
+        "// int bad = rand();\n"
+        "/* memcmp(a, b, 8); */\n"
+        "const char *s = \"rand() time() memcmp(\";\n"
+        "R\"(raw rand() string)\";\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------
+
+TEST(SbLintOutput, HumanFormatIsStable)
+{
+    Finding f{"src/oram/X.cc", 12, Rule::BannedFn, "boom"};
+    EXPECT_EQ(formatHuman(f), "src/oram/X.cc:12: [banned-fn] boom");
+}
+
+TEST(SbLintOutput, JsonRoundTripsLosslessly)
+{
+    std::vector<Finding> in = {
+        {"src/oram/X.cc", 3, Rule::UnorderedIteration,
+         "plain message"},
+        {"src/sim/Y.cc", 99, Rule::MissingStatsLock,
+         "quotes \" backslash \\ newline \n tab \t done"},
+    };
+    std::vector<Finding> out;
+    ASSERT_TRUE(findingsFromJson(findingsToJson(in), out));
+    EXPECT_EQ(in, out);
+}
+
+TEST(SbLintOutput, EmptyFindingsRoundTrip)
+{
+    std::vector<Finding> out;
+    ASSERT_TRUE(findingsFromJson(findingsToJson({}), out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SbLintOutput, MalformedJsonIsRejected)
+{
+    std::vector<Finding> out;
+    EXPECT_FALSE(findingsFromJson("not json", out));
+    EXPECT_FALSE(findingsFromJson("[{\"file\":\"x\"}", out));
+    EXPECT_FALSE(findingsFromJson(
+        "[{\"file\":\"x\",\"line\":1,"
+        "\"rule\":\"no-such-rule\",\"message\":\"m\"}]",
+        out));
+}

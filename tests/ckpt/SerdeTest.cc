@@ -53,7 +53,7 @@ TEST(Serde, DoublesAreBitExact)
     Deserializer d(s.buffer().data(), s.buffer().size());
     for (double v : values) {
         const double got = d.f64();
-        EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+        EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);  // sblint:allow(banned-fn): bit-pattern check on public test constants, not tag material
     }
 
     Serializer n;

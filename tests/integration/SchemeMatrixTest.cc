@@ -65,10 +65,12 @@ TEST_P(SchemeMatrix, RunsWithConsistentMetrics)
         EXPECT_GT(m.pathReads, 0u);
         EXPECT_EQ(m.stashOverflows, 0u);
     }
-    if (p.scheme == Scheme::Shadow)
+    if (p.scheme == Scheme::Shadow) {
         EXPECT_GT(m.shadowsWritten, 0u);
-    if (!p.tp)
+    }
+    if (!p.tp) {
         EXPECT_EQ(m.dummyRequests, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

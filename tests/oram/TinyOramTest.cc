@@ -187,8 +187,9 @@ TEST(TinyOram, XorCompressionForwardsAtEnd)
             // so forwarding cannot beat the read's completion (the
             // controller may stay busy longer when this access also
             // triggered the A-th eviction).
-            if (!evicted)
+            if (!evicted) {
                 EXPECT_GE(r.forwardAt + cfg.aesLatency, r.completeAt);
+            }
         }
     }
 }

@@ -202,6 +202,7 @@ TEST(ExperimentRunner, DeferRetryHonoursRetryability)
     // Transient failures retry up to the budget, then propagate.
     unsigned calls = 0;
     Future<unsigned> healed = pool.deferRetry(
+        // sblint:allow-next-line(missing-stats-lock): retry-count probe; future.get() synchronizes before the counter is read
         [&calls](unsigned attempt) -> unsigned {
             ++calls;
             if (attempt < 2)
@@ -214,6 +215,7 @@ TEST(ExperimentRunner, DeferRetryHonoursRetryability)
 
     calls = 0;
     Future<unsigned> exhausted = pool.deferRetry(
+        // sblint:allow-next-line(missing-stats-lock): retry-count probe; future.get() synchronizes before the counter is read
         [&calls](unsigned) -> unsigned {
             ++calls;
             throw Transient();
@@ -225,6 +227,7 @@ TEST(ExperimentRunner, DeferRetryHonoursRetryability)
     // Non-retryable errors fail immediately, no second attempt.
     calls = 0;
     Future<unsigned> fatal = pool.deferRetry(
+        // sblint:allow-next-line(missing-stats-lock): retry-count probe; future.get() synchronizes before the counter is read
         [&calls](unsigned) -> unsigned {
             ++calls;
             throw SimError("permanent");
@@ -251,6 +254,7 @@ TEST(ExperimentRunner, DefaultThreadsRespectsEnvironment)
 {
     // Only checks the parsing contract: an explicit override wins.
     // (The environment is process-global, so restore it.)
+    // sblint:allow-next-line(ambient-nondeterminism): test saves/restores the env var it is exercising
     const char *old = std::getenv("SB_BENCH_THREADS");
     const std::string saved = old ? old : "";
 

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Run every static analysis gate in one shot.  Registered as the
+# `lint_all` ctest (tests/); also usable standalone:
+#
+#     tools/lint_all.sh [source-dir] [build-dir]
+#
+# Always runs sblint (built on demand).  Additionally runs clang-tidy
+# over src/ when both the tool and the compile database exist —
+# minimal containers ship only g++, so clang-tidy is best-effort and
+# its absence is reported, not fatal.
+set -eu
+
+SRC_DIR=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+BUILD_DIR=${2:-$SRC_DIR/build}
+
+if [ ! -x "$BUILD_DIR/tools/sblint/sblint" ]; then
+    cmake -S "$SRC_DIR" -B "$BUILD_DIR" >/dev/null
+    cmake --build "$BUILD_DIR" --target sblint -j >/dev/null
+fi
+
+echo "== sblint =="
+"$BUILD_DIR/tools/sblint/sblint" --root "$SRC_DIR" \
+    "$SRC_DIR/src" "$SRC_DIR/bench" "$SRC_DIR/tests"
+
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy: not installed; skipped (sblint still gates)"
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "clang-tidy: no compile_commands.json in $BUILD_DIR; skipped"
+else
+    # shellcheck disable=SC2046  # word-splitting the file list is the point
+    clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' \
+        $(find "$SRC_DIR/src" -name '*.cc' | sort)
+    echo "clang-tidy: clean"
+fi

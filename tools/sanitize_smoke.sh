@@ -24,3 +24,17 @@ UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     "$BUILD_DIR/tests/test_fault"
 UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     "$BUILD_DIR/tests/test_ckpt"
+
+# The full hardening matrix, for orientation.  This script is one
+# row; the others are sibling ctests (ctest -R <name>).
+cat <<'EOF'
+
+tooling gate       ctest name      what it covers
+-----------------  --------------  --------------------------------
+ASan/UBSan         sanitize_smoke  fault + checkpoint memory safety
+ThreadSanitizer    tsan_smoke      runner pool / future handoff races
+sblint             sblint_smoke    determinism/obliviousness/serde
+                                   contracts (zero unsuppressed)
+sblint+clang-tidy  lint_all        the above + flow-sensitive checks
+                                   when clang-tidy is installed
+EOF

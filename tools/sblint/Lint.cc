@@ -1,0 +1,1061 @@
+#include "Lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sboram {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRegistry = {
+    {Rule::UnorderedIteration, "unordered-iteration",
+     "iteration over std::unordered_map/set in a sequence-sensitive "
+     "module (src/oram, src/shadow, src/ckpt, src/sim, src/fault) — "
+     "order is not deterministic across processes; iterate a sorted "
+     "view or justify why order cannot matter"},
+    {Rule::AmbientNondeterminism, "ambient-nondeterminism",
+     "ambient randomness or clock/environment read outside "
+     "src/common/Rng.hh and bench/BenchUtil.hh — all simulator "
+     "randomness must flow through the seeded Rng/PRF"},
+    {Rule::SecretBranch, "secret-branch",
+     "control flow on an SB_SECRET-annotated payload accessor inside "
+     "src/oram or src/shadow — the modelled hardware must not branch "
+     "on block plaintext"},
+    {Rule::UncheckedSerde, "unchecked-serde",
+     "Serde read helper called for its side effect with the typed "
+     "result discarded — use Deserializer::skip() to skip bytes, or "
+     "consume the value"},
+    {Rule::RawNewDelete, "raw-new-delete",
+     "raw new/delete outside the pool/arena files — use the owning "
+     "containers or VectorPool"},
+    {Rule::BannedFn, "banned-fn",
+     "banned libc call: memcmp on MAC/tag buffers must use the "
+     "constant-time compare (crypto/CtEq.hh); strcpy/sprintf/strcat/"
+     "gets are always out"},
+    {Rule::FloatAccum, "float-accum",
+     "floating-point accumulation in a Stats/metrics counter that "
+     "feeds byte-identical sweep output — accumulation order must be "
+     "fixed and justified"},
+    {Rule::MissingStatsLock, "missing-stats-lock",
+     "shared-state write on an ExperimentRunner worker path without "
+     "the owning-thread seam: no by-reference captures in worker "
+     "tasks; g_* state in src/sim needs a lock_guard in scope"},
+    {Rule::BadSuppression, "bad-suppression",
+     "malformed sblint suppression: unknown rule name or missing "
+     "justification text"},
+};
+
+// ---------------------------------------------------------------------
+// Comment/string stripping
+// ---------------------------------------------------------------------
+
+struct StrippedFile
+{
+    std::vector<std::string> code;     ///< Literals/comments blanked.
+    std::vector<std::string> comment;  ///< Comment text per line.
+};
+
+/**
+ * Blank string/char-literal contents and comments out of the source
+ * (preserving line structure and column positions) and collect the
+ * comment text per line — suppression directives live in comments.
+ */
+StrippedFile
+stripSource(const std::string &src)
+{
+    StrippedFile out;
+    std::string code, comment;
+    enum class St { Code, Line, Block, Str, Chr, Raw } st = St::Code;
+
+    auto flushLine = [&] {
+        out.code.push_back(code);
+        out.comment.push_back(comment);
+        code.clear();
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+        if (c == '\n') {
+            flushLine();
+            if (st == St::Line)
+                st = St::Code;
+            continue;
+        }
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                code += "  ";
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                code += "  ";
+                ++i;
+            } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
+                st = St::Raw;
+                code += ' ';
+            } else if (c == '"') {
+                st = St::Str;
+                code += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                code += '\'';
+            } else {
+                code += c;
+            }
+            break;
+        case St::Line:
+            comment += c;
+            code += ' ';
+            break;
+        case St::Block:
+            comment += c;
+            code += ' ';
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                code += ' ';
+                ++i;
+            }
+            break;
+        case St::Str:
+            if (c == '\\') {
+                code += "  ";
+                ++i;
+            } else if (c == '"') {
+                code += '"';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\') {
+                code += "  ";
+                ++i;
+            } else if (c == '\'') {
+                code += '\'';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+        case St::Raw:
+            code += ' ';
+            if (c == ')' && n == '"') {
+                code += ' ';
+                ++i;
+                st = St::Code;
+            }
+            break;
+        }
+    }
+    flushLine();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+struct Tok
+{
+    std::string text;
+    std::uint32_t line = 0;  ///< 1-based.
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdent(const std::string &t)
+{
+    return !t.empty() && isIdentStart(t[0]);
+}
+
+/** Two-character operators kept as one token. */
+bool
+mergePair(char a, char b)
+{
+    return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+           (a == '+' && b == '=') || (a == '-' && b == '=') ||
+           (a == '*' && b == '=') || (a == '/' && b == '=') ||
+           (a == '=' && b == '=') || (a == '!' && b == '=') ||
+           (a == '&' && b == '&') || (a == '|' && b == '|') ||
+           (a == '+' && b == '+') || (a == '-' && b == '-');
+}
+
+std::vector<Tok>
+tokenize(const std::vector<std::string> &lines)
+{
+    std::vector<Tok> toks;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string &s = lines[ln];
+        const std::uint32_t lineNo = static_cast<std::uint32_t>(ln + 1);
+        std::size_t i = 0;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+            } else if (isIdentStart(c)) {
+                std::size_t j = i + 1;
+                while (j < s.size() && isIdentChar(s[j]))
+                    ++j;
+                toks.push_back({s.substr(i, j - i), lineNo});
+                i = j;
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::size_t j = i + 1;
+                while (j < s.size() &&
+                       (isIdentChar(s[j]) || s[j] == '.' ||
+                        s[j] == '\''))
+                    ++j;
+                toks.push_back({s.substr(i, j - i), lineNo});
+                i = j;
+            } else if (i + 1 < s.size() && mergePair(c, s[i + 1])) {
+                toks.push_back({s.substr(i, 2), lineNo});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, c), lineNo});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+// ---------------------------------------------------------------------
+// Small helpers over token streams and paths
+// ---------------------------------------------------------------------
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+pathContains(const std::string &path, const std::string &needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+/** Index of the matching closer for the opener at @p open, or npos. */
+std::size_t
+matchForward(const std::vector<Tok> &t, std::size_t open,
+             const char *openSym, const char *closeSym)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].text == openSym)
+            ++depth;
+        else if (t[i].text == closeSym && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+struct Suppressions
+{
+    /** line (1-based) -> rules allowed on that line. */
+    std::map<std::uint32_t, std::set<Rule>> allow;
+    std::vector<Finding> defects;  ///< bad-suppression findings.
+};
+
+void
+parseDirective(const std::string &file, std::uint32_t lineNo,
+               const std::string &text, std::size_t at, bool nextLine,
+               Suppressions &out)
+{
+    const std::size_t open = text.find('(', at);
+    if (open == std::string::npos) {
+        out.defects.push_back(
+            {file, lineNo, Rule::BadSuppression,
+             "sblint:allow directive without a rule list"});
+        return;
+    }
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+        out.defects.push_back(
+            {file, lineNo, Rule::BadSuppression,
+             "unterminated sblint:allow rule list"});
+        return;
+    }
+
+    // Mandatory justification: "): <non-empty text>".
+    std::size_t p = close + 1;
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+    bool justified = p < text.size() && text[p] == ':';
+    if (justified) {
+        ++p;
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p])))
+            ++p;
+        justified = p < text.size();
+    }
+    if (!justified) {
+        out.defects.push_back(
+            {file, lineNo, Rule::BadSuppression,
+             "suppression lacks a justification (expected "
+             "\"sblint:allow(rule): why this is sound\")"});
+        return;
+    }
+
+    std::set<Rule> rules;
+    std::string name;
+    std::istringstream list(text.substr(open + 1, close - open - 1));
+    while (std::getline(list, name, ',')) {
+        // Trim.
+        const auto b = name.find_first_not_of(" \t");
+        const auto e = name.find_last_not_of(" \t");
+        name = b == std::string::npos
+                   ? std::string()
+                   : name.substr(b, e - b + 1);
+        Rule r;
+        if (!ruleFromName(name, r) || r == Rule::BadSuppression) {
+            out.defects.push_back(
+                {file, lineNo, Rule::BadSuppression,
+                 "suppression names unknown rule '" + name + "'"});
+            return;
+        }
+        rules.insert(r);
+    }
+    if (rules.empty()) {
+        out.defects.push_back(
+            {file, lineNo, Rule::BadSuppression,
+             "empty sblint:allow rule list"});
+        return;
+    }
+    const std::uint32_t target = nextLine ? lineNo + 1 : lineNo;
+    out.allow[target].insert(rules.begin(), rules.end());
+}
+
+Suppressions
+collectSuppressions(const std::string &file, const StrippedFile &sf)
+{
+    Suppressions out;
+    for (std::size_t ln = 0; ln < sf.comment.size(); ++ln) {
+        const std::string &c = sf.comment[ln];
+        const std::uint32_t lineNo = static_cast<std::uint32_t>(ln + 1);
+        std::size_t pos = 0;
+        while ((pos = c.find("sblint:allow", pos)) !=
+               std::string::npos) {
+            const bool nextLine =
+                c.compare(pos, 22, "sblint:allow-next-line") == 0;
+            parseDirective(file, lineNo, c, pos, nextLine, out);
+            pos += nextLine ? 22 : 12;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Declaration collection
+// ---------------------------------------------------------------------
+
+/** Variable names declared as std::unordered_map/unordered_set. */
+std::set<std::string>
+collectUnorderedVars(const std::vector<Tok> &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text != "unordered_map" &&
+            t[i].text != "unordered_set")
+            continue;
+        if (i + 1 >= t.size() || t[i + 1].text != "<")
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
+        // Skip ref/pointer/cv tokens between the type and the name.
+        std::size_t j = close + 1;
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "const"))
+            ++j;
+        if (j < t.size() && isIdent(t[j].text)) {
+            // An identifier followed by '(' is a function name.
+            if (j + 1 >= t.size() || t[j + 1].text != "(")
+                names.insert(t[j].text);
+        }
+    }
+    return names;
+}
+
+/** Identifiers annotated SB_SECRET (fields and accessors). */
+void
+collectSecrets(const std::vector<Tok> &t, std::set<std::string> &out)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text != "SB_SECRET")
+            continue;
+        std::string last;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            const std::string &x = t[j].text;
+            if (x == "(" || x == ";" || x == "=" || x == "{") {
+                if (!last.empty())
+                    out.insert(last);
+                break;
+            }
+            if (isIdent(x))
+                last = x;
+        }
+    }
+}
+
+/** Variable names declared double (incl. the PicoJoules alias). */
+std::set<std::string>
+collectDoubleVars(const std::vector<Tok> &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].text != "double" && t[i].text != "PicoJoules")
+            continue;
+        std::size_t j = i + 1;
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "const"))
+            ++j;
+        if (j < t.size() && isIdent(t[j].text) &&
+            (j + 1 >= t.size() || t[j + 1].text != "("))
+            names.insert(t[j].text);
+    }
+    return names;
+}
+
+// ---------------------------------------------------------------------
+// Per-rule scanners
+// ---------------------------------------------------------------------
+
+bool
+inSeqSensitiveModule(const std::string &path)
+{
+    return startsWith(path, "src/oram/") ||
+           startsWith(path, "src/shadow/") ||
+           startsWith(path, "src/ckpt/") ||
+           startsWith(path, "src/sim/") ||
+           startsWith(path, "src/fault/");
+}
+
+void
+scanUnorderedIteration(const std::string &path,
+                       const std::vector<Tok> &t,
+                       const std::set<std::string> &vars,
+                       std::vector<Finding> &out)
+{
+    if (!inSeqSensitiveModule(path))
+        return;
+    if (vars.empty())
+        return;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Range-for over an unordered container.
+        if (t[i].text == "for" && i + 1 < t.size() &&
+            t[i + 1].text == "(") {
+            const std::size_t close =
+                matchForward(t, i + 1, "(", ")");
+            if (close == std::string::npos)
+                continue;
+            std::size_t colon = std::string::npos;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (t[j].text == ":") {
+                    colon = j;
+                    break;
+                }
+            }
+            if (colon == std::string::npos)
+                continue;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (isIdent(t[j].text) && vars.count(t[j].text)) {
+                    out.push_back(
+                        {path, t[i].line, Rule::UnorderedIteration,
+                         "range-for over unordered container '" +
+                             t[j].text +
+                             "' — iteration order is not "
+                             "deterministic; iterate sorted keys"});
+                    break;
+                }
+            }
+        }
+        // Explicit iterator walk: var.begin() / var.cbegin().
+        if ((t[i].text == "begin" || t[i].text == "cbegin") &&
+            i >= 2 && i + 1 < t.size() && t[i + 1].text == "(" &&
+            (t[i - 1].text == "." || t[i - 1].text == "->") &&
+            vars.count(t[i - 2].text)) {
+            out.push_back(
+                {path, t[i].line, Rule::UnorderedIteration,
+                 "iterator walk over unordered container '" +
+                     t[i - 2].text +
+                     "' — iteration order is not deterministic"});
+        }
+    }
+}
+
+void
+scanAmbientNondeterminism(const std::string &path,
+                          const std::vector<Tok> &t,
+                          std::vector<Finding> &out)
+{
+    if (path == "src/common/Rng.hh" || path == "bench/BenchUtil.hh")
+        return;
+    static const std::set<std::string> kCallBanned = {
+        "rand", "srand", "time", "clock", "gettimeofday", "getenv",
+        "random"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text == "random_device") {
+            out.push_back({path, t[i].line,
+                           Rule::AmbientNondeterminism,
+                           "std::random_device draws entropy outside "
+                           "the seeded Rng — runs become "
+                           "irreproducible"});
+            continue;
+        }
+        if (!kCallBanned.count(t[i].text))
+            continue;
+        if (i + 1 >= t.size() || t[i + 1].text != "(")
+            continue;
+        // A member call obj.time(...) is not libc time().
+        if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->"))
+            continue;
+        out.push_back({path, t[i].line, Rule::AmbientNondeterminism,
+                       "'" + t[i].text +
+                           "()' is ambient nondeterminism — thread "
+                           "all randomness/config through the seeded "
+                           "Rng or a constructor parameter"});
+    }
+}
+
+void
+scanSecretBranch(const std::string &path, const std::vector<Tok> &t,
+                 const std::set<std::string> &secrets,
+                 std::vector<Finding> &out)
+{
+    if (secrets.empty())
+        return;
+    if (!startsWith(path, "src/oram/") &&
+        !startsWith(path, "src/shadow/"))
+        return;
+
+    auto secretAt = [&](std::size_t j) {
+        return isIdent(t[j].text) && secrets.count(t[j].text) != 0;
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &x = t[i].text;
+        // if/while/switch condition containing a secret accessor.
+        if ((x == "if" || x == "while" || x == "switch") &&
+            i + 1 < t.size() && t[i + 1].text == "(") {
+            const std::size_t close =
+                matchForward(t, i + 1, "(", ")");
+            if (close == std::string::npos)
+                continue;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (secretAt(j)) {
+                    out.push_back(
+                        {path, t[j].line, Rule::SecretBranch,
+                         "'" + x + "' condition reads SB_SECRET '" +
+                             t[j].text +
+                             "' — secret-dependent control flow"});
+                    break;
+                }
+            }
+        }
+        // Ternary / short-circuit with a secret on the same line.
+        if (x == "?" || x == "&&" || x == "||") {
+            for (std::size_t j = 0; j < t.size(); ++j) {
+                if (t[j].line == t[i].line && secretAt(j)) {
+                    out.push_back(
+                        {path, t[j].line, Rule::SecretBranch,
+                         "'" + x + "' operates on SB_SECRET '" +
+                             t[j].text +
+                             "' — secret-dependent control flow"});
+                    i = t.size();  // One finding per line is enough.
+                    break;
+                }
+            }
+        }
+    }
+    // Deduplicate per (line, rule): dense conditions repeat.
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.message) <
+                         std::tie(b.file, b.line, b.message);
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Finding &a, const Finding &b) {
+                              return a.file == b.file &&
+                                     a.line == b.line &&
+                                     a.rule == b.rule;
+                          }),
+              out.end());
+}
+
+void
+scanUncheckedSerde(const std::string &path, const std::vector<Tok> &t,
+                   std::vector<Finding> &out)
+{
+    static const std::set<std::string> kReaders = {
+        "u8", "u32", "u64", "f64", "str",
+        "vecU8", "vecU32", "vecU64"};
+    for (std::size_t i = 0; i + 5 < t.size(); ++i) {
+        // Statement start: beginning of file or after ; { }.
+        if (i > 0 && t[i - 1].text != ";" && t[i - 1].text != "{" &&
+            t[i - 1].text != "}")
+            continue;
+        std::size_t j = i;
+        // Optional explicit discard "(void)" still wastes the typed
+        // result; the sanctioned spelling is Deserializer::skip().
+        if (t[j].text == "(" && j + 2 < t.size() &&
+            t[j + 1].text == "void" && t[j + 2].text == ")")
+            j += 3;
+        if (j + 4 >= t.size() || !isIdent(t[j].text))
+            continue;
+        if (t[j + 1].text != "." && t[j + 1].text != "->")
+            continue;
+        if (!kReaders.count(t[j + 2].text))
+            continue;
+        if (t[j + 3].text == "(" && t[j + 4].text == ")" &&
+            j + 5 < t.size() && t[j + 5].text == ";") {
+            out.push_back(
+                {path, t[j].line, Rule::UncheckedSerde,
+                 "result of '" + t[j + 2].text +
+                     "()' discarded — use Deserializer::skip() or "
+                     "consume the value"});
+        }
+    }
+}
+
+void
+scanRawNewDelete(const std::string &path, const std::vector<Tok> &t,
+                 std::vector<Finding> &out)
+{
+    if (path == "src/common/VectorPool.hh")
+        return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &x = t[i].text;
+        if (x != "new" && x != "delete")
+            continue;
+        const std::string prev = i > 0 ? t[i - 1].text : "";
+        if (x == "delete" && (prev == "=" || prev == "operator"))
+            continue;  // Deleted function / operator overload.
+        if (x == "new" && prev == "operator")
+            continue;
+        out.push_back({path, t[i].line, Rule::RawNewDelete,
+                       "raw '" + x +
+                           "' — use std::make_unique/containers or "
+                           "the VectorPool arena"});
+    }
+}
+
+void
+scanBannedFn(const std::string &path, const std::vector<Tok> &t,
+             std::vector<Finding> &out)
+{
+    static const std::set<std::string> kBanned = {
+        "memcmp", "strcpy", "strcat", "sprintf", "vsprintf", "gets"};
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!kBanned.count(t[i].text) || t[i + 1].text != "(")
+            continue;
+        if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->"))
+            continue;
+        const bool isMemcmp = t[i].text == "memcmp";
+        out.push_back(
+            {path, t[i].line, Rule::BannedFn,
+             isMemcmp
+                 ? std::string(
+                       "memcmp is not constant-time — compare "
+                       "MAC/tag bytes with constTimeEq "
+                       "(crypto/CtEq.hh), or justify public data")
+                 : "'" + t[i].text + "' is banned (unbounded/unsafe)"});
+    }
+}
+
+void
+scanFloatAccum(const std::string &path, const std::vector<Tok> &t,
+               std::vector<Finding> &out)
+{
+    const bool inScope = pathContains(path, "src/common/Stats") ||
+                         startsWith(path, "src/sim/") ||
+                         pathContains(path, "src/mem/EnergyModel");
+    if (!inScope)
+        return;
+    const std::set<std::string> doubles = collectDoubleVars(t);
+    if (doubles.empty())
+        return;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i + 1].text != "+=" && t[i + 1].text != "-=")
+            continue;
+        if (isIdent(t[i].text) && doubles.count(t[i].text)) {
+            out.push_back(
+                {path, t[i].line, Rule::FloatAccum,
+                 "floating-point accumulation into '" + t[i].text +
+                     "' — rounding depends on accumulation order; "
+                     "justify the fixed order or use integers"});
+        }
+    }
+}
+
+void
+scanMissingStatsLock(const std::string &path,
+                     const std::vector<Tok> &t,
+                     std::vector<Finding> &out)
+{
+    // (a) Worker tasks must be self-contained: a by-reference capture
+    // lets the task write state shared with other tasks, bypassing
+    // the future (the owning-thread seam).  Applies everywhere.
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].text != "defer" && t[i].text != "deferRetry")
+            continue;
+        if (t[i + 1].text != "(" || t[i + 2].text != "[")
+            continue;
+        const std::size_t close = matchForward(t, i + 2, "[", "]");
+        if (close == std::string::npos)
+            continue;
+        for (std::size_t j = i + 3; j < close; ++j) {
+            if (t[j].text == "&" || t[j].text == "&&") {
+                out.push_back(
+                    {path, t[j].line, Rule::MissingStatsLock,
+                     "worker task captures by reference — results "
+                     "must flow back through the future (the "
+                     "owning-thread seam); capture by value"});
+                break;
+            }
+        }
+    }
+
+    // (b) Lock discipline around process-shared g_* state in src/sim:
+    // any mutation must have a lock_guard/unique_lock declared in an
+    // enclosing block.
+    if (!startsWith(path, "src/sim/"))
+        return;
+    static const std::set<std::string> kMutators = {
+        "emplace", "emplace_back", "insert", "erase", "clear",
+        "push_back", "push_front", "pop_back", "pop_front", "resize",
+        "assign", "reserve"};
+    int depth = 0;
+    std::vector<int> lockDepths;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &x = t[i].text;
+        if (x == "{") {
+            ++depth;
+        } else if (x == "}") {
+            --depth;
+            while (!lockDepths.empty() && lockDepths.back() > depth)
+                lockDepths.pop_back();
+        } else if (x == "lock_guard" || x == "unique_lock" ||
+                   x == "scoped_lock") {
+            lockDepths.push_back(depth);
+        } else if (isIdent(x) && startsWith(x, "g_")) {
+            bool write = false;
+            if (i + 1 < t.size()) {
+                const std::string &nx = t[i + 1].text;
+                write = nx == "=" || nx == "+=" || nx == "-=" ||
+                        nx == "++" || nx == "--" || nx == "[";
+                if ((nx == "." || nx == "->") && i + 2 < t.size() &&
+                    kMutators.count(t[i + 2].text))
+                    write = true;
+            }
+            if (i > 0 &&
+                (t[i - 1].text == "++" || t[i - 1].text == "--"))
+                write = true;
+            if (write && lockDepths.empty()) {
+                out.push_back(
+                    {path, t[i].line, Rule::MissingStatsLock,
+                     "write to shared '" + x +
+                         "' without a lock_guard/unique_lock in "
+                         "scope"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** Parse one JSON string starting at s[i] == '"'. */
+bool
+jsonString(const std::string &s, std::size_t &i, std::string &out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\') {
+            if (i + 1 >= s.size())
+                return false;
+            const char e = s[i + 1];
+            if (e == '"') out += '"';
+            else if (e == '\\') out += '\\';
+            else if (e == 'n') out += '\n';
+            else if (e == 't') out += '\t';
+            else if (e == 'u') {
+                if (i + 5 >= s.size())
+                    return false;
+                out += static_cast<char>(
+                    std::stoi(s.substr(i + 2, 4), nullptr, 16));
+                i += 4;
+            } else
+                return false;
+            i += 2;
+        } else {
+            out += s[i++];
+        }
+    }
+    if (i >= s.size())
+        return false;
+    ++i;  // Closing quote.
+    return true;
+}
+
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleRegistry()
+{
+    return kRegistry;
+}
+
+bool
+ruleFromName(const std::string &name, Rule &out)
+{
+    for (const RuleInfo &r : kRegistry) {
+        if (name == r.name) {
+            out = r.rule;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+ruleName(Rule rule)
+{
+    for (const RuleInfo &r : kRegistry)
+        if (r.rule == rule)
+            return r.name;
+    return "?";
+}
+
+std::vector<Finding>
+lintSources(const std::vector<SourceFile> &sources)
+{
+    // Cross-file pre-pass: the SB_SECRET annotation set and the
+    // unordered-container variable set.  Declarations live in headers
+    // (Block.hh, Stash.hh); uses live in .cc files, so both sets are
+    // the union over every input.
+    std::set<std::string> secrets;
+    std::set<std::string> unorderedVars;
+    std::vector<StrippedFile> stripped;
+    std::vector<std::vector<Tok>> tokens;
+    stripped.reserve(sources.size());
+    tokens.reserve(sources.size());
+    for (const SourceFile &src : sources) {
+        stripped.push_back(stripSource(src.content));
+        tokens.push_back(tokenize(stripped.back().code));
+        collectSecrets(tokens.back(), secrets);
+        const auto vars = collectUnorderedVars(tokens.back());
+        unorderedVars.insert(vars.begin(), vars.end());
+    }
+
+    std::vector<Finding> all;
+    for (std::size_t f = 0; f < sources.size(); ++f) {
+        const std::string &path = sources[f].path;
+        const std::vector<Tok> &t = tokens[f];
+
+        std::vector<Finding> raw;
+        scanUnorderedIteration(path, t, unorderedVars, raw);
+        scanAmbientNondeterminism(path, t, raw);
+        scanSecretBranch(path, t, secrets, raw);
+        scanUncheckedSerde(path, t, raw);
+        scanRawNewDelete(path, t, raw);
+        scanBannedFn(path, t, raw);
+        scanFloatAccum(path, t, raw);
+        scanMissingStatsLock(path, t, raw);
+
+        const Suppressions sup =
+            collectSuppressions(path, stripped[f]);
+        for (const Finding &fd : raw) {
+            const auto it = sup.allow.find(fd.line);
+            if (it != sup.allow.end() && it->second.count(fd.rule))
+                continue;
+            all.push_back(fd);
+        }
+        all.insert(all.end(), sup.defects.begin(),
+                   sup.defects.end());
+    }
+
+    std::sort(all.begin(), all.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all;
+}
+
+std::string
+formatHuman(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": [" +
+           ruleName(f.rule) + "] " + f.message;
+}
+
+std::string
+findingsToJson(const std::vector<Finding> &findings)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            out += ",";
+        out += "\n  {\"file\": \"";
+        jsonEscape(out, f.file);
+        out += "\", \"line\": " + std::to_string(f.line) +
+               ", \"rule\": \"";
+        out += ruleName(f.rule);
+        out += "\", \"message\": \"";
+        jsonEscape(out, f.message);
+        out += "\"}";
+    }
+    out += findings.empty() ? "]\n" : "\n]\n";
+    return out;
+}
+
+bool
+findingsFromJson(const std::string &json, std::vector<Finding> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    skipWs(json, i);
+    if (i >= json.size() || json[i] != '[')
+        return false;
+    ++i;
+    skipWs(json, i);
+    if (i < json.size() && json[i] == ']')
+        return true;
+    for (;;) {
+        skipWs(json, i);
+        if (i >= json.size() || json[i] != '{')
+            return false;
+        ++i;
+        Finding f;
+        for (int field = 0; field < 4; ++field) {
+            skipWs(json, i);
+            std::string key;
+            if (!jsonString(json, i, key))
+                return false;
+            skipWs(json, i);
+            if (i >= json.size() || json[i] != ':')
+                return false;
+            ++i;
+            skipWs(json, i);
+            if (key == "line") {
+                std::size_t start = i;
+                while (i < json.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(json[i])))
+                    ++i;
+                if (i == start)
+                    return false;
+                f.line = static_cast<std::uint32_t>(
+                    std::stoul(json.substr(start, i - start)));
+            } else {
+                std::string val;
+                if (!jsonString(json, i, val))
+                    return false;
+                if (key == "file")
+                    f.file = val;
+                else if (key == "rule") {
+                    if (!ruleFromName(val, f.rule))
+                        return false;
+                } else if (key == "message")
+                    f.message = val;
+                else
+                    return false;
+            }
+            skipWs(json, i);
+            if (field < 3) {
+                if (i >= json.size() || json[i] != ',')
+                    return false;
+                ++i;
+            }
+        }
+        skipWs(json, i);
+        if (i >= json.size() || json[i] != '}')
+            return false;
+        ++i;
+        out.push_back(std::move(f));
+        skipWs(json, i);
+        if (i < json.size() && json[i] == ',') {
+            ++i;
+            continue;
+        }
+        break;
+    }
+    skipWs(json, i);
+    if (i >= json.size() || json[i] != ']')
+        return false;
+    return true;
+}
+
+} // namespace lint
+} // namespace sboram

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * sblint — the repo-specific static analyzer.
+ *
+ * A token/line-level scanner (no libclang) that mechanically enforces
+ * the contracts every result in this repo rests on: deterministic
+ * iteration in sequence-sensitive modules, no ambient randomness, no
+ * secret-dependent control flow in the modelled hardware, checked
+ * serde reads, pooled allocation, constant-time tag comparison,
+ * justified floating-point accumulation, and lock discipline around
+ * the ExperimentRunner's shared state.
+ *
+ * Violations that are intentional carry a per-line suppression with a
+ * mandatory written justification:
+ *
+ *     code();  // sblint:allow(rule-name): why this is sound
+ *     // sblint:allow-next-line(rule-name): why the next line is sound
+ *     code();
+ *
+ * A suppression naming an unknown rule, or carrying no justification
+ * text, is itself a finding (`bad-suppression`) — the analyzer never
+ * silently ignores a typo.
+ *
+ * The scanner is deliberately a library (sb_lint) with a thin CLI on
+ * top so the unit tests can lint in-memory fixture snippets without
+ * touching the filesystem.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_LINT_HH
+#define SBORAM_TOOLS_SBLINT_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sboram {
+namespace lint {
+
+/** Every rule the analyzer knows.  Order is the report order. */
+enum class Rule : std::uint8_t
+{
+    UnorderedIteration,   ///< unordered-iteration
+    AmbientNondeterminism,///< ambient-nondeterminism
+    SecretBranch,         ///< secret-branch
+    UncheckedSerde,       ///< unchecked-serde
+    RawNewDelete,         ///< raw-new-delete
+    BannedFn,             ///< banned-fn
+    FloatAccum,           ///< float-accum
+    MissingStatsLock,     ///< missing-stats-lock
+    BadSuppression,       ///< bad-suppression (meta rule; never allowed)
+};
+
+/** Registry row: stable name + one-line contract description. */
+struct RuleInfo
+{
+    Rule rule;
+    const char *name;
+    const char *description;
+};
+
+/** All registered rules, in report order. */
+const std::vector<RuleInfo> &ruleRegistry();
+
+/** Rule for a stable name; false when the name is unknown. */
+bool ruleFromName(const std::string &name, Rule &out);
+
+/** Stable name of @p rule. */
+const char *ruleName(Rule rule);
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string file;    ///< Repo-relative path as given to the linter.
+    std::uint32_t line = 0;  ///< 1-based.
+    Rule rule = Rule::BadSuppression;
+    std::string message;
+
+    bool operator==(const Finding &) const = default;
+};
+
+/** A source file handed to the linter (path decides rule scoping). */
+struct SourceFile
+{
+    std::string path;     ///< Repo-relative, '/'-separated.
+    std::string content;
+};
+
+/**
+ * Lint a set of sources as one unit.  Cross-file state (the SB_SECRET
+ * annotation set) is collected over *all* inputs first, then every
+ * file is scanned; findings come back ordered by (file, line, rule).
+ * Suppressed findings are dropped; defective suppressions surface as
+ * `bad-suppression` findings.
+ */
+std::vector<Finding> lintSources(const std::vector<SourceFile> &sources);
+
+/** Human-readable one-line rendering: `file:line: [rule] message`. */
+std::string formatHuman(const Finding &f);
+
+/** Serialize findings as a JSON array (stable field order). */
+std::string findingsToJson(const std::vector<Finding> &findings);
+
+/**
+ * Parse findingsToJson output back.  Returns false on malformed
+ * input or an unknown rule name.  Only consumes the exact schema the
+ * serializer emits — this is a round-trip check, not a JSON library.
+ */
+bool findingsFromJson(const std::string &json,
+                      std::vector<Finding> &out);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_LINT_HH

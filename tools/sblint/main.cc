@@ -1,0 +1,175 @@
+/**
+ * @file
+ * sblint CLI.
+ *
+ *     sblint [--json] [--list-rules] [--root DIR] PATH...
+ *
+ * Each PATH is a file or directory (directories are walked for
+ * .cc/.hh sources), resolved relative to --root (default: the
+ * current directory).  Exit status: 0 clean, 1 findings, 2 usage
+ * error.  Paths are reported repo-relative so rule scoping
+ * (src/oram/..., bench/...) works from any checkout location.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "Lint.hh"
+
+namespace {
+
+using sboram::lint::SourceFile;
+
+bool
+isSourcePath(const std::string &p)
+{
+    const auto dot = p.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = p.substr(dot);
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+/** Collect source files under @p rel (file or directory tree). */
+bool
+collect(const std::string &root, const std::string &rel,
+        std::vector<std::string> &out)
+{
+    const std::string full = root.empty() ? rel : root + "/" + rel;
+    struct stat st;
+    if (::stat(full.c_str(), &st) != 0) {
+        std::fprintf(stderr, "sblint: cannot stat '%s'\n",
+                     full.c_str());
+        return false;
+    }
+    if (S_ISREG(st.st_mode)) {
+        out.push_back(rel);
+        return true;
+    }
+    if (!S_ISDIR(st.st_mode))
+        return true;
+    DIR *dir = ::opendir(full.c_str());
+    if (dir == nullptr) {
+        std::fprintf(stderr, "sblint: cannot open '%s'\n",
+                     full.c_str());
+        return false;
+    }
+    bool ok = true;
+    while (const dirent *e = ::readdir(dir)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == ".." || name == "build" ||
+            name[0] == '.')
+            continue;
+        const std::string childRel = rel + "/" + name;
+        const std::string childFull = full + "/" + name;
+        struct stat cst;
+        if (::stat(childFull.c_str(), &cst) != 0)
+            continue;
+        if (S_ISDIR(cst.st_mode))
+            ok = collect(root, childRel, out) && ok;
+        else if (S_ISREG(cst.st_mode) && isSourcePath(name))
+            out.push_back(childRel);
+    }
+    ::closedir(dir);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string root;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : sboram::lint::ruleRegistry())
+                std::printf("%-24s %s\n", r.name, r.description);
+            return 0;
+        } else if (arg == "--root") {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "sblint: --root needs a directory\n");
+                return 2;
+            }
+            root = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: sblint [--json] [--list-rules] "
+                        "[--root DIR] PATH...\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sblint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: sblint [--json] [--list-rules] "
+                     "[--root DIR] PATH...\n");
+        return 2;
+    }
+
+    // An absolute PATH under --root is rewritten repo-relative so
+    // rule scoping (src/oram/..., bench/...) applies regardless of
+    // how the caller spelled the path (ctest passes absolutes).
+    for (std::string &p : paths) {
+        if (!root.empty() && p.size() > root.size() + 1 &&
+            p.compare(0, root.size(), root) == 0 &&
+            p[root.size()] == '/')
+            p = p.substr(root.size() + 1);
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &p : paths)
+        if (!collect(root, p, files))
+            return 2;
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (const std::string &rel : files) {
+        const std::string full =
+            root.empty() ? rel : root + "/" + rel;
+        std::ifstream in(full, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "sblint: cannot read '%s'\n",
+                         full.c_str());
+            return 2;
+        }
+        std::ostringstream body;
+        body << in.rdbuf();
+        sources.push_back({rel, body.str()});
+    }
+
+    const auto findings = sboram::lint::lintSources(sources);
+    if (json) {
+        std::fputs(sboram::lint::findingsToJson(findings).c_str(),
+                   stdout);
+    } else {
+        for (const auto &f : findings)
+            std::printf("%s\n", sboram::lint::formatHuman(f).c_str());
+        std::printf("sblint: %zu file(s), %zu finding(s)\n",
+                    files.size(), findings.size());
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Rebuild the concurrency-bearing tests under ThreadSanitizer and run
+# them with a wide worker pool.  Registered as the `tsan_smoke` ctest
+# (tests/); also usable standalone:  tools/tsan_smoke.sh [source-dir]
+#
+# The ExperimentRunner is the one genuinely threaded subsystem: worker
+# pool, future handoff, retry rescheduling, the process-wide trace
+# cache, and checkpoint side effects all cross threads.  TSan vets the
+# happens-before edges the determinism argument leans on (results only
+# flow through futures; g_* state only mutates under its mutex).
+#
+# Exits 77 — the ctest SKIP code — where the toolchain cannot produce
+# a working TSan binary, so the suite degrades instead of failing on
+# minimal containers.
+set -eu
+
+SRC_DIR=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+BUILD_DIR="$SRC_DIR/build-tsan"
+
+# Probe: can this toolchain link and run a TSan binary at all?
+PROBE_DIR=$(mktemp -d)
+trap 'rm -rf "$PROBE_DIR"' EXIT
+printf 'int main(){return 0;}\n' > "$PROBE_DIR/probe.cc"
+if ! c++ -fsanitize=thread "$PROBE_DIR/probe.cc" \
+        -o "$PROBE_DIR/probe" 2>/dev/null ||
+   ! "$PROBE_DIR/probe" 2>/dev/null; then
+    echo "tsan_smoke: toolchain lacks ThreadSanitizer support; skipping"
+    exit 77
+fi
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+    -DSB_SANITIZE=tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" --target test_sim -j >/dev/null
+
+# halt_on_error turns any report into a non-zero exit; the runner and
+# system suites cover defer/deferRetry, sweeps, trace caching and
+# resume under an 8-worker pool.
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+SB_BENCH_THREADS=8 \
+    "$BUILD_DIR/tests/test_sim" \
+    --gtest_filter='ExperimentRunner*:System*'
