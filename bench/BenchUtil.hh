@@ -27,6 +27,8 @@
 #include "common/Logging.hh"
 #include "common/Stats.hh"
 #include "common/Table.hh"
+#include "common/Version.hh"
+#include "obs/Observer.hh"
 #include "sim/ExperimentRunner.hh"
 #include "sim/System.hh"
 #include "workload/SpecProfiles.hh"
@@ -195,6 +197,134 @@ guardedMain(int (*body)())
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return kFatalExitCode;
     }
+}
+
+/** JSON string escaping for the manifest writer. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Basename of argv[0] without directories ("fig10_dri_counter_width"). */
+inline std::string
+benchName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name.empty() ? "bench" : name;
+}
+
+/**
+ * Write manifest-<bench>.json: the machine-readable record of a bench
+ * invocation — tree revision, experiment knobs, wall time, and every
+ * observability artifact the run produced.  One manifest per binary
+ * (not a shared manifest.json) so concurrent ctest invocations never
+ * clobber each other.
+ */
+inline void
+writeManifest(const std::string &dir, const std::string &bench,
+              int argc, char **argv, int exitCode,
+              std::uint64_t wallUs)
+{
+    std::string j = "{\n";
+    j += "  \"bench\": \"" + jsonEscape(bench) + "\",\n";
+    j += "  \"argv\": [";
+    for (int i = 0; i < argc; ++i) {
+        if (i)
+            j += ", ";
+        j += "\"" + jsonEscape(argv[i]) + "\"";
+    }
+    j += "],\n";
+    j += "  \"git_describe\": \"" + jsonEscape(kGitDescribe) + "\",\n";
+    j += "  \"exit_code\": " + std::to_string(exitCode) + ",\n";
+    j += "  \"wall_seconds\": " +
+         std::to_string(static_cast<double>(wallUs) / 1e6) + ",\n";
+    j += "  \"config\": {\n";
+    j += "    \"misses\": " + std::to_string(missesPerRun()) + ",\n";
+    j += "    \"seed\": " + std::to_string(kBenchSeed) + ",\n";
+    j += "    \"quick\": " +
+         std::string(quickMode() ? "true" : "false") + ",\n";
+    j += "    \"threads\": " +
+         std::to_string(ExperimentRunner::defaultThreads()) + ",\n";
+    const std::string *ckptDir = ckpt::activeDirectory();
+    j += "    \"ckpt_dir\": " +
+         (ckptDir ? "\"" + jsonEscape(*ckptDir) + "\""
+                  : std::string("null")) + ",\n";
+    j += "    \"schemes\": \"per point; see artifact labels\"\n";
+    j += "  },\n";
+    j += "  \"artifacts\": [";
+    bool first = true;
+    for (const std::string &path : obs::artifactLog()) {
+        j += first ? "\n    \"" : ",\n    \"";
+        j += jsonEscape(path) + "\"";
+        first = false;
+    }
+    j += first ? "]\n" : "\n  ]\n";
+    j += "}\n";
+
+    const std::string path = dir + "/manifest-" + bench + ".json";
+    if (!obs::writeTextFile(path, j))
+        SB_WARN("cannot write %s", path.c_str());
+}
+
+/**
+ * Argument-aware bench entry point: guardedMain plus
+ *   --obs-dir <dir>   redirect SB_OBS_* artifacts and the manifest
+ * Writes manifest-<bench>.json and (when any run was observed) the
+ * wall-clock runner-lane trace after the body finishes.
+ */
+inline int
+guardedMain(int argc, char **argv, int (*body)())
+{
+    std::string obsDir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--obs-dir" && i + 1 < argc) {
+            obsDir = argv[++i];
+        } else if (arg.rfind("--obs-dir=", 0) == 0) {
+            obsDir = arg.substr(10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--obs-dir DIR]\n"
+                         "unknown argument: %s\n",
+                         argv[0], arg.c_str());
+            return 2;
+        }
+    }
+    if (!obsDir.empty())
+        obs::setDirOverride(obsDir);
+
+    const std::uint64_t t0 = obs::wallMicros();
+    const int code = guardedMain(body);
+    const std::string dir = obsDir.empty() ? "." : obsDir;
+    obs::writeRunnerTrace(dir + "/trace-runner.json");
+    writeManifest(dir, benchName(argv[0]), argc, argv, code,
+                  obs::wallMicros() - t0);
+    return code;
 }
 
 } // namespace sboram::bench

@@ -69,7 +69,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return sboram::bench::guardedMain(runBench);
+    return sboram::bench::guardedMain(argc, argv, runBench);
 }

@@ -72,7 +72,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return sboram::bench::guardedMain(runBench);
+    return sboram::bench::guardedMain(argc, argv, runBench);
 }

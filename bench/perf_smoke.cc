@@ -1,12 +1,19 @@
 /**
  * @file
- * Timing microbench for the parallel experiment runner.
+ * Timing microbench for the parallel experiment runner and the
+ * observability layer's overhead contract.
  *
  * Runs a fixed set of experiment points (independent of
  * SB_BENCH_MISSES / SB_BENCH_QUICK, so numbers are comparable across
- * invocations) and reports wall-clock seconds and points/second for
- * the active SB_BENCH_THREADS setting.  Results land in
- * BENCH_perf.json next to the binary's working directory.
+ * invocations) three times: once to warm the trace cache, once with
+ * observability off (the reported throughput number), and once with
+ * tracing + metrics enabled.  Results land in BENCH_perf.json.
+ *
+ * Two assertions gate the exit code:
+ *  - the observed sweep must produce the same checksum as the
+ *    unobserved one (observability never changes results), and
+ *  - the observed sweep must finish within 2x the unobserved wall
+ *    time (a generous CI bound; typical overhead is a few percent).
  *
  * On a multi-core machine the expected scaling is near-linear until
  * the point count (24) stops covering the pool.
@@ -14,11 +21,38 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "BenchUtil.hh"
 
 using namespace sboram;
 using namespace sboram::bench;
+
+namespace {
+
+std::uint64_t
+checksumOf(const std::vector<RunMetrics> &results)
+{
+    // Checksum so a broken parallel path cannot silently pass.
+    std::uint64_t checksum = 0;
+    for (const RunMetrics &m : results)
+        checksum ^= m.execTime + m.requests * 31 + m.pathReads * 7;
+    return checksum;
+}
+
+double
+timedRun(ExperimentRunner &run,
+         const std::vector<ExperimentPoint> &points,
+         std::uint64_t &checksum)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunMetrics> results = run.runAll(points);
+    const auto t1 = std::chrono::steady_clock::now();
+    checksum = checksumOf(results);
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
 
 static int
 runBench()
@@ -56,25 +90,39 @@ runBench()
     }
 
     ExperimentRunner &run = runner();
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<RunMetrics> results = run.runAll(points);
-    const auto t1 = std::chrono::steady_clock::now();
 
-    const double seconds =
-        std::chrono::duration<double>(t1 - t0).count();
-    const double rate =
-        static_cast<double>(results.size()) / seconds;
+    // Warm-up pass: generates and caches the traces so neither timed
+    // pass pays the one-time generation cost.
+    std::uint64_t warmChecksum = 0;
+    timedRun(run, points, warmChecksum);
 
-    // Checksum so a broken parallel path cannot silently pass.
     std::uint64_t checksum = 0;
-    for (const RunMetrics &m : results)
-        checksum ^= m.execTime + m.requests * 31 + m.pathReads * 7;
+    const double seconds = timedRun(run, points, checksum);
+    const double rate =
+        static_cast<double>(points.size()) / seconds;
+
+    // Observed pass: identical points with tracing + metrics on.
+    const std::string obsDir = "obs_perf_smoke";
+    std::filesystem::create_directories(obsDir);
+    std::vector<ExperimentPoint> observed = points;
+    for (ExperimentPoint &p : observed) {
+        p.cfg.obs.trace = true;
+        p.cfg.obs.metrics = true;
+        p.cfg.obs.interval = 250;
+        p.cfg.obs.dir = obsDir;
+    }
+    std::uint64_t obsChecksum = 0;
+    const double obsSeconds = timedRun(run, observed, obsChecksum);
+    const double overheadPct =
+        seconds > 0.0 ? (obsSeconds / seconds - 1.0) * 100.0 : 0.0;
 
     std::printf("perf_smoke: %zu points, %u threads\n",
-                results.size(), run.threads());
+                points.size(), run.threads());
     std::printf("wall %.3f s, %.2f points/s, checksum %llx\n",
                 seconds, rate,
                 static_cast<unsigned long long>(checksum));
+    std::printf("observed wall %.3f s (%+.1f%% vs unobserved)\n",
+                obsSeconds, overheadPct);
 
     if (FILE *f = std::fopen("BENCH_perf.json", "w")) {
         std::fprintf(f,
@@ -84,20 +132,43 @@ runBench()
                      "  \"threads\": %u,\n"
                      "  \"wall_seconds\": %.6f,\n"
                      "  \"points_per_sec\": %.3f,\n"
+                     "  \"observed_wall_seconds\": %.6f,\n"
+                     "  \"obs_overhead_pct\": %.2f,\n"
                      "  \"checksum\": \"%llx\"\n"
                      "}\n",
-                     results.size(), run.threads(), seconds, rate,
+                     points.size(), run.threads(), seconds, rate,
+                     obsSeconds, overheadPct,
                      static_cast<unsigned long long>(checksum));
         std::fclose(f);
     } else {
         std::fprintf(stderr,
                      "perf_smoke: cannot write BENCH_perf.json\n");
     }
+
+    if (checksum != warmChecksum || obsChecksum != checksum) {
+        std::fprintf(stderr,
+                     "perf_smoke: checksum drift (warm %llx, plain "
+                     "%llx, observed %llx) — observability or the "
+                     "parallel path changed results\n",
+                     static_cast<unsigned long long>(warmChecksum),
+                     static_cast<unsigned long long>(checksum),
+                     static_cast<unsigned long long>(obsChecksum));
+        return 1;
+    }
+    // Generous 2x CI bound with half a second of slack for tiny
+    // absolute timings on loaded machines.
+    if (obsSeconds > 2.0 * seconds + 0.5) {
+        std::fprintf(stderr,
+                     "perf_smoke: observability overhead too high "
+                     "(%.3f s observed vs %.3f s plain)\n",
+                     obsSeconds, seconds);
+        return 1;
+    }
     return 0;
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return sboram::bench::guardedMain(runBench);
+    return sboram::bench::guardedMain(argc, argv, runBench);
 }

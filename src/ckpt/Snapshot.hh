@@ -52,6 +52,7 @@ enum SectionId : std::uint32_t
     kSectionDram = 5,     ///< DramModel bank/rank/channel timing.
     kSectionMetrics = 6,  ///< Partial RunMetrics (missRetireTimes).
     kSectionMem = 7,      ///< InsecureMemory baseline state.
+    kSectionObs = 8,      ///< Observability counters/sampler (optional).
     kSectionResult = 100, ///< Final RunMetrics of a completed point.
 };
 

@@ -17,7 +17,15 @@
 
 namespace sboram {
 
-/** Running scalar statistic: count, sum, min, max, mean, variance. */
+/**
+ * Running scalar statistic: count, sum, min, max, mean, variance.
+ *
+ * Variance uses Welford's online update (mean + centered M2) rather
+ * than the sum-of-squares identity E[x^2] - E[x]^2, which loses all
+ * significant digits when the mean dwarfs the spread (e.g. cycle
+ * timestamps around 1e9 with unit jitter cancel to garbage or go
+ * negative in doubles).
+ */
 class Accumulator
 {
   public:
@@ -27,8 +35,11 @@ class Accumulator
         ++_n;
         // sblint:allow-next-line(float-accum): samples arrive in deterministic single-thread order per run; accumulation order is fixed
         _sum += v;
-        // sblint:allow-next-line(float-accum): same fixed sample order as _sum
-        _sumSq += v * v;
+        const double delta = v - _mean;
+        // sblint:allow-next-line(float-accum): Welford update; same fixed sample order as _sum
+        _mean += delta / static_cast<double>(_n);
+        // sblint:allow-next-line(float-accum): Welford update; same fixed sample order as _sum
+        _m2 += delta * (v - _mean);
         if (v < _min)
             _min = v;
         if (v > _max)
@@ -37,17 +48,17 @@ class Accumulator
 
     std::uint64_t count() const { return _n; }
     double sum() const { return _sum; }
-    double mean() const { return _n ? _sum / static_cast<double>(_n) : 0.0; }
+    double mean() const { return _n ? _mean : 0.0; }
     double min() const { return _n ? _min : 0.0; }
     double max() const { return _n ? _max : 0.0; }
 
+    /** Population variance (divide by n, matching the old contract). */
     double
     variance() const
     {
         if (_n < 2)
             return 0.0;
-        double m = mean();
-        return _sumSq / static_cast<double>(_n) - m * m;
+        return _m2 / static_cast<double>(_n);
     }
 
     double stddev() const { return std::sqrt(variance()); }
@@ -56,7 +67,7 @@ class Accumulator
     reset()
     {
         _n = 0;
-        _sum = _sumSq = 0.0;
+        _sum = _mean = _m2 = 0.0;
         _min = std::numeric_limits<double>::infinity();
         _max = -std::numeric_limits<double>::infinity();
     }
@@ -64,7 +75,8 @@ class Accumulator
   private:
     std::uint64_t _n = 0;
     double _sum = 0.0;
-    double _sumSq = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
     double _min = std::numeric_limits<double>::infinity();
     double _max = -std::numeric_limits<double>::infinity();
 };

@@ -23,6 +23,7 @@ InOrderCpu::run(const std::vector<LlcMissRecord> &trace,
         const LlcMissRecord &rec = trace[cur.nextIdx];
         cur.time += rec.computeGap;
         const Op op = rec.isWrite ? Op::Write : Op::Read;
+        const Cycles issue = cur.time;
         MemoryReply reply = port.request(rec.addr, op, cur.time);
         if (op == Op::Read) {
             // In-order core: stall until the data returns.
@@ -37,6 +38,8 @@ InOrderCpu::run(const std::vector<LlcMissRecord> &trace,
                                           reply.forwardAt);
         ++cur.nextIdx;
         ++cur.accessesDone;
+        cur.lastIssue = issue;
+        cur.lastForward = op == Op::Read ? reply.forwardAt : issue;
         if (hook)
             hook(cur);
     }
@@ -118,6 +121,8 @@ OooCpu::run(const std::vector<std::vector<LlcMissRecord>> &traces,
             ++cur.partial.writes;
         cur.partial.finishTime = std::max(cur.partial.finishTime, fwd);
         ++cur.accessesDone;
+        cur.lastIssue = bestReady;
+        cur.lastForward = fwd;
         if (hook)
             hook(cur);
     }

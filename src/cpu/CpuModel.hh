@@ -56,6 +56,16 @@ struct CpuCursor
 {
     std::uint64_t accessesDone = 0;
 
+    /**
+     * Issue and data-forward cycles of the most recently completed
+     * request, refreshed immediately before each CpuStepHook call so
+     * observers can derive per-request latency.  Transient: NOT part
+     * of saveState/loadState — the next request overwrites both, and
+     * a resumed run has no "previous request" to report.
+     */
+    Cycles lastIssue = 0;
+    Cycles lastForward = 0;
+
     // In-order state.
     Cycles time = 0;
     std::uint64_t nextIdx = 0;

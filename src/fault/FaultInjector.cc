@@ -165,6 +165,8 @@ FaultInjector::corrupt(CipherText &ct, std::uint64_t accessCount,
         ++_stats.stuckBits;
         break;
     }
+    if (_observer)
+        _observer(kind, slotIdx, false);
 }
 
 bool
@@ -185,6 +187,8 @@ FaultInjector::onSlotRewritten(std::uint64_t slotIdx, CipherText &ct)
     ++_stats.stuckReapplied;
     if (--cell.remaining == 0)
         _stuck.erase(it);
+    if (_observer)
+        _observer(FaultKind::StuckBit, slotIdx, true);
     return true;
 }
 

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -97,10 +98,22 @@ struct FaultStats
 class FaultInjector
 {
   public:
+    /**
+     * Optional observer invoked after every injected corruption:
+     * (kind, slotIdx, reapplied).  @p reapplied is true when the
+     * corruption came from an armed stuck cell on a rewrite rather
+     * than a freshly scheduled fault.  Used by the obs layer to emit
+     * trace instant events; must not mutate simulation state.
+     */
+    using Observer =
+        std::function<void(FaultKind, std::uint64_t, bool)>;
+
     explicit FaultInjector(const FaultConfig &cfg);
 
     const FaultConfig &config() const { return _cfg; }
     const FaultStats &stats() const { return _stats; }
+
+    void setObserver(Observer obs) { _observer = std::move(obs); }
 
     /** Deterministic: does access #n draw a fault? */
     bool shouldInject(std::uint64_t accessCount) const;
@@ -196,6 +209,7 @@ class FaultInjector
     PrfKey _key;
     std::unordered_map<std::uint64_t, StuckCell> _stuck;
     FaultStats _stats;
+    Observer _observer;
 };
 
 } // namespace sboram

@@ -1,0 +1,280 @@
+#include "Json.hh"
+
+#include <cctype>
+
+namespace sboram {
+namespace obs {
+
+namespace {
+
+/** Recursive-descent recognizer over @p s; true on success. */
+class Checker
+{
+  public:
+    explicit Checker(const std::string &s) : _s(s) {}
+
+    bool
+    document()
+    {
+        ws();
+        if (!value())
+            return false;
+        ws();
+        if (_i != _s.size())
+            return fail("trailing bytes after document");
+        return true;
+    }
+
+    std::size_t offset() const { return _i; }
+    const std::string &error() const { return _error; }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (_error.empty())
+            _error = why;
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (_i < _s.size() &&
+               (_s[_i] == ' ' || _s[_i] == '\t' || _s[_i] == '\n' ||
+                _s[_i] == '\r'))
+            ++_i;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++_i)
+            if (_i >= _s.size() || _s[_i] != *p)
+                return fail("malformed literal");
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (++_depth > kMaxDepth) {
+            --_depth;
+            return fail("nesting too deep");
+        }
+        bool ok = valueInner();
+        --_depth;
+        return ok;
+    }
+
+    bool
+    valueInner()
+    {
+        if (_i >= _s.size())
+            return fail("unexpected end of input");
+        switch (_s[_i]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_i;  // '{'
+        ws();
+        if (_i < _s.size() && _s[_i] == '}') {
+            ++_i;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (_i >= _s.size() || _s[_i] != '"')
+                return fail("object key must be a string");
+            if (!string())
+                return false;
+            ws();
+            if (_i >= _s.size() || _s[_i] != ':')
+                return fail("expected ':' after object key");
+            ++_i;
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (_i >= _s.size())
+                return fail("unterminated object");
+            if (_s[_i] == ',') {
+                ++_i;
+                continue;
+            }
+            if (_s[_i] == '}') {
+                ++_i;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++_i;  // '['
+        ws();
+        if (_i < _s.size() && _s[_i] == ']') {
+            ++_i;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (_i >= _s.size())
+                return fail("unterminated array");
+            if (_s[_i] == ',') {
+                ++_i;
+                continue;
+            }
+            if (_s[_i] == ']') {
+                ++_i;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string()
+    {
+        ++_i;  // opening quote
+        while (_i < _s.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(_s[_i]);
+            if (c == '"') {
+                ++_i;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                if (_i + 1 >= _s.size())
+                    return fail("dangling escape");
+                const char e = _s[_i + 1];
+                if (e == 'u') {
+                    if (_i + 5 >= _s.size())
+                        return fail("short \\u escape");
+                    for (int k = 2; k <= 5; ++k)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                _s[_i + k])))
+                            return fail("bad \\u escape digit");
+                    _i += 6;
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return fail("unknown escape");
+                _i += 2;
+                continue;
+            }
+            ++_i;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = _i;
+        if (_i < _s.size() && _s[_i] == '-')
+            ++_i;
+        if (_i >= _s.size() ||
+            !std::isdigit(static_cast<unsigned char>(_s[_i])))
+            return fail("malformed number");
+        if (_s[_i] == '0') {
+            ++_i;
+        } else {
+            while (_i < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_i])))
+                ++_i;
+        }
+        if (_i < _s.size() && _s[_i] == '.') {
+            ++_i;
+            if (_i >= _s.size() ||
+                !std::isdigit(static_cast<unsigned char>(_s[_i])))
+                return fail("digits required after decimal point");
+            while (_i < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_i])))
+                ++_i;
+        }
+        if (_i < _s.size() && (_s[_i] == 'e' || _s[_i] == 'E')) {
+            ++_i;
+            if (_i < _s.size() && (_s[_i] == '+' || _s[_i] == '-'))
+                ++_i;
+            if (_i >= _s.size() ||
+                !std::isdigit(static_cast<unsigned char>(_s[_i])))
+                return fail("digits required in exponent");
+            while (_i < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_i])))
+                ++_i;
+        }
+        return _i > start;
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &_s;
+    std::size_t _i = 0;
+    int _depth = 0;
+    std::string _error;
+};
+
+} // namespace
+
+JsonVerdict
+validateJson(const std::string &text)
+{
+    Checker c(text);
+    JsonVerdict v;
+    v.ok = c.document();
+    if (!v.ok) {
+        v.errorOffset = c.offset();
+        v.error = c.error().empty() ? "invalid JSON" : c.error();
+    }
+    return v;
+}
+
+JsonVerdict
+validateJsonl(const std::string &text)
+{
+    std::size_t lineStart = 0;
+    while (lineStart < text.size()) {
+        std::size_t lineEnd = text.find('\n', lineStart);
+        if (lineEnd == std::string::npos)
+            lineEnd = text.size();
+        const std::string line =
+            text.substr(lineStart, lineEnd - lineStart);
+        bool blank = true;
+        for (char c : line)
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        if (!blank) {
+            JsonVerdict v = validateJson(line);
+            if (!v.ok) {
+                v.errorOffset += lineStart;
+                return v;
+            }
+        }
+        lineStart = lineEnd + 1;
+    }
+    JsonVerdict ok;
+    ok.ok = true;
+    return ok;
+}
+
+} // namespace obs
+} // namespace sboram

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Strict JSON validator shared by the obs tests and the obs_check
+ * CLI.  This is a recognizer, not a parser: it accepts exactly the
+ * RFC 8259 grammar (objects, arrays, strings with the standard
+ * escapes, numbers, true/false/null) and reports the first defect
+ * with its byte offset.  No DOM is built, so arbitrarily large trace
+ * files validate in one streaming pass.
+ */
+
+#ifndef SBORAM_OBS_JSON_HH
+#define SBORAM_OBS_JSON_HH
+
+#include <cstddef>
+#include <string>
+
+namespace sboram {
+namespace obs {
+
+/** Outcome of validating one document. */
+struct JsonVerdict
+{
+    bool ok = false;
+    std::size_t errorOffset = 0;  ///< Byte offset of the defect.
+    std::string error;            ///< Empty when ok.
+};
+
+/** Validate one complete JSON document (trailing whitespace allowed). */
+JsonVerdict validateJson(const std::string &text);
+
+/**
+ * Validate JSON Lines: every non-empty line must be a complete JSON
+ * document.  The verdict's errorOffset is the absolute byte offset
+ * into @p text of the first defect.
+ */
+JsonVerdict validateJsonl(const std::string &text);
+
+} // namespace obs
+} // namespace sboram
+
+#endif // SBORAM_OBS_JSON_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Central registry of observability metric names (DESIGN.md §9).
+ *
+ * Every name a MetricRegistry counter/gauge/histogram is created
+ * under is declared here as a kMetric* constant.  Call sites must use
+ * these constants, never string literals — the sblint rule
+ * `untracked-metric` enforces it, which keeps the JSONL column set
+ * greppable from one header and prevents two subsystems from
+ * accidentally emitting the same series under two spellings.
+ *
+ * Naming convention: `<subsystem>.<quantity>`, lowercase, dots as
+ * separators (the names become JSON keys in the metrics artifact, so
+ * they must stay stable across releases).
+ */
+
+#ifndef SBORAM_OBS_METRICNAMES_HH
+#define SBORAM_OBS_METRICNAMES_HH
+
+namespace sboram {
+namespace obs {
+
+// --- Counters (monotonic, sampled cumulatively) ----------------------
+
+/** Real LLC requests served by the memory system. */
+inline constexpr char kMetricRequests[] = "oram.requests";
+/** Requests answered from the stash without a path access. */
+inline constexpr char kMetricStashHits[] = "oram.stash_hits";
+/** Tree path reads (requests, dummies and evictions). */
+inline constexpr char kMetricPathReads[] = "oram.path_reads";
+/** Path reads whose forward time a shadow copy advanced. */
+inline constexpr char kMetricShadowForwards[] = "oram.shadow_forwards";
+/** Shadow copies written into dummy slots. */
+inline constexpr char kMetricShadowsWritten[] = "oram.shadows_written";
+/** Corruptions healed from a duplicate copy. */
+inline constexpr char kMetricFaultsRecovered[] = "fault.recovered";
+/** Corruptions detected on read (tag failures). */
+inline constexpr char kMetricFaultsDetected[] = "fault.detected";
+/** Snapshots committed by the checkpoint hook. */
+inline constexpr char kMetricCheckpoints[] = "ckpt.snapshots";
+
+// --- Gauges (instantaneous, polled at each sample) -------------------
+
+/** Real blocks currently resident in the stash. */
+inline constexpr char kMetricStashReal[] = "stash.real";
+/** Shadow copies currently resident in the stash. */
+inline constexpr char kMetricStashShadow[] = "stash.shadow";
+/** Current HD/RD partition level P (paper Section IV-D). */
+inline constexpr char kMetricPartitionLevel[] = "policy.partition_level";
+/** Current DRI saturating-counter value. */
+inline constexpr char kMetricDriCounter[] = "policy.dri_counter";
+/** Running stash-hit rate (stashHits / requests). */
+inline constexpr char kMetricStashHitRate[] = "oram.stash_hit_rate";
+/** Mean tree levels a shadow forward advanced the data. */
+inline constexpr char kMetricShadowHitDepth[] = "oram.shadow_hit_depth";
+
+// --- Histograms ------------------------------------------------------
+
+/** Per-request forward latency (cycles from issue to LLC forward). */
+inline constexpr char kMetricReqLatency[] = "req.latency";
+
+} // namespace obs
+} // namespace sboram
+
+#endif // SBORAM_OBS_METRICNAMES_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Time-series metrics for one simulation run (DESIGN.md §9).
+ *
+ * A MetricRegistry holds named counters, gauges and histograms in
+ * registration order.  One registry belongs to exactly one run, and a
+ * run executes on exactly one ExperimentRunner worker, so every sink
+ * is a plain per-thread (unshared, lock-free) slot: the hot path is
+ * `++value` with no atomics and no locks.  Cross-run aggregation
+ * happens offline, over the emitted artifacts.
+ *
+ * The IntervalSampler snapshots every registered metric each N
+ * completed accesses into an in-memory row buffer, which is flushed
+ * as JSONL (one row object per line, fixed key order = registration
+ * order) when the run closes.  The rows travel inside checkpoints
+ * (ckpt::kSectionObs) so a resumed run neither loses nor
+ * double-counts samples.
+ */
+
+#ifndef SBORAM_OBS_METRICS_HH
+#define SBORAM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ckpt/Serde.hh"
+
+namespace sboram {
+namespace obs {
+
+/** Monotonic per-run counter; add() is the only mutation. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/** Fixed-bin histogram over [0, bins*width) with an overflow bin. */
+class HistogramSink
+{
+  public:
+    HistogramSink(std::size_t bins, double width)
+        : _width(width <= 0.0 ? 1.0 : width), _counts(bins + 1, 0) {}
+
+    void
+    sample(double v)
+    {
+        std::size_t bin = v < 0
+            ? 0
+            : static_cast<std::size_t>(v / _width);
+        if (bin >= _counts.size() - 1)
+            bin = _counts.size() - 1;
+        ++_counts[bin];
+        ++_n;
+    }
+
+    const std::vector<std::uint64_t> &counts() const { return _counts; }
+    std::uint64_t samples() const { return _n; }
+    double binWidth() const { return _width; }
+
+    void
+    saveState(ckpt::Serializer &out) const
+    {
+        out.f64(_width);
+        out.u64(_n);
+        out.vecU64(_counts);
+    }
+
+    void
+    loadState(ckpt::Deserializer &in)
+    {
+        _width = in.f64();
+        _n = in.u64();
+        _counts = in.vecU64();
+    }
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _n = 0;
+};
+
+/**
+ * Named metric container for one run.  Registration order is the
+ * artifact column order, so registering in a deterministic order
+ * makes the emitted files byte-stable across thread counts.
+ */
+class MetricRegistry
+{
+  public:
+    /** Counter under @p name (created on first use). */
+    Counter &counter(const char *name);
+
+    /** Register a polled gauge.  Re-registering replaces the fn. */
+    void gauge(const char *name, std::function<double()> fn);
+
+    /** Histogram under @p name (created on first use). */
+    HistogramSink &histogram(const char *name, std::size_t bins,
+                             double width);
+
+    /**
+     * Current value of every counter and gauge, in registration
+     * order (counters first).  Gauges are polled now.
+     */
+    std::vector<double> sampleValues() const;
+
+    /** Column names matching sampleValues(), in the same order. */
+    std::vector<std::string> sampleNames() const;
+
+    std::size_t counterCount() const { return _counters.size(); }
+    std::size_t gaugeCount() const { return _gauges.size(); }
+    std::size_t histogramCount() const { return _histograms.size(); }
+
+    /** Named histogram rows for the artifact footer. */
+    struct NamedHistogram
+    {
+        std::string name;
+        const HistogramSink *sink;
+    };
+    std::vector<NamedHistogram> histograms() const;
+
+    /** Counters and histogram contents travel; gauges re-register. */
+    void saveState(ckpt::Serializer &out) const;
+    void loadState(ckpt::Deserializer &in);
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        std::string name;
+        T item;
+    };
+
+    std::vector<Named<Counter>> _counters;
+    std::vector<Named<std::function<double()>>> _gauges;
+    std::vector<Named<HistogramSink>> _histograms;
+};
+
+/**
+ * Records one registry row every @p interval completed accesses.
+ * Rows carry (access count, simulated cycles, metric values).
+ */
+class IntervalSampler
+{
+  public:
+    IntervalSampler(MetricRegistry &registry, std::uint64_t interval)
+        : _registry(registry),
+          _interval(interval == 0 ? 1 : interval) {}
+
+    /** Observe an access boundary; samples when the cadence says so. */
+    void
+    onAccess(std::uint64_t accessesDone, std::uint64_t cycles)
+    {
+        if (accessesDone - _lastSampleAt < _interval)
+            return;
+        takeSample(accessesDone, cycles);
+    }
+
+    /** Unconditional sample (run start / run end). */
+    void takeSample(std::uint64_t accessesDone, std::uint64_t cycles);
+
+    struct Row
+    {
+        std::uint64_t access = 0;
+        std::uint64_t cycles = 0;
+        std::vector<double> values;
+    };
+
+    const std::vector<Row> &rows() const { return _rows; }
+    std::uint64_t interval() const { return _interval; }
+
+    /**
+     * Render rows + histogram footer as JSONL.  Key order is the
+     * registry's registration order; numbers use %.17g so the text
+     * round-trips doubles exactly (byte-stable across runs).
+     */
+    std::string renderJsonl() const;
+
+    /** Row buffer and cursor travel in checkpoints. */
+    void saveState(ckpt::Serializer &out) const;
+    void loadState(ckpt::Deserializer &in);
+
+  private:
+    MetricRegistry &_registry;
+    std::uint64_t _interval;
+    std::uint64_t _lastSampleAt = 0;
+    std::vector<Row> _rows;
+};
+
+/** Format a double the way every obs artifact does (%.17g). */
+std::string formatDouble(double v);
+
+} // namespace obs
+} // namespace sboram
+
+#endif // SBORAM_OBS_METRICS_HH

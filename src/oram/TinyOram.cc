@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/Errors.hh"
+#include "obs/Observer.hh"
 
 namespace sboram {
 
@@ -54,6 +55,26 @@ TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
             });
     }
     initializeTree();
+}
+
+void
+TinyOram::setObserver(obs::RunObserver *obs)
+{
+    _obs = obs;
+    if (!_faults)
+        return;
+    if (obs == nullptr) {
+        _faults->setObserver(FaultInjector::Observer{});
+        return;
+    }
+    _faults->setObserver([this](FaultKind, std::uint64_t,
+                                bool reapplied) {
+        if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+            t->instant(_obsPathTrack,
+                       reapplied ? "fault_stuck_reapplied"
+                                 : "fault_injected",
+                       _obsPathStart);
+    });
 }
 
 std::vector<std::uint64_t>
@@ -267,6 +288,14 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
     ++_stats.pathReads;
     if (_traceSink)
         _traceSink->onPathAccess(leaf, false);
+    if (_obs) {
+        // Evictions drain in the background and outlive the request
+        // that triggered them, so they get their own trace track.
+        _obsPathTrack = mode == ReadMode::Evict
+            ? obs::kTrackEviction
+            : obs::kTrackPipeline;
+        _obsPathStart = startTime;
+    }
     if (_faults)
         maybeInjectFaults(leaf);
 
@@ -287,6 +316,15 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
     out.finish = std::max(batch.finish,
                           startTime + _cfg.onChipLatency) +
                  _cfg.aesLatency;
+
+    if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr) {
+        t->complete(_obsPathTrack,
+                    mode == ReadMode::Evict ? "evict_path_read"
+                                            : "path_read",
+                    startTime, out.finish - startTime);
+        t->complete(_obsPathTrack, "crypto",
+                    out.finish - _cfg.aesLatency, _cfg.aesLatency);
+    }
 
     std::size_t dramIdx = 0;
     for (unsigned level = 0; level <= _geo.leafLevel; ++level) {
@@ -353,8 +391,16 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                         // sblint:allow-next-line(secret-branch): same MAC-verdict branch as annotated above
                         e.payload)) {
                     ++_stats.faultsDetected;
+                    if (obs::TraceSession *t =
+                            _obs ? _obs->trace() : nullptr)
+                        t->instant(_obsPathTrack, "fault_detected",
+                                   ready);
                     if (slot.isShadow()) {
                         ++_stats.faultsRecovered;
+                        if (obs::TraceSession *t =
+                                _obs ? _obs->trace() : nullptr)
+                            t->instant(_obsPathTrack,
+                                       "fault_recovered", ready);
                         _payloadPool.release(std::move(e.payload));
                         slot.clear();
                         _tree.eraseCipher(slotIdx);
@@ -366,8 +412,16 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                             // sblint:allow-next-line(secret-branch): same recovery-outcome branch as annotated above
                             e.payload)) {
                         ++_stats.faultsRecovered;
+                        if (obs::TraceSession *t =
+                                _obs ? _obs->trace() : nullptr)
+                            t->instant(_obsPathTrack,
+                                       "fault_recovered", ready);
                     } else {
                         ++_stats.faultsUnrecoverable;
+                        if (obs::TraceSession *t =
+                                _obs ? _obs->trace() : nullptr)
+                            t->instant(_obsPathTrack,
+                                       "fault_unrecoverable", ready);
                         handleUnrecoverable(slot, b, level,
                                             e.payload);
                     }
@@ -411,6 +465,10 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     ++_stats.pathWrites;
     if (_traceSink)
         _traceSink->onPathAccess(leaf, true);
+    if (_obs) {
+        _obsPathTrack = obs::kTrackEviction;
+        _obsPathStart = startTime;
+    }
     _policy->beginPathWrite(leaf);
 
     const unsigned ttl = _cfg.treetopLevels;
@@ -630,7 +688,12 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
 
     BatchTiming batch = _dram.accessBatch(
         startTime + _cfg.aesLatency, coords, true);
-    return std::max(batch.finish, startTime + _cfg.onChipLatency);
+    const Cycles done =
+        std::max(batch.finish, startTime + _cfg.onChipLatency);
+    if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+        t->complete(obs::kTrackEviction, "path_write", startTime,
+                    done - startTime);
+    return done;
 }
 
 Cycles
@@ -695,6 +758,9 @@ TinyOram::accessOne(Addr addr, Cycles startTime, Op op,
     if (read.usedShadow) {
         ++_stats.shadowForwards;
         SB_ASSERT(_geo.leafLevel >= read.forwardLevel, "level");
+        if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+            t->instant(obs::kTrackPipeline, "shadow_forward",
+                       read.forwardAt);
     }
 
     ++_accessCounter;
@@ -730,6 +796,8 @@ TinyOram::access(Addr addr, Op op, Cycles issueTime,
         ++_stats.onChipHits;
         if (hit->isShadow())
             ++_stats.shadowStashHits;
+        if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+            t->instant(obs::kTrackPipeline, "stash_hit", issueTime);
         if (op == Op::Write) {
             ++hit->version;
             if (_cfg.payloadEnabled) {
@@ -749,6 +817,10 @@ TinyOram::access(Addr addr, Op op, Cycles issueTime,
     AccessResult total;
     total.start = t;
 
+    obs::TraceSession *ts = _obs ? _obs->trace() : nullptr;
+    if (ts)
+        ts->begin(obs::kTrackPipeline, "access", t);
+
     // Step-2: position-map lookup; recursive levels may require
     // preceding ORAM accesses of their own (Freecursive [14]).
     std::vector<Addr> chain = _recursion.resolve(addr, _plb);
@@ -757,9 +829,13 @@ TinyOram::access(Addr addr, Op op, Cycles issueTime,
         if (pmHit && pmHit->type == BlockType::Real)
             continue;  // Already on chip.
         ++_stats.posMapAccesses;
+        const Cycles pmStart = t;
         AccessResult r = accessOne(pmAddr, t);
         t = r.completeAt;
         total.pathAccesses += r.pathAccesses;
+        if (ts)
+            ts->complete(obs::kTrackPipeline, "posmap_access",
+                         pmStart, t - pmStart);
     }
 
     AccessResult dataAccess = accessOne(addr, t, op, writeData);
@@ -771,6 +847,9 @@ TinyOram::access(Addr addr, Op op, Cycles issueTime,
     total.pathAccesses += dataAccess.pathAccesses;
     if (total.onChipHit)
         ++_stats.onChipHits;
+
+    if (ts)
+        ts->end(obs::kTrackPipeline, total.completeAt);
 
     _freeAt = total.completeAt;
     return total;
@@ -784,6 +863,9 @@ TinyOram::dummyAccess(Cycles issueTime)
     const LeafLabel leaf = _dummyRng.below(_geo.numLeaves);
     PathReadOutcome read = pathRead(leaf, ReadMode::Dummy,
                                     kInvalidAddr, t);
+    if (obs::TraceSession *trace = _obs ? _obs->trace() : nullptr)
+        trace->complete(obs::kTrackPipeline, "dummy_access", t,
+                        read.finish - t);
     ++_accessCounter;
     _policy->onRequestClassified(true);
     _freeAt = maybeEvict(read.finish);

@@ -42,6 +42,10 @@
 
 namespace sboram {
 
+namespace obs {
+class RunObserver;
+}
+
 /** Timing and provenance of one served LLC request. */
 struct AccessResult
 {
@@ -127,6 +131,15 @@ class TinyOram
 
     /** Attach an observer of the externally visible trace. */
     void setTraceSink(TraceSink *sink) { _traceSink = sink; }
+
+    /**
+     * Attach the run's observability hub (trace spans + instant
+     * events).  Null (the default) disables every hook: each site is
+     * a single branch on this pointer, like _traceSink.  Also hooks
+     * the fault injector so planted corruptions show up as trace
+     * instants.
+     */
+    void setObserver(obs::RunObserver *obs);
 
     /** Earliest time the controller can begin a new request. */
     Cycles freeAt() const { return _freeAt; }
@@ -280,6 +293,12 @@ class TinyOram
      */
     std::vector<StashEntry> _evictShadows;
     TraceSink *_traceSink = nullptr;
+    obs::RunObserver *_obs = nullptr;
+    /** Start time / trace track of the path access in flight, so the
+     *  fault-injector callback (which has no cycle context) can
+     *  timestamp its instant events. */
+    Cycles _obsPathStart = 0;
+    unsigned _obsPathTrack = 0;
     OramStats _stats;
 
     /** Recycled payload buffers (see VectorPool) — path reads pull

@@ -83,6 +83,9 @@ class ShadowPolicy : public DuplicationPolicy
     const ShadowPolicyStats &stats() const { return _stats; }
     const HotAddressCache &hotCache() const { return _hot; }
 
+    /** Current DRI counter value (obs time-series gauge). */
+    std::uint32_t driCounter() const { return _partition.counterValue(); }
+
     /**
      * Checkpoint the policy at an access boundary.  The duplication
      * queues and the per-path-write candidate list are rebuilt by

@@ -6,6 +6,7 @@
 
 #include "ckpt/Checkpoint.hh"
 #include "common/Logging.hh"
+#include "obs/Observer.hh"
 
 namespace sboram {
 
@@ -131,7 +132,11 @@ ExperimentRunner::ExperimentRunner(unsigned threads)
         return;  // Sequential path: no workers, tasks run inline.
     _workers.reserve(_threads);
     for (unsigned i = 0; i < _threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] {
+            // Worker lanes are 1-based; 0 is the inline/main lane.
+            obs::setWorkerIndex(i + 1);
+            workerLoop();
+        });
 }
 
 ExperimentRunner::~ExperimentRunner()
@@ -193,6 +198,13 @@ ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
             // bit-identical to a plain submit.
             SystemConfig c = cfg;
             c.oram.fault.seed += attempt;
+            obs::applyEnv(c.obs);
+            // Stable artifact names: one label per point identity,
+            // independent of thread count and launch order.
+            if (c.obs.any() && c.obs.label.empty())
+                c.obs.label = obs::makeLabel(
+                    workload,
+                    pointKey(c, workload, misses, seed, attempt));
             return runPointDurable(c, workload, misses, seed, attempt,
                                    trace);
         },
@@ -211,6 +223,10 @@ ExperimentRunner::submitTrace(const SystemConfig &cfg,
         [cfg, trace = std::move(trace)](unsigned attempt) {
             SystemConfig c = cfg;
             c.oram.fault.seed += attempt;
+            obs::applyEnv(c.obs);
+            if (c.obs.any() && c.obs.label.empty())
+                c.obs.label =
+                    obs::makeLabel("trace", configFingerprint(c));
             return runSystem(c, *trace);
         },
         retries);

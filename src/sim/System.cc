@@ -8,6 +8,8 @@
 #include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "mem/EnergyModel.hh"
+#include "obs/MetricNames.hh"
+#include "obs/Observer.hh"
 #include "security/InvariantChecker.hh"
 #include "workload/SpecProfiles.hh"
 
@@ -209,6 +211,19 @@ runSystem(const SystemConfig &cfg,
     DramModel dram(cfg.dramTiming, cfg.dramGeometry);
     EnergyModel energy(DramEnergy{}, cfg.dramGeometry.channels);
 
+    // Observability hub: null unless the config opts in, so every
+    // hook below stays a single branch on a cold pointer.
+    std::unique_ptr<obs::RunObserver> observer;
+    obs::RunObserver *obsPtr = nullptr;
+    obs::Counter *ckptCounter = nullptr;
+    if (cfg.obs.any()) {
+        observer = std::make_unique<obs::RunObserver>(cfg.obs);
+        obsPtr = observer.get();
+        obsPtr->setTotalAccesses(
+            trace.size() *
+            (cfg.cpu == CpuKind::OutOfOrder ? cfg.cores : 1));
+    }
+
     CpuCursor cursor;
 
     auto runCpu = [&](MemoryPort &port,
@@ -231,10 +246,16 @@ runSystem(const SystemConfig &cfg,
     using SaveAllFn = std::function<void(ckpt::SnapshotWriter &)>;
     std::uint64_t lastSnapshotAt = 0;
     auto makeHook = [&](SaveAllFn saveAll) -> CpuStepHook {
-        if (session == nullptr && cfg.interruptAfterAccesses == 0)
+        if (session == nullptr && cfg.interruptAfterAccesses == 0 &&
+            obsPtr == nullptr)
             return CpuStepHook{};
-        return [&cfg, session, &lastSnapshotAt,
-                saveAll](const CpuCursor &cur) {
+        return [&cfg, session, &lastSnapshotAt, saveAll, obsPtr,
+                &ckptCounter](const CpuCursor &cur) {
+            if (obsPtr != nullptr)
+                obsPtr->onAccessBoundary(cur.accessesDone,
+                                         cur.partial.finishTime,
+                                         cur.lastIssue,
+                                         cur.lastForward);
             const bool stopping =
                 ckpt::stopRequested() ||
                 (cfg.interruptAfterAccesses != 0 &&
@@ -250,6 +271,12 @@ runSystem(const SystemConfig &cfg,
                 saveAll(writer);
                 session->commitSnapshot(writer);
                 lastSnapshotAt = cur.accessesDone;
+                if (ckptCounter != nullptr)
+                    ckptCounter->add();
+                if (obs::TraceSession *t =
+                        obsPtr ? obsPtr->trace() : nullptr)
+                    t->instant(obs::kTrackCheckpoint, "checkpoint",
+                               cur.partial.finishTime);
             }
             if (stopping)
                 throw InterruptedError(
@@ -285,11 +312,19 @@ runSystem(const SystemConfig &cfg,
     if (cfg.scheme == Scheme::Insecure) {
         InsecureMemory mem(dram);
         InsecurePort port(mem);
+        if (obsPtr != nullptr) {
+            if (cfg.obs.metrics)
+                ckptCounter = &obsPtr->registry().counter(
+                    obs::kMetricCheckpoints);
+            obsPtr->sealRegistry();
+        }
         auto saveAll = [&](ckpt::SnapshotWriter &w) {
             cursor.saveState(w.section(ckpt::kSectionCpu));
             port.saveState(w.section(ckpt::kSectionMem));
             dram.saveState(w.section(ckpt::kSectionDram));
             w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+            if (obsPtr != nullptr)
+                obsPtr->saveState(w.section(ckpt::kSectionObs));
         };
         if (session != nullptr) {
             if (auto reader = session->loadLatest()) {
@@ -303,6 +338,11 @@ runSystem(const SystemConfig &cfg,
                 port.loadState(dMem);
                 dram.loadState(dDram);
                 m.missRetireTimes = dMet.vecU64();
+                if (obsPtr != nullptr &&
+                    reader->hasSection(ckpt::kSectionObs)) {
+                    auto dObs = reader->section(ckpt::kSectionObs);
+                    obsPtr->loadState(dObs);
+                }
                 lastSnapshotAt = cursor.accessesDone;
             }
         }
@@ -312,6 +352,10 @@ runSystem(const SystemConfig &cfg,
         m.driTime = static_cast<double>(m.execTime) - m.dataAccessTime;
         m.requests = r.reads + r.writes;
         m.energy = energy.totalEnergy(dram.stats(), m.execTime);
+        if (obsPtr != nullptr) {
+            obsPtr->finalSample(cursor.accessesDone, m.execTime);
+            obsPtr->close();
+        }
         return m;
     }
 
@@ -341,6 +385,77 @@ runSystem(const SystemConfig &cfg,
     OramPort port(oram, cfg.timingProtection, interval,
                   cfg.virtualDummies, cfg.watchdogInterval);
 
+    if (obsPtr != nullptr) {
+        oram.setObserver(obsPtr);
+        if (cfg.obs.metrics) {
+            obs::MetricRegistry &reg = obsPtr->registry();
+            ckptCounter = &reg.counter(obs::kMetricCheckpoints);
+            // Controller counters are polled as gauges: the ORAM hot
+            // path keeps its existing OramStats increments and pays
+            // nothing extra per access.
+            reg.gauge(obs::kMetricRequests, [&oram] {
+                return static_cast<double>(oram.stats().requests);
+            });
+            reg.gauge(obs::kMetricStashHits, [&oram] {
+                return static_cast<double>(oram.stats().stashHits);
+            });
+            reg.gauge(obs::kMetricPathReads, [&oram] {
+                return static_cast<double>(oram.stats().pathReads);
+            });
+            reg.gauge(obs::kMetricShadowForwards, [&oram] {
+                return static_cast<double>(
+                    oram.stats().shadowForwards);
+            });
+            reg.gauge(obs::kMetricShadowsWritten, [&oram] {
+                return static_cast<double>(
+                    oram.stats().shadowsWritten);
+            });
+            reg.gauge(obs::kMetricFaultsDetected, [&oram] {
+                return static_cast<double>(
+                    oram.stats().faultsDetected);
+            });
+            reg.gauge(obs::kMetricFaultsRecovered, [&oram] {
+                return static_cast<double>(
+                    oram.stats().faultsRecovered);
+            });
+            reg.gauge(obs::kMetricStashReal, [&oram] {
+                return static_cast<double>(oram.stash().realCount());
+            });
+            reg.gauge(obs::kMetricStashShadow, [&oram] {
+                return static_cast<double>(
+                    oram.stash().shadowCount());
+            });
+            reg.gauge(obs::kMetricStashHitRate, [&oram] {
+                const OramStats &s = oram.stats();
+                return s.requests
+                    ? static_cast<double>(s.stashHits) /
+                          static_cast<double>(s.requests)
+                    : 0.0;
+            });
+            reg.gauge(obs::kMetricShadowHitDepth, [&oram] {
+                // Mean levels advanced per shadow-forwarded read:
+                // how deep in the path the winning shadow copy sat.
+                const OramStats &s = oram.stats();
+                return s.shadowForwards
+                    ? static_cast<double>(s.levelsAdvanced) /
+                          static_cast<double>(s.shadowForwards)
+                    : 0.0;
+            });
+            if (shadowPolicy != nullptr) {
+                reg.gauge(obs::kMetricPartitionLevel,
+                          [shadowPolicy] {
+                    return static_cast<double>(
+                        shadowPolicy->partitionLevel());
+                });
+                reg.gauge(obs::kMetricDriCounter, [shadowPolicy] {
+                    return static_cast<double>(
+                        shadowPolicy->driCounter());
+                });
+            }
+        }
+        obsPtr->sealRegistry();
+    }
+
     auto saveAll = [&](ckpt::SnapshotWriter &w) {
         cursor.saveState(w.section(ckpt::kSectionCpu));
         port.saveState(w.section(ckpt::kSectionPort));
@@ -349,6 +464,8 @@ runSystem(const SystemConfig &cfg,
             shadowPolicy->saveState(w.section(ckpt::kSectionPolicy));
         dram.saveState(w.section(ckpt::kSectionDram));
         w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+        if (obsPtr != nullptr)
+            obsPtr->saveState(w.section(ckpt::kSectionObs));
     };
     if (session != nullptr) {
         if (auto reader = session->loadLatest()) {
@@ -366,6 +483,11 @@ runSystem(const SystemConfig &cfg,
             oram.loadState(dOram);
             dram.loadState(dDram);
             m.missRetireTimes = dMet.vecU64();
+            if (obsPtr != nullptr &&
+                reader->hasSection(ckpt::kSectionObs)) {
+                auto dObs = reader->section(ckpt::kSectionObs);
+                obsPtr->loadState(dObs);
+            }
             lastSnapshotAt = cursor.accessesDone;
         }
     }
@@ -399,6 +521,10 @@ runSystem(const SystemConfig &cfg,
     m.faultsUnrecoverable = os.faultsUnrecoverable;
     if (shadowPolicy)
         m.finalPartitionLevel = shadowPolicy->partitionLevel();
+    if (obsPtr != nullptr) {
+        obsPtr->finalSample(cursor.accessesDone, m.execTime);
+        obsPtr->close();
+    }
     return m;
 }
 
@@ -480,8 +606,9 @@ configFingerprint(const SystemConfig &cfg)
     s.u32(cfg.window);
     s.u8(cfg.recordPerMiss ? 1 : 0);
     s.u64(cfg.watchdogInterval);
-    // checkpointInterval and interruptAfterAccesses are intentionally
-    // omitted: they change *when* snapshots happen, never the result.
+    // checkpointInterval, interruptAfterAccesses and obs are
+    // intentionally omitted: they change when snapshots happen and
+    // what gets recorded about a run, never the result.
 
     return ckpt::fnv1a(s.buffer().data(), s.buffer().size());
 }

@@ -21,6 +21,7 @@
 #include "ckpt/Checkpoint.hh"
 #include "common/Types.hh"
 #include "cpu/CpuModel.hh"
+#include "obs/ObsConfig.hh"
 #include "mem/DramModel.hh"
 #include "mem/DramTiming.hh"
 #include "oram/OramConfig.hh"
@@ -91,6 +92,14 @@ struct SystemConfig
      * 0 disables.  Not part of the point fingerprint.
      */
     std::uint64_t interruptAfterAccesses = 0;
+
+    /**
+     * Observability (DESIGN.md §9): event tracing, interval-sampled
+     * metrics, heartbeat.  All off by default; the ExperimentRunner
+     * merges the SB_OBS_* environment knobs in.  Not part of the
+     * point fingerprint — observing a run never changes its results.
+     */
+    obs::ObsConfig obs;
 };
 
 /** Everything the benches need from one run. */
@@ -155,10 +164,10 @@ RunMetrics runWorkload(const SystemConfig &cfg,
 
 /**
  * 64-bit fingerprint over every semantic field of @p cfg — the
- * fields that determine the run's outcome.  checkpointInterval and
- * interruptAfterAccesses are deliberately excluded so a resumed run
- * (different cadence, different interruption point) addresses the
- * same checkpoint files.
+ * fields that determine the run's outcome.  checkpointInterval,
+ * interruptAfterAccesses and obs are deliberately excluded so a
+ * resumed run (different cadence, different interruption point,
+ * different observability) addresses the same checkpoint files.
  */
 std::uint64_t configFingerprint(const SystemConfig &cfg);
 

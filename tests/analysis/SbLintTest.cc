@@ -363,6 +363,74 @@ TEST(SbLintRules, LockedSharedWriteIsClean)
 }
 
 // ---------------------------------------------------------------------
+// untracked-metric
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The metric vocabulary fixture shared by the untracked-metric tests. */
+const SourceFile kMetricNamesFixture = {
+    "src/obs/MetricNames.hh",
+    "inline constexpr char kMetricRequests[] = \"oram.requests\";\n"};
+
+} // namespace
+
+TEST(SbLintRules, UntrackedMetricFiresOnUndeclaredConstant)
+{
+    const auto fs = lintSources(
+        {kMetricNamesFixture,
+         {"src/sim/X.cc",
+          "void f(obs::MetricRegistry &reg) {\n"
+          "    reg.counter(kMetricBogus);\n"
+          "}\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::UntrackedMetric);
+    EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(SbLintRules, UntrackedMetricFiresOnStringLiteralName)
+{
+    const auto fs = lintSources(
+        {kMetricNamesFixture,
+         {"src/sim/X.cc",
+          "void f(obs::MetricRegistry &reg) {\n"
+          "    reg.gauge(\"adhoc.name\", [] { return 0.0; });\n"
+          "}\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::UntrackedMetric);
+}
+
+TEST(SbLintRules, DeclaredMetricConstantIsClean)
+{
+    const auto fs = lintSources(
+        {kMetricNamesFixture,
+         {"src/sim/X.cc",
+          "void f(obs::MetricRegistry &reg) {\n"
+          "    reg.counter(obs::kMetricRequests);\n"
+          "    reg.gauge(kMetricRequests, [] { return 0.0; });\n"
+          "}\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintRules, UntrackedMetricScopedToSrcAndBench)
+{
+    // Tests may register ad-hoc names; without the vocabulary file in
+    // the lint unit the rule stays silent entirely.
+    const std::string body =
+        "void f(obs::MetricRegistry &reg) {\n"
+        "    reg.counter(\"scratch\");\n"
+        "}\n";
+    EXPECT_FALSE(fired(
+        lintSources({kMetricNamesFixture, {"tests/obs/X.cc", body}}),
+        Rule::UntrackedMetric));
+    EXPECT_FALSE(
+        fired(lintOne("src/sim/X.cc", body), Rule::UntrackedMetric));
+    EXPECT_TRUE(fired(
+        lintSources({kMetricNamesFixture, {"bench/x.cc", body}}),
+        Rule::UntrackedMetric));
+}
+
+// ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------
 

@@ -16,6 +16,29 @@ TEST(Accumulator, BasicMoments)
     EXPECT_NEAR(acc.variance(), 1.25, 1e-9);
 }
 
+TEST(Accumulator, VarianceSurvivesLargeOffset)
+{
+    // Regression: the old sum-of-squares variance (E[x^2] - E[x]^2)
+    // cancels catastrophically when the mean dwarfs the spread —
+    // samples around 1e9 with unit spacing returned 0 or a negative
+    // variance.  Welford's update keeps full precision.
+    Accumulator acc;
+    acc.sample(1e9 + 1.0);
+    acc.sample(1e9 + 2.0);
+    acc.sample(1e9 + 3.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 1e9 + 2.0);
+    EXPECT_NEAR(acc.variance(), 2.0 / 3.0, 1e-9);
+    EXPECT_GE(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SumIsStillExactTotals)
+{
+    Accumulator acc;
+    for (double v : {0.25, 0.5, 0.75})
+        acc.sample(v);
+    EXPECT_DOUBLE_EQ(acc.sum(), 1.5);
+}
+
 TEST(Accumulator, EmptyIsZero)
 {
     Accumulator acc;

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Strict validator for observability artifacts (tools/obs_smoke.sh).
+ *
+ * Usage: obs_check FILE...
+ *
+ * Every *.json argument must be one valid JSON document; every
+ * *.jsonl argument must be valid JSON Lines.  Chrome-trace files
+ * (*.json containing a traceEvents array) are additionally checked
+ * for begin/end balance: equally many "ph": "B" and "ph": "E"
+ * markers.  Exit 0 when every file passes; the first failure prints
+ * a diagnostic with the byte offset and exits 1.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/Json.hh"
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+std::size_t
+countToken(const std::string &text, const std::string &token)
+{
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+        ++count;
+        pos += token.size();
+    }
+    return count;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::string text;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "obs_check: cannot read %s\n",
+                         path.c_str());
+            return 1;
+        }
+        const bool jsonl = endsWith(path, ".jsonl");
+        const sboram::obs::JsonVerdict v = jsonl
+            ? sboram::obs::validateJsonl(text)
+            : sboram::obs::validateJson(text);
+        if (!v.ok) {
+            std::fprintf(stderr,
+                         "obs_check: %s: %s at byte %zu\n",
+                         path.c_str(), v.error.c_str(),
+                         v.errorOffset);
+            return 1;
+        }
+        if (!jsonl &&
+            text.find("\"traceEvents\"") != std::string::npos) {
+            const std::size_t begins =
+                countToken(text, "\"ph\": \"B\"");
+            const std::size_t ends =
+                countToken(text, "\"ph\": \"E\"");
+            if (begins != ends) {
+                std::fprintf(stderr,
+                             "obs_check: %s: unbalanced spans "
+                             "(%zu B vs %zu E events)\n",
+                             path.c_str(), begins, ends);
+                return 1;
+            }
+        }
+        std::printf("obs_check: %s ok (%zu bytes)\n", path.c_str(),
+                    text.size());
+    }
+    return 0;
+}

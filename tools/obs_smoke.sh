@@ -1,0 +1,71 @@
+#!/bin/sh
+# End-to-end smoke for the observability layer.  Registered as the
+# `obs_smoke` ctest (bench/); also usable standalone:
+#
+#     tools/obs_smoke.sh <fig10-binary> <obs_check-binary>
+#
+# The drill:
+#   1. run a tiny traced + metered sweep via the SB_OBS_* env knobs,
+#   2. every emitted artifact (per-run trace JSON, metrics JSONL, the
+#      wall-clock runner trace, the bench manifest) must exist and
+#      pass obs_check's strict JSON validation, including the
+#      orphaned-span (B/E balance) check,
+#   3. the metrics time-series must carry the paper's policy signals
+#      (partition level, DRI counter),
+#   4. rerunning the same sweep with observability off must leave the
+#      bench stdout byte-identical to the observed run — watching a
+#      run never changes it.
+set -eu
+
+BENCH=${1:?usage: obs_smoke.sh <fig10-binary> <obs_check-binary>}
+CHECK=${2:?usage: obs_smoke.sh <fig10-binary> <obs_check-binary>}
+WORK=$(mktemp -d /tmp/sbobs-smoke-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+SB_BENCH_QUICK=1
+SB_BENCH_MISSES=400
+SB_BENCH_THREADS=2
+export SB_BENCH_QUICK SB_BENCH_MISSES SB_BENCH_THREADS
+
+fail()
+{
+    echo "obs_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# --- 1. traced sweep -------------------------------------------------
+OBS="$WORK/obs"
+mkdir -p "$OBS"
+SB_OBS_TRACE=1 SB_OBS_METRICS=1 SB_OBS_INTERVAL=100 \
+    "$BENCH" --obs-dir "$OBS" >"$WORK/observed.out" 2>/dev/null ||
+    fail "observed sweep failed"
+
+ls "$OBS"/trace-*.json >/dev/null 2>&1 ||
+    fail "no trace artifacts emitted"
+ls "$OBS"/metrics-*.jsonl >/dev/null 2>&1 ||
+    fail "no metrics artifacts emitted"
+[ -f "$OBS/trace-runner.json" ] ||
+    fail "runner-lane trace missing"
+ls "$OBS"/manifest-*.json >/dev/null 2>&1 ||
+    fail "bench manifest missing"
+
+# --- 2. strict validation (JSON grammar + span balance) --------------
+"$CHECK" "$OBS"/trace-*.json "$OBS"/metrics-*.jsonl \
+    "$OBS"/manifest-*.json >/dev/null ||
+    fail "artifact validation failed"
+
+# --- 3. the policy time-series is present ----------------------------
+grep -l "policy.partition_level" "$OBS"/metrics-*.jsonl >/dev/null ||
+    fail "metrics carry no partition-level series"
+grep -l "policy.dri_counter" "$OBS"/metrics-*.jsonl >/dev/null ||
+    fail "metrics carry no DRI-counter series"
+
+# --- 4. observation does not change the run --------------------------
+"$BENCH" >"$WORK/plain.out" 2>/dev/null ||
+    fail "unobserved sweep failed"
+cmp -s "$WORK/observed.out" "$WORK/plain.out" || {
+    diff -u "$WORK/plain.out" "$WORK/observed.out" | head -40 >&2 || true
+    fail "observed sweep changed the bench output"
+}
+
+echo "obs_smoke: OK ($(ls "$OBS" | wc -l | tr -d ' ') artifacts valid)"

@@ -48,6 +48,11 @@ const std::vector<RuleInfo> kRegistry = {
      "shared-state write on an ExperimentRunner worker path without "
      "the owning-thread seam: no by-reference captures in worker "
      "tasks; g_* state in src/sim needs a lock_guard in scope"},
+    {Rule::UntrackedMetric, "untracked-metric",
+     "MetricRegistry counter/gauge/histogram registered under a name "
+     "that is not a kMetric* constant from src/obs/MetricNames.hh — "
+     "ad-hoc names fragment the time-series schema; declare the name "
+     "once and reference the constant"},
     {Rule::BadSuppression, "bad-suppression",
      "malformed sblint suppression: unknown rule name or missing "
      "justification text"},
@@ -427,6 +432,19 @@ collectSecrets(const std::vector<Tok> &t, std::set<std::string> &out)
     }
 }
 
+/**
+ * Identifiers beginning with "kMetric" declared in MetricNames.hh —
+ * the canonical metric-name vocabulary for the untracked-metric rule.
+ */
+void
+collectMetricNames(const std::vector<Tok> &t,
+                   std::set<std::string> &out)
+{
+    for (const Tok &tok : t)
+        if (startsWith(tok.text, "kMetric"))
+            out.insert(tok.text);
+}
+
 /** Variable names declared double (incl. the PicoJoules alias). */
 std::set<std::string>
 collectDoubleVars(const std::vector<Tok> &t)
@@ -793,6 +811,61 @@ scanMissingStatsLock(const std::string &path,
     }
 }
 
+bool
+pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+void
+scanUntrackedMetric(const std::string &path, const std::vector<Tok> &t,
+                    const std::set<std::string> &metricNames,
+                    std::vector<Finding> &out)
+{
+    // Without the vocabulary file in the lint unit there is nothing to
+    // check against (e.g. a single-file invocation).
+    if (metricNames.empty())
+        return;
+    if (pathEndsWith(path, "obs/MetricNames.hh"))
+        return;
+    if (!startsWith(path, "src/") && !startsWith(path, "bench/"))
+        return;
+
+    static const std::set<std::string> kRegistrars = {
+        "counter", "gauge", "histogram"};
+    for (std::size_t i = 1; i + 2 < t.size(); ++i) {
+        if (!kRegistrars.count(t[i].text))
+            continue;
+        if (t[i - 1].text != "." && t[i - 1].text != "->")
+            continue;
+        if (t[i + 1].text != "(")
+            continue;
+        // First argument, skipping any namespace qualification
+        // (obs::kMetricFoo, sboram::obs::kMetricFoo).
+        std::size_t j = i + 2;
+        while (j + 1 < t.size() && isIdent(t[j].text) &&
+               t[j + 1].text == "::")
+            j += 2;
+        if (j >= t.size())
+            continue;
+        const Tok &arg = t[j];
+        if (arg.text == "\"") {
+            out.push_back(
+                {path, arg.line, Rule::UntrackedMetric,
+                 "metric registered under a string literal — declare "
+                 "the name as a kMetric* constant in "
+                 "src/obs/MetricNames.hh and reference it"});
+        } else if (isIdent(arg.text) && !metricNames.count(arg.text)) {
+            out.push_back(
+                {path, arg.line, Rule::UntrackedMetric,
+                 "metric name '" + arg.text +
+                     "' is not declared in src/obs/MetricNames.hh"});
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // JSON
 // ---------------------------------------------------------------------
@@ -904,6 +977,7 @@ lintSources(const std::vector<SourceFile> &sources)
     // the union over every input.
     std::set<std::string> secrets;
     std::set<std::string> unorderedVars;
+    std::set<std::string> metricNames;
     std::vector<StrippedFile> stripped;
     std::vector<std::vector<Tok>> tokens;
     stripped.reserve(sources.size());
@@ -914,6 +988,8 @@ lintSources(const std::vector<SourceFile> &sources)
         collectSecrets(tokens.back(), secrets);
         const auto vars = collectUnorderedVars(tokens.back());
         unorderedVars.insert(vars.begin(), vars.end());
+        if (pathEndsWith(src.path, "obs/MetricNames.hh"))
+            collectMetricNames(tokens.back(), metricNames);
     }
 
     std::vector<Finding> all;
@@ -930,6 +1006,7 @@ lintSources(const std::vector<SourceFile> &sources)
         scanBannedFn(path, t, raw);
         scanFloatAccum(path, t, raw);
         scanMissingStatsLock(path, t, raw);
+        scanUntrackedMetric(path, t, metricNames, raw);
 
         const Suppressions sup =
             collectSuppressions(path, stripped[f]);

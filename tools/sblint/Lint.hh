@@ -47,6 +47,7 @@ enum class Rule : std::uint8_t
     BannedFn,             ///< banned-fn
     FloatAccum,           ///< float-accum
     MissingStatsLock,     ///< missing-stats-lock
+    UntrackedMetric,      ///< untracked-metric
     BadSuppression,       ///< bad-suppression (meta rule; never allowed)
 };
 
