@@ -21,7 +21,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "BenchUtil.hh"
 
@@ -29,6 +33,125 @@ using namespace sboram;
 using namespace sboram::bench;
 
 namespace {
+
+/**
+ * Minimal field extraction from our own BENCH_perf.json output (the
+ * baseline committed in bench/).  Good enough for the exact schema
+ * the writer below emits; not a JSON parser.
+ */
+bool
+jsonField(const std::string &doc, const std::string &key,
+          std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t pos = at + needle.size();
+    while (pos < doc.size() &&
+           (doc[pos] == ' ' || doc[pos] == '"'))
+        ++pos;
+    std::size_t end = pos;
+    while (end < doc.size() && doc[end] != ',' && doc[end] != '\n' &&
+           doc[end] != '"' && doc[end] != '}')
+        ++end;
+    out = doc.substr(pos, end - pos);
+    return !out.empty();
+}
+
+/**
+ * Wall-time and checksum regression guard against the committed
+ * baseline.  Controlled by:
+ *   SB_BENCH_BASELINE        — baseline JSON path (default: the
+ *                              in-tree bench/BENCH_perf.json)
+ *   SB_BENCH_REGRESSION_PCT  — allowed wall-time growth (default 25)
+ *   SB_BENCH_REGRESSION=0    — disable the guard entirely
+ * A missing baseline file is a warning, not a failure (fresh
+ * machines, renamed checkouts); a checksum mismatch always fails —
+ * determinism does not depend on machine speed.
+ */
+int
+checkRegression(double wallSeconds, std::uint64_t checksum,
+                double payloadWallSeconds,
+                std::uint64_t payloadChecksum)
+{
+    // sblint:allow-next-line(ambient-nondeterminism): guard on/off switch; simulated results never depend on it
+    if (const char *onOff = std::getenv("SB_BENCH_REGRESSION")) {
+        if (onOff[0] == '0') {
+            std::printf("regression guard disabled "
+                        "(SB_BENCH_REGRESSION=0)\n");
+            return 0;
+        }
+    }
+    // sblint:allow-next-line(ambient-nondeterminism): baseline file location, not an experiment knob
+    const char *env = std::getenv("SB_BENCH_BASELINE");
+    const std::string path =
+        env ? env : std::string(SB_BENCH_BASELINE_DEFAULT);
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "perf_smoke: no baseline at %s — regression "
+                     "guard skipped\n",
+                     path.c_str());
+        return 0;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+
+    double pct = 25.0;
+    // sblint:allow-next-line(ambient-nondeterminism): CI wall-clock tolerance; simulated results never depend on it
+    if (const char *p = std::getenv("SB_BENCH_REGRESSION_PCT"))
+        pct = std::atof(p);
+
+    int rc = 0;
+    std::string field;
+    if (jsonField(doc, "checksum", field)) {
+        const std::uint64_t base =
+            std::strtoull(field.c_str(), nullptr, 16);
+        if (base != checksum) {
+            std::fprintf(stderr,
+                         "perf_smoke: checksum %llx differs from "
+                         "baseline %llx — results changed\n",
+                         static_cast<unsigned long long>(checksum),
+                         static_cast<unsigned long long>(base));
+            rc = 1;
+        }
+    }
+    if (jsonField(doc, "payload_checksum", field)) {
+        const std::uint64_t base =
+            std::strtoull(field.c_str(), nullptr, 16);
+        if (base != payloadChecksum) {
+            std::fprintf(
+                stderr,
+                "perf_smoke: payload checksum %llx differs from "
+                "baseline %llx — payload results changed\n",
+                static_cast<unsigned long long>(payloadChecksum),
+                static_cast<unsigned long long>(base));
+            rc = 1;
+        }
+    }
+    for (const auto &[key, wall] :
+         {std::pair<const char *, double>{"wall_seconds",
+                                          wallSeconds},
+          std::pair<const char *, double>{"payload_wall_seconds",
+                                          payloadWallSeconds}}) {
+        if (!jsonField(doc, key, field))
+            continue;
+        const double base = std::atof(field.c_str());
+        if (base > 0.0 && wall > base * (1.0 + pct / 100.0)) {
+            std::fprintf(stderr,
+                         "perf_smoke: %s %.3f s regressed more than "
+                         "%.0f%% over baseline %.3f s\n",
+                         key, wall, pct, base);
+            rc = 1;
+        }
+    }
+    if (rc == 0)
+        std::printf("regression guard: within %.0f%% of %s\n", pct,
+                    path.c_str());
+    return rc;
+}
 
 std::uint64_t
 checksumOf(const std::vector<RunMetrics> &results)
@@ -116,6 +239,35 @@ runBench()
     const double overheadPct =
         seconds > 0.0 ? (obsSeconds / seconds - 1.0) * 100.0 : 0.0;
 
+    // Payload section: the same scheme spread with real per-slot
+    // crypto on (slab store + batched keystream), on a tree small
+    // enough to materialize ciphertext stripes.  Timed separately so
+    // the classic number stays comparable across history.
+    SystemConfig payloadBase = base;
+    payloadBase.oram.dataBlocks = std::uint64_t(1) << 16;
+    payloadBase.oram.payloadEnabled = true;
+    std::vector<ExperimentPoint> payloadPoints;
+    for (const char *wl : {"mcf", "sjeng", "namd"}) {
+        payloadPoints.push_back(
+            {withScheme(payloadBase, Scheme::Tiny), wl, misses,
+             kBenchSeed});
+        payloadPoints.push_back(
+            {withScheme(payloadBase, Scheme::Shadow,
+                        ShadowMode::RdOnly),
+             wl, misses, kBenchSeed});
+        payloadPoints.push_back(
+            {withScheme(payloadBase, Scheme::Shadow,
+                        ShadowMode::HdOnly),
+             wl, misses, kBenchSeed});
+    }
+    std::uint64_t payloadWarm = 0;
+    timedRun(run, payloadPoints, payloadWarm);
+    std::uint64_t payloadChecksum = 0;
+    const double payloadSeconds =
+        timedRun(run, payloadPoints, payloadChecksum);
+    const double payloadRate =
+        static_cast<double>(payloadPoints.size()) / payloadSeconds;
+
     std::printf("perf_smoke: %zu points, %u threads\n",
                 points.size(), run.threads());
     std::printf("wall %.3f s, %.2f points/s, checksum %llx\n",
@@ -123,6 +275,11 @@ runBench()
                 static_cast<unsigned long long>(checksum));
     std::printf("observed wall %.3f s (%+.1f%% vs unobserved)\n",
                 obsSeconds, overheadPct);
+    std::printf("payload wall %.3f s, %.2f points/s, checksum %llx "
+                "(%zu points)\n",
+                payloadSeconds, payloadRate,
+                static_cast<unsigned long long>(payloadChecksum),
+                payloadPoints.size());
 
     if (FILE *f = std::fopen("BENCH_perf.json", "w")) {
         std::fprintf(f,
@@ -134,17 +291,33 @@ runBench()
                      "  \"points_per_sec\": %.3f,\n"
                      "  \"observed_wall_seconds\": %.6f,\n"
                      "  \"obs_overhead_pct\": %.2f,\n"
-                     "  \"checksum\": \"%llx\"\n"
+                     "  \"checksum\": \"%llx\",\n"
+                     "  \"payload_points\": %zu,\n"
+                     "  \"payload_wall_seconds\": %.6f,\n"
+                     "  \"payload_points_per_sec\": %.3f,\n"
+                     "  \"payload_checksum\": \"%llx\"\n"
                      "}\n",
                      points.size(), run.threads(), seconds, rate,
                      obsSeconds, overheadPct,
-                     static_cast<unsigned long long>(checksum));
+                     static_cast<unsigned long long>(checksum),
+                     payloadPoints.size(), payloadSeconds,
+                     payloadRate,
+                     static_cast<unsigned long long>(payloadChecksum));
         std::fclose(f);
     } else {
         std::fprintf(stderr,
                      "perf_smoke: cannot write BENCH_perf.json\n");
     }
 
+    if (payloadChecksum != payloadWarm) {
+        std::fprintf(stderr,
+                     "perf_smoke: payload checksum drift (warm %llx, "
+                     "timed %llx) — the payload path changed results "
+                     "between identical passes\n",
+                     static_cast<unsigned long long>(payloadWarm),
+                     static_cast<unsigned long long>(payloadChecksum));
+        return 1;
+    }
     if (checksum != warmChecksum || obsChecksum != checksum) {
         std::fprintf(stderr,
                      "perf_smoke: checksum drift (warm %llx, plain "
@@ -164,7 +337,8 @@ runBench()
                      obsSeconds, seconds);
         return 1;
     }
-    return 0;
+    return checkRegression(seconds, checksum, payloadSeconds,
+                           payloadChecksum);
 }
 
 int

@@ -39,8 +39,12 @@
 namespace sboram {
 namespace ckpt {
 
-/** Current snapshot format version. */
-constexpr std::uint32_t kSnapshotVersion = 1;
+/** Current snapshot format version.  Version 2: the ORAM tree's
+ *  ciphertexts moved from a per-slot hash map to geometry-indexed
+ *  slabs; the on-wire section shape is compatible, but snapshots are
+ *  versioned by producer layout, so the bump forces a clean
+ *  rejection of cross-version restores. */
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 /** Well-known section ids used by sim/System and friends. */
 enum SectionId : std::uint32_t

@@ -9,6 +9,14 @@
 
 #include <cstdint>
 
+/**
+ * Marks a function as being on the per-access hot path.  Expands to
+ * nothing at compile time; it is a machine-checked annotation for
+ * sblint's `hot-path-alloc` rule, which rejects heap allocation and
+ * hash-table use inside any function body carrying this marker.
+ */
+#define SB_HOT
+
 namespace sboram {
 
 /** Program (block-granularity) address as seen by the LLC. */

@@ -1,0 +1,36 @@
+#include "Otp.hh"
+
+namespace sboram {
+
+SB_HOT void
+OtpCodec::encryptBatch(const std::uint64_t *const *plains,
+                       const CipherRef *outs, std::size_t count,
+                       std::uint64_t words, std::uint64_t *ksScratch)
+{
+    // Pass 1: nonce assignment, in array order.  This is the exact
+    // sequence count successive encryptRef calls would draw, which
+    // keeps the ciphertext bitstream — and everything downstream of
+    // it (fault schedules, snapshot images) — unchanged.
+    for (std::size_t s = 0; s < count; ++s)
+        *outs[s].nonce = ++_nonceCounter;
+
+    // Pass 2: the whole path's keystream in one sweep.  Each slot's
+    // per-nonce PRF state is hoisted once; the inner loop is three
+    // mixes per lane with no per-slot setup beyond that.
+    for (std::size_t s = 0; s < count; ++s)
+        PrfStream(_key, *outs[s].nonce)
+            .fill(ksScratch + s * words, words);
+
+    // Pass 3: XOR the pads in, then chain the tag over the fresh
+    // ciphertext lanes (the tag MAC is sequential by construction).
+    for (std::size_t s = 0; s < count; ++s) {
+        const std::uint64_t *plain = plains[s];
+        const std::uint64_t *ks = ksScratch + s * words;
+        const CipherRef &out = outs[s];
+        for (std::uint64_t i = 0; i < words; ++i)
+            out.lanes[i] = plain[i] ^ ks[i];
+        *out.tag = computeTag(*out.nonce, out.lanes, words);
+    }
+}
+
+} // namespace sboram

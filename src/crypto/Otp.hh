@@ -6,6 +6,21 @@
  * ciphertexts of the same plaintext are different — this is what makes
  * shadow blocks indistinguishable from ordinary dummy blocks (paper
  * Section IV-A).  The payload is encrypted in 64-bit lanes.
+ *
+ * Two storage shapes share one codec:
+ *
+ *   - CipherText owns its lanes (tests, standalone use).
+ *   - CipherRef/CipherView point into an externally owned slab (the
+ *     OramTree's geometry-indexed ciphertext arrays).  A CipherText
+ *     converts implicitly to either view, so view-taking codec
+ *     methods serve both shapes.
+ *
+ * The batch entry point encryptBatch() encrypts every pending slot of
+ * a path write in one pass: nonces are assigned in call order
+ * (identical to the sequence that per-slot encryptInto calls would
+ * have drawn — the nonce sequence is a determinism contract), the
+ * whole keystream is generated into one scratch buffer via PrfStream,
+ * then lanes are XORed and tags chained per slot.
  */
 
 #ifndef SBORAM_CRYPTO_OTP_HH
@@ -15,6 +30,7 @@
 #include <vector>
 
 #include "Prf.hh"
+#include "common/Types.hh"
 
 namespace sboram {
 
@@ -26,6 +42,43 @@ struct CipherText
     std::uint64_t nonce = 0;
     std::uint64_t tag = 0;
     std::vector<std::uint64_t> lanes;
+};
+
+/** Mutable view of one slot's ciphertext storage inside a slab. */
+struct CipherRef
+{
+    std::uint64_t *nonce = nullptr;
+    std::uint64_t *tag = nullptr;
+    std::uint64_t *lanes = nullptr;
+    std::uint64_t words = 0;
+
+    CipherRef() = default;
+    CipherRef(std::uint64_t *n, std::uint64_t *t, std::uint64_t *l,
+              std::uint64_t w)
+        : nonce(n), tag(t), lanes(l), words(w) {}
+    /** An owning CipherText is itself a one-slot slab. */
+    CipherRef(CipherText &ct)
+        : nonce(&ct.nonce), tag(&ct.tag), lanes(ct.lanes.data()),
+          words(ct.lanes.size()) {}
+};
+
+/** Read-only view of one slot's ciphertext storage. */
+struct CipherView
+{
+    const std::uint64_t *nonce = nullptr;
+    const std::uint64_t *tag = nullptr;
+    const std::uint64_t *lanes = nullptr;
+    std::uint64_t words = 0;
+
+    CipherView() = default;
+    CipherView(const std::uint64_t *n, const std::uint64_t *t,
+               const std::uint64_t *l, std::uint64_t w)
+        : nonce(n), tag(t), lanes(l), words(w) {}
+    CipherView(const CipherText &ct)
+        : nonce(&ct.nonce), tag(&ct.tag), lanes(ct.lanes.data()),
+          words(ct.lanes.size()) {}
+    CipherView(const CipherRef &r)
+        : nonce(r.nonce), tag(r.tag), lanes(r.lanes), words(r.words) {}
 };
 
 /**
@@ -51,45 +104,81 @@ class OtpCodec
      * (the path-write hot path re-encrypts every slot; this keeps it
      * allocation-free once buffers exist).
      */
-    void
+    SB_HOT void
     encryptInto(const std::vector<std::uint64_t> &plain, CipherText &ct)
     {
-        ct.nonce = ++_nonceCounter;
         ct.lanes.resize(plain.size());
-        for (std::size_t i = 0; i < plain.size(); ++i)
-            ct.lanes[i] = plain[i] ^ prf64(_key, ct.nonce, i);
-        ct.tag = computeTag(ct);
+        encryptRef(plain.data(), CipherRef(ct));
     }
+
+    /**
+     * Encrypt @p out.words plaintext lanes straight into slab
+     * storage.  Allocation-free; the nonce is drawn from the same
+     * counter as every other encrypt entry point.
+     */
+    SB_HOT void
+    encryptRef(const std::uint64_t *plain, CipherRef out)
+    {
+        *out.nonce = ++_nonceCounter;
+        const PrfStream ks(_key, *out.nonce);
+        for (std::uint64_t i = 0; i < out.words; ++i)
+            out.lanes[i] = plain[i] ^ ks.lane(i);
+        *out.tag = computeTag(*out.nonce, out.lanes, out.words);
+    }
+
+    /**
+     * Batch-encrypt @p count slots of @p words lanes each: assigns
+     * nonces in array order, generates the keystream for all slots in
+     * one pass into @p ksScratch (caller-pooled, >= count*words
+     * words), then XORs and tags each slot.  Nonce sequence and
+     * ciphertext bits are identical to count successive encryptRef
+     * calls.
+     */
+    SB_HOT void encryptBatch(const std::uint64_t *const *plains,
+                             const CipherRef *outs, std::size_t count,
+                             std::uint64_t words,
+                             std::uint64_t *ksScratch);
 
     /** Decrypt a ciphertext produced by this codec's key. */
     std::vector<std::uint64_t>
     decrypt(const CipherText &ct) const
     {
-        std::vector<std::uint64_t> plain(ct.lanes.size());
-        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
-            plain[i] = ct.lanes[i] ^ prf64(_key, ct.nonce, i);
+        std::vector<std::uint64_t> plain;
+        decryptInto(ct, plain);
         return plain;
+    }
+
+    /** Decrypt into @p plain, reusing its capacity (no verification:
+     *  the caller has already authenticated or does not care). */
+    void
+    decryptInto(CipherView ct, std::vector<std::uint64_t> &plain) const
+    {
+        plain.resize(ct.words);
+        const PrfStream ks(_key, *ct.nonce);
+        for (std::uint64_t i = 0; i < ct.words; ++i)
+            plain[i] = ct.lanes[i] ^ ks.lane(i);
     }
 
     /** True when the ciphertext's tag authenticates. */
     bool
-    verify(const CipherText &ct) const
+    verify(CipherView ct) const
     {
-        return ct.tag == computeTag(ct);
+        return *ct.tag == computeTag(*ct.nonce, ct.lanes, ct.words);
     }
 
     /** Decrypt with integrity verification; fatal-free: the caller
      *  decides how to react to tampering.  Decrypts in place so
      *  @p plain's capacity is reused (path-read hot path). */
-    bool
-    verifyDecrypt(const CipherText &ct,
+    SB_HOT bool
+    verifyDecrypt(CipherView ct,
                   std::vector<std::uint64_t> &plain) const
     {
         if (!verify(ct))
             return false;
-        plain.resize(ct.lanes.size());
-        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
-            plain[i] = ct.lanes[i] ^ prf64(_key, ct.nonce, i);
+        plain.resize(ct.words);
+        const PrfStream ks(_key, *ct.nonce);
+        for (std::uint64_t i = 0; i < ct.words; ++i)
+            plain[i] = ct.lanes[i] ^ ks.lane(i);
         return true;
     }
 
@@ -105,13 +194,16 @@ class OtpCodec
   private:
     /** Keyed MAC over (nonce, lanes): a PRF chain.  Not
      *  cryptographically strong (see Prf.hh) but structurally
-     *  faithful: any bit flip in nonce or lanes breaks the tag. */
+     *  faithful: any bit flip in nonce or lanes breaks the tag.
+     *  Sequential by construction (each link keys the next), so it is
+     *  not batched the way the keystream is. */
     std::uint64_t
-    computeTag(const CipherText &ct) const
+    computeTag(std::uint64_t nonce, const std::uint64_t *lanes,
+               std::uint64_t words) const
     {
-        std::uint64_t acc = prf64(_key, ct.nonce, 0x7461675fULL);
-        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
-            acc = prf64(_key, acc ^ ct.lanes[i], i + 1);
+        std::uint64_t acc = prf64(_key, nonce, 0x7461675fULL);
+        for (std::uint64_t i = 0; i < words; ++i)
+            acc = prf64(_key, acc ^ lanes[i], i + 1);
         return acc;
     }
 

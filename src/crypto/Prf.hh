@@ -12,6 +12,18 @@
  * production AES.  The construction is a 4-round splitmix-style mix of
  * (key, nonce, counter), which passes the avalanche/uniformity tests
  * in tests/crypto.
+ *
+ * Two entry points expose the same function:
+ *
+ *   - prf64(key, nonce, counter): one lane at a time.
+ *   - PrfStream(key, nonce): the per-(key, nonce) part of the mix is
+ *     hoisted once, then lane(counter)/fill() generate the keystream
+ *     for all lanes of a slot — the batch path used by OtpCodec when
+ *     it encrypts a whole ORAM path in one pass.
+ *
+ * PrfStream{k, n}.lane(c) == prf64(k, n, c) bit-for-bit; the crypto
+ * tests pin this equivalence, because the nonce/keystream sequence is
+ * part of the repo's determinism contract.
  */
 
 #ifndef SBORAM_CRYPTO_PRF_HH
@@ -28,12 +40,67 @@ struct PrfKey
     std::uint64_t hi = 0x9e3779b97f4a7c15ULL;
 };
 
+namespace detail {
+
+/** splitmix64 finalizer; one round of the 4-round construction. */
+inline std::uint64_t
+prfMix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace detail
+
+/**
+ * Keystream generator with the (key, nonce)-dependent state hoisted
+ * out of the per-lane loop.  Cheap to construct (three ALU ops); one
+ * instance serves all lanes encrypted under one nonce.
+ */
+class PrfStream
+{
+  public:
+    PrfStream(const PrfKey &key, std::uint64_t nonce)
+        : _z0(key.lo ^ (nonce * 0xd6e8feb86659fd93ULL)),
+          _keyHi(key.hi),
+          _nonceHi(nonce << 32)
+    {
+    }
+
+    /** Keystream word for lane @p counter. */
+    std::uint64_t
+    lane(std::uint64_t counter) const
+    {
+        std::uint64_t z =
+            detail::prfMix(_z0 + counter * 0x9e3779b97f4a7c15ULL);
+        z = detail::prfMix(z ^ _keyHi);
+        return detail::prfMix(z + (_nonceHi | (counter & 0xffffffffULL)));
+    }
+
+    /** Fill @p out with keystream words for lanes [0, count). */
+    void
+    fill(std::uint64_t *out, std::uint64_t count) const
+    {
+        for (std::uint64_t i = 0; i < count; ++i)
+            out[i] = lane(i);
+    }
+
+  private:
+    std::uint64_t _z0;      ///< key.lo mixed with the nonce.
+    std::uint64_t _keyHi;
+    std::uint64_t _nonceHi; ///< nonce << 32, ready to OR the counter.
+};
+
 /**
  * Deterministic 64-bit PRF output for (key, nonce, counter).
  * Each 64-bit lane of a block pad is prf(key, nonce, laneIndex).
  */
-std::uint64_t prf64(const PrfKey &key, std::uint64_t nonce,
-                    std::uint64_t counter);
+inline std::uint64_t
+prf64(const PrfKey &key, std::uint64_t nonce, std::uint64_t counter)
+{
+    return PrfStream(key, nonce).lane(counter);
+}
 
 } // namespace sboram
 

@@ -137,12 +137,11 @@ FaultInjector::pickKind(std::uint64_t accessCount) const
 }
 
 void
-FaultInjector::corrupt(CipherText &ct, std::uint64_t accessCount,
+FaultInjector::corrupt(CipherRef ct, std::uint64_t accessCount,
                        FaultKind kind, std::uint64_t slotIdx)
 {
-    SB_ASSERT(!ct.lanes.empty(), "corrupting an empty ciphertext");
-    const unsigned bits =
-        static_cast<unsigned>(ct.lanes.size()) * 64;
+    SB_ASSERT(ct.words != 0, "corrupting an empty ciphertext");
+    const unsigned bits = static_cast<unsigned>(ct.words) * 64;
     const unsigned bit = static_cast<unsigned>(
         draw(accessCount, kStreamBit) % bits);
 
@@ -155,7 +154,7 @@ FaultInjector::corrupt(CipherText &ct, std::uint64_t accessCount,
         // The fresh bucket encryption never reached DRAM: the
         // read-back mixes stale cells with the new nonce/tag, so
         // every lane is inconsistent.
-        for (std::size_t i = 0; i < ct.lanes.size(); ++i)
+        for (std::uint64_t i = 0; i < ct.words; ++i)
             ct.lanes[i] ^= draw(accessCount, kStreamGarble + i);
         ++_stats.droppedWrites;
         break;
@@ -170,7 +169,7 @@ FaultInjector::corrupt(CipherText &ct, std::uint64_t accessCount,
 }
 
 bool
-FaultInjector::onSlotRewritten(std::uint64_t slotIdx, CipherText &ct)
+FaultInjector::onSlotRewritten(std::uint64_t slotIdx, CipherRef ct)
 {
     if (_stuck.empty())
         return false;
@@ -179,7 +178,7 @@ FaultInjector::onSlotRewritten(std::uint64_t slotIdx, CipherText &ct)
         return false;
     StuckCell &cell = it->second;
     if (cell.remaining == 0 ||
-        cell.bit >= ct.lanes.size() * 64) {
+        cell.bit >= ct.words * 64) {
         _stuck.erase(it);
         return false;
     }

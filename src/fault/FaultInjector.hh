@@ -131,9 +131,10 @@ class FaultInjector
      * DroppedWrite garbles every lane (the fresh bucket encryption
      * never landed, so the read-back is inconsistent with the
      * recorded nonce); StuckBit flips one bit and arms the cell so
-     * the next stuckWrites rewrites re-corrupt it.
+     * the next stuckWrites rewrites re-corrupt it.  @p ct is a slab
+     * view (a CipherText converts implicitly).
      */
-    void corrupt(CipherText &ct, std::uint64_t accessCount,
+    void corrupt(CipherRef ct, std::uint64_t accessCount,
                  FaultKind kind, std::uint64_t slotIdx);
 
     /**
@@ -142,7 +143,7 @@ class FaultInjector
      * ciphertext and decrements its remaining lifetime.  Returns
      * true when the ciphertext was corrupted.
      */
-    bool onSlotRewritten(std::uint64_t slotIdx, CipherText &ct);
+    bool onSlotRewritten(std::uint64_t slotIdx, CipherRef ct);
 
     /**
      * Checkpoint the schedule cursor: the armed stuck cells and the

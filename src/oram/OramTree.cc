@@ -11,6 +11,27 @@ OramTree::OramTree(const OramGeometry &geo, unsigned slotsPerBucket,
       _payloadEnabled(payloadEnabled), _payloadWords(payloadWords),
       _store(geo.numSlots)
 {
+    _levelBase.resize(_leafLevel + 1);
+    _levelShift.resize(_leafLevel + 1);
+    for (unsigned level = 0; level <= _leafLevel; ++level) {
+        _levelBase[level] = (BucketIndex(1) << level) - 1;
+        _levelShift[level] = _leafLevel - level;
+    }
+    if (_payloadEnabled) {
+        _cipherNonce.assign(geo.numSlots, 0);
+        _cipherTag.assign(geo.numSlots, 0);
+        _cipherLanes.assign(geo.numSlots * _payloadWords, 0);
+    }
+}
+
+std::uint64_t
+OramTree::countCiphers() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t nonce : _cipherNonce)
+        if (nonce != 0)
+            ++n;
+    return n;
 }
 
 std::uint64_t
@@ -43,23 +64,24 @@ OramTree::saveState(ckpt::Serializer &out) const
         out.u32(s.version);
         out.u8(static_cast<std::uint8_t>(s.type));
     }
-    // Ciphertext side table, in slot-index order.  Restore rebuilds a
-    // content-equal map from any order, but the snapshot bytes must be
-    // identical for identical tree contents (generation diffing,
-    // resume bit-equality tests), so the hash map's arbitrary
-    // iteration order cannot leak into the image.
-    std::vector<std::uint64_t> slotIdxs;
-    slotIdxs.reserve(_cipher.size());
-    for (const auto &kv : _cipher)  // sblint:allow(unordered-iteration): key collection; serialized in the sorted order below
-        slotIdxs.push_back(kv.first);
-    std::sort(slotIdxs.begin(), slotIdxs.end());
-    out.u64(slotIdxs.size());
-    for (std::uint64_t slotIdx : slotIdxs) {
-        const CipherText &ct = _cipher.at(slotIdx);
+    // Ciphertext slab: only occupied slots travel, in ascending
+    // slot-index order (the slab's natural order), each as
+    // (slotIdx, nonce, tag, laneCount, lanes) — the same wire shape
+    // the pre-slab side table used.  Erased slots' stale lane words
+    // never reach the image.
+    out.u64(countCiphers());
+    for (std::uint64_t slotIdx = 0; slotIdx < _cipherNonce.size();
+         ++slotIdx) {
+        if (_cipherNonce[slotIdx] == 0)
+            continue;
         out.u64(slotIdx);
-        out.u64(ct.nonce);
-        out.u64(ct.tag);
-        out.vecU64(ct.lanes);
+        out.u64(_cipherNonce[slotIdx]);
+        out.u64(_cipherTag[slotIdx]);
+        out.u64(_payloadWords);
+        const std::uint64_t *lanes =
+            &_cipherLanes[slotIdx * _payloadWords];
+        for (std::uint64_t i = 0; i < _payloadWords; ++i)
+            out.u64(lanes[i]);
     }
 }
 
@@ -78,15 +100,39 @@ OramTree::loadState(ckpt::Deserializer &in)
         s.version = in.u32();
         s.type = static_cast<BlockType>(in.u8());
     }
-    _cipher.clear();
+    if (_payloadEnabled) {
+        std::fill(_cipherNonce.begin(), _cipherNonce.end(), 0);
+        std::fill(_cipherTag.begin(), _cipherTag.end(), 0);
+    }
     const std::uint64_t ciphers = in.u64();
+    if (!_payloadEnabled && ciphers != 0)
+        throw CkptMismatchError(
+            "snapshot carries " + std::to_string(ciphers) +
+            " ciphertexts but payloads are disabled");
     for (std::uint64_t i = 0; i < ciphers; ++i) {
         const std::uint64_t slotIdx = in.u64();
-        CipherText ct;
-        ct.nonce = in.u64();
-        ct.tag = in.u64();
-        ct.lanes = in.vecU64();
-        _cipher.emplace(slotIdx, std::move(ct));
+        if (slotIdx >= _store.size())
+            throw CkptMismatchError(
+                "ciphertext slot index " + std::to_string(slotIdx) +
+                " beyond geometry (" + std::to_string(_store.size()) +
+                " slots)");
+        const std::uint64_t nonce = in.u64();
+        if (nonce == 0)
+            throw CkptMismatchError(
+                "ciphertext entry with nonce 0 (the empty-slot "
+                "sentinel) at slot " + std::to_string(slotIdx));
+        _cipherNonce[slotIdx] = nonce;
+        _cipherTag[slotIdx] = in.u64();
+        const std::uint64_t laneCount = in.u64();
+        if (laneCount != _payloadWords)
+            throw CkptMismatchError(
+                "ciphertext lane count mismatch at slot " +
+                std::to_string(slotIdx) + ": snapshot has " +
+                std::to_string(laneCount) + ", geometry has " +
+                std::to_string(_payloadWords));
+        std::uint64_t *lanes = &_cipherLanes[slotIdx * _payloadWords];
+        for (std::uint64_t w = 0; w < _payloadWords; ++w)
+            lanes[w] = in.u64();
     }
 }
 

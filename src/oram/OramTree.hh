@@ -4,16 +4,18 @@
  *
  * A binary tree of L+1 levels (level 0 = root, level L = leaves), each
  * bucket holding Z slots.  Buckets are heap-ordered in one flat slot
- * array.  Optionally a ciphertext side table stores one-time-pad
- * encrypted payloads so functional tests can verify the full
- * encrypt/store/decrypt path.
+ * array.  When payloads are enabled, ciphertexts live in contiguous
+ * geometry-indexed slabs sized once at construction — one nonce word,
+ * one tag word and payloadWords lane words per slot, addressed as
+ * slotIndex * payloadWords.  No per-slot heap allocation, no hash
+ * lookup on the access path; a nonce of 0 marks an empty slot (the
+ * codec's counter is pre-incremented, so real nonces start at 1).
  */
 
 #ifndef SBORAM_ORAM_ORAMTREE_HH
 #define SBORAM_ORAM_ORAMTREE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "Block.hh"
@@ -41,8 +43,21 @@ class OramTree
     bucketOnPath(LeafLabel leaf, unsigned level) const
     {
         SB_ASSERT(level <= _leafLevel, "level %u beyond leaf", level);
-        return ((BucketIndex(1) << level) - 1) +
-               (leaf >> (_leafLevel - level));
+        return _levelBase[level] + (leaf >> (_leafLevel - level));
+    }
+
+    /**
+     * Bucket indices of the whole path to @p leaf, root first.
+     * Resizes @p out to leafLevel()+1 (steady-state callers reuse the
+     * same vector, so this is allocation-free after warm-up) and
+     * walks the precomputed per-level base/shift tables.
+     */
+    void
+    bucketsOnPath(LeafLabel leaf, std::vector<BucketIndex> &out) const
+    {
+        out.resize(_leafLevel + 1);
+        for (unsigned level = 0; level <= _leafLevel; ++level)
+            out[level] = _levelBase[level] + (leaf >> _levelShift[level]);
     }
 
     /**
@@ -82,53 +97,61 @@ class OramTree
     bool payloadEnabled() const { return _payloadEnabled; }
     std::uint64_t payloadWords() const { return _payloadWords; }
 
-    /** Store an encrypted payload for an occupied slot. */
-    void
-    storeCipher(std::uint64_t slotIdx, CipherText ct)
+    /** True when @p slotIdx holds a ciphertext.  Always false when
+     *  payloads are disabled (there is no slab). */
+    bool
+    hasCipher(std::uint64_t slotIdx) const
     {
-        _cipher[slotIdx] = std::move(ct);
+        return _payloadEnabled && _cipherNonce[slotIdx] != 0;
     }
-
-    /** Fetch the ciphertext of an occupied slot. */
-    const CipherText &
-    cipherAt(std::uint64_t slotIdx) const
-    {
-        auto it = _cipher.find(slotIdx);
-        SB_ASSERT(it != _cipher.end(), "no ciphertext at slot %llu",
-                  static_cast<unsigned long long>(slotIdx));
-        return it->second;
-    }
-
-    void eraseCipher(std::uint64_t slotIdx) { _cipher.erase(slotIdx); }
 
     /**
-     * Ciphertext storage for a slot, created when absent — lets the
-     * controller re-encrypt straight into the tree (OtpCodec::
-     * encryptInto) and reuse the previous ciphertext's lane buffer.
+     * Mutable slab view of a slot's ciphertext storage — the target
+     * for (re-)encryption, fault injection and stuck-cell rewrites.
+     * Always valid storage when payloads are enabled; writing a nonce
+     * marks the slot occupied.
      */
-    CipherText &
-    cipherSlot(std::uint64_t slotIdx)
+    CipherRef
+    cipherRef(std::uint64_t slotIdx)
     {
-        return _cipher[slotIdx];
+        SB_ASSERT(_payloadEnabled, "ciphertext slab disabled");
+        return CipherRef(&_cipherNonce[slotIdx], &_cipherTag[slotIdx],
+                         &_cipherLanes[slotIdx * _payloadWords],
+                         _payloadWords);
     }
 
-    /** Mutable ciphertext access — only for fault-injection tests
-     *  (an attacker tampering with untrusted memory). */
-    CipherText &
-    mutableCipherAt(std::uint64_t slotIdx)
+    /** Read-only slab view of an occupied slot's ciphertext. */
+    CipherView
+    cipherView(std::uint64_t slotIdx) const
     {
-        auto it = _cipher.find(slotIdx);
-        SB_ASSERT(it != _cipher.end(), "no ciphertext at slot %llu",
+        SB_ASSERT(hasCipher(slotIdx), "no ciphertext at slot %llu",
                   static_cast<unsigned long long>(slotIdx));
-        return it->second;
+        return CipherView(&_cipherNonce[slotIdx], &_cipherTag[slotIdx],
+                          &_cipherLanes[slotIdx * _payloadWords],
+                          _payloadWords);
     }
+
+    /** Mark a slot's ciphertext storage empty.  The lane words are
+     *  left as-is; they are dead until the next encryption and never
+     *  serialized while the nonce is 0. */
+    void
+    eraseCipher(std::uint64_t slotIdx)
+    {
+        if (!_payloadEnabled)
+            return;
+        _cipherNonce[slotIdx] = 0;
+        _cipherTag[slotIdx] = 0;
+    }
+
+    /** Count of slots holding a ciphertext. */
+    std::uint64_t countCiphers() const;
 
     /** Count of occupied (real or shadow) slots in the whole tree. */
     std::uint64_t countOccupied() const;
     /** Count of real slots only. */
     std::uint64_t countReal() const;
 
-    /** Serialize slots + ciphertext table into a checkpoint section. */
+    /** Serialize slots + ciphertext slab into a checkpoint section. */
     void saveState(ckpt::Serializer &out) const;
     /** Restore from a checkpoint; geometry must match construction. */
     void loadState(ckpt::Deserializer &in);
@@ -141,7 +164,15 @@ class OramTree
     bool _payloadEnabled;
     std::uint64_t _payloadWords;
     std::vector<Slot> _store;
-    std::unordered_map<std::uint64_t, CipherText> _cipher;
+    /** Path→bucket tables: bucket(level, leaf) =
+     *  _levelBase[level] + (leaf >> _levelShift[level]). */
+    std::vector<BucketIndex> _levelBase;
+    std::vector<unsigned> _levelShift;
+    /** Ciphertext slabs, indexed by slot (lanes by
+     *  slotIdx * _payloadWords).  Empty when payloads are disabled. */
+    std::vector<std::uint64_t> _cipherNonce;
+    std::vector<std::uint64_t> _cipherTag;
+    std::vector<std::uint64_t> _cipherLanes;
 };
 
 } // namespace sboram

@@ -13,30 +13,28 @@ Stash::enforceCapacity()
     // trackOccupancy — functionally we keep them so the simulation
     // can proceed).
     while (_entries.size() > _capacity) {
-        Addr victim = kInvalidAddr;
+        // Victim selection is a strict minimum over the (hotness,
+        // seq) key and seq is unique, so the choice is identical for
+        // any scan order.  Scanning the shadow side-list touches
+        // exactly the displaceable entries — no hashing, no visits
+        // to real entries.
+        StashEntry *victim = nullptr;
         std::uint32_t coldest = ~std::uint32_t(0);
         std::uint64_t oldest = ~std::uint64_t(0);
-        // Victim selection below is a strict minimum over the
-        // (hotness, seq) key and seq is unique, so the choice is
-        // identical for any iteration order.
-        // sblint:allow-next-line(unordered-iteration): strict min over unique (hotness, seq) key is order-independent
-        for (const auto &kv : _entries) {
-            if (!kv.second.isShadow())
-                continue;
+        for (StashEntry *e : _shadows) {
             const std::uint32_t hot =
-                _hotness ? _hotness(kv.first) : 0;
-            if (hot < coldest ||
-                (hot == coldest && kv.second.seq < oldest)) {
+                _hotness ? _hotness->hotnessOf(e->addr) : 0;
+            if (hot < coldest || (hot == coldest && e->seq < oldest)) {
                 coldest = hot;
-                oldest = kv.second.seq;
-                victim = kv.first;
+                oldest = e->seq;
+                victim = e;
             }
         }
-        if (victim == kInvalidAddr)
+        if (victim == nullptr)
             break;  // Only real entries left; overflow accounting.
-        auto it = _entries.find(victim);
-        recyclePayload(it->second);
-        _entries.erase(it);
+        removeShadow(victim);
+        recyclePayload(*victim);
+        _entries.erase(victim->addr);
     }
 }
 
@@ -51,7 +49,11 @@ Stash::insert(StashEntry entry)
     if (it == _entries.end()) {
         if (entry.type == BlockType::Real)
             ++_realCount;
-        _entries.emplace(entry.addr, std::move(entry));
+        const Addr addr = entry.addr;
+        auto [pos, inserted] = _entries.emplace(addr, std::move(entry));
+        (void)inserted;
+        if (pos->second.isShadow())
+            addShadow(&pos->second);
         enforceCapacity();
         trackOccupancy();
         return true;
@@ -83,6 +85,7 @@ Stash::insert(StashEntry entry)
               "stale shadow survived for addr %llu",
               static_cast<unsigned long long>(entry.addr));
     ++_stats.mergesRealWins;
+    removeShadow(&existing);
     recyclePayload(existing);
     existing = std::move(entry);
     ++_realCount;
@@ -112,6 +115,8 @@ Stash::remove(Addr addr)
               static_cast<unsigned long long>(addr));
     if (it->second.type == BlockType::Real)
         --_realCount;
+    else
+        removeShadow(&it->second);
     recyclePayload(it->second);
     _entries.erase(it);
 }
@@ -121,6 +126,7 @@ Stash::dropShadowOf(Addr addr)
 {
     auto it = _entries.find(addr);
     if (it != _entries.end() && it->second.type == BlockType::Shadow) {
+        removeShadow(&it->second);
         recyclePayload(it->second);
         _entries.erase(it);
     }
@@ -180,6 +186,7 @@ Stash::loadState(ckpt::Deserializer &in)
     _stats.mergesRealWins = in.u64();
     _stats.mergesShadowDup = in.u64();
     _entries.clear();
+    _shadows.clear();
     const std::uint64_t count = in.u64();
     for (std::uint64_t i = 0; i < count; ++i) {
         StashEntry e;
@@ -190,7 +197,10 @@ Stash::loadState(ckpt::Deserializer &in)
         e.seq = in.u64();
         e.payload = in.vecU64();
         const Addr addr = e.addr;
-        _entries.emplace(addr, std::move(e));
+        auto [pos, inserted] = _entries.emplace(addr, std::move(e));
+        (void)inserted;
+        if (pos->second.isShadow())
+            addShadow(&pos->second);
     }
 }
 

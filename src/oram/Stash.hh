@@ -20,14 +20,16 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "Block.hh"
+#include "DuplicationPolicy.hh"
 #include "ckpt/Serde.hh"
 #include "common/Logging.hh"
 #include "common/Types.hh"
+#include "common/VectorPool.hh"
 
 namespace sboram {
 
@@ -39,6 +41,9 @@ struct StashEntry
     std::uint32_t version = 0;
     BlockType type = BlockType::Dummy;
     std::uint64_t seq = 0;  ///< Insertion order, for determinism.
+    /** Position in the stash's shadow side-list while this entry is a
+     *  stash-resident shadow; transient bookkeeping, not serialized. */
+    std::uint32_t shadowIdx = 0;
     SB_SECRET std::vector<std::uint64_t> payload;
 
     bool isShadow() const { return type == BlockType::Shadow; }
@@ -198,6 +203,23 @@ class Stash
     planEviction(CommonLevelFn &&commonLevelFn) const
     {
         EvictionPlan plan;
+        planEvictionInto(plan,
+                         std::forward<CommonLevelFn>(commonLevelFn));
+        return plan;
+    }
+
+    /**
+     * In-place variant of planEviction: rebuilds @p plan, reusing its
+     * storage.  The eviction hot path keeps one plan object alive
+     * across path writes so planning allocates nothing in steady
+     * state.
+     */
+    template <typename CommonLevelFn>
+    void
+    planEvictionInto(EvictionPlan &plan,
+                     CommonLevelFn &&commonLevelFn) const
+    {
+        plan._order.clear();
         plan._order.reserve(_entries.size());
         // sblint:allow-next-line(unordered-iteration): bucketing pass only; order canonicalised by the (class, seq) sort below
         for (const auto &kv : _entries) {
@@ -214,7 +236,6 @@ class Stash
                           return !a.shadow;  // reals first
                       return a.seq < b.seq;
                   });
-        return plan;
     }
 
     /**
@@ -235,25 +256,29 @@ class Stash
      * Install a hotness oracle used to pick shadow-displacement
      * victims: when the CAM fills up, the coldest shadow goes first
      * (HD-Dup's Hot Address Cache provides the ranking).  Without an
-     * oracle, displacement is oldest-first.
+     * oracle, displacement is oldest-first.  A raw interface pointer
+     * (not owned; must outlive the stash) replaces the previous
+     * std::function: the oracle fires once per shadow entry per
+     * displacement, and the type-erased wrapper was a measured hot
+     * symbol.
      */
     void
-    setHotnessOracle(std::function<std::uint32_t(Addr)> fn)
+    setHotnessOracle(const DuplicationPolicy *policy)
     {
-        _hotness = std::move(fn);
+        _hotness = policy;
     }
 
     /**
-     * Install a sink for payload buffers of entries the stash drops
-     * (merge discards, capacity displacement, remove).  The owner
-     * pools them so path reads stop allocating a fresh vector per
-     * block (payload mode only; entries without payloads are free).
+     * Install the pool that receives payload buffers of entries the
+     * stash drops (merge discards, capacity displacement, remove).
+     * Not owned; must outlive the stash.  Pooling keeps path reads
+     * from allocating a fresh vector per block (payload mode only;
+     * entries without payloads are free).
      */
     void
-    setPayloadRecycler(std::function<void(std::vector<std::uint64_t> &&)>
-                           fn)
+    setPayloadRecycler(VectorPool *pool)
     {
-        _recycle = std::move(fn);
+        _recycle = pool;
     }
 
     /** Serialize entries + counters into a checkpoint section. */
@@ -275,15 +300,42 @@ class Stash
     {
         // sblint:allow-next-line(secret-branch): branches on buffer presence (payload-mode config), never on payload contents
         if (_recycle && !entry.payload.empty())
-            _recycle(std::move(entry.payload));
+            _recycle->release(std::move(entry.payload));
+    }
+
+    /** Track @p entry in the shadow side-list (see _shadows). */
+    void
+    addShadow(StashEntry *entry)
+    {
+        entry->shadowIdx = static_cast<std::uint32_t>(_shadows.size());
+        _shadows.push_back(entry);
+    }
+
+    /** Untrack @p entry: swap-remove (the list is unordered). */
+    void
+    removeShadow(StashEntry *entry)
+    {
+        const std::uint32_t idx = entry->shadowIdx;
+        StashEntry *last = _shadows.back();
+        _shadows[idx] = last;
+        last->shadowIdx = idx;
+        _shadows.pop_back();
     }
 
     unsigned _capacity;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _realCount = 0;
     std::unordered_map<Addr, StashEntry> _entries;
-    std::function<std::uint32_t(Addr)> _hotness;
-    std::function<void(std::vector<std::uint64_t> &&)> _recycle;
+    /**
+     * Every shadow entry, by pointer (unordered_map nodes are
+     * pointer-stable).  Displacement victim selection scans only
+     * this list instead of hashing through the whole map; the scan
+     * is a strict minimum over the unique (hotness, seq) key, so the
+     * list's order never influences the choice.
+     */
+    std::vector<StashEntry *> _shadows;
+    const DuplicationPolicy *_hotness = nullptr;
+    VectorPool *_recycle = nullptr;
     StashStats _stats;
 };
 

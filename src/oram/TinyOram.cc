@@ -46,13 +46,10 @@ TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
         _faults = std::make_unique<FaultInjector>(cfg.fault);
     }
     _realLevel.assign(_geo.totalBlocks, kInStash);
-    _stash.setHotnessOracle(
-        [this](Addr addr) { return _policy->hotnessOf(addr); });
+    _stash.setHotnessOracle(_policy.get());
     if (cfg.payloadEnabled) {
-        _stash.setPayloadRecycler(
-            [this](std::vector<std::uint64_t> &&v) {
-                _payloadPool.release(std::move(v));
-            });
+        _stash.setPayloadRecycler(&_payloadPool);
+        _placedIdx.assign(_geo.totalBlocks, 0);
     }
     initializeTree();
 }
@@ -101,6 +98,7 @@ TinyOram::initializeTree()
     // Assign every block a random leaf and place it greedily from the
     // leaf level upwards; anything that does not fit starts in the
     // stash (rare at 50 % utilisation).
+    std::vector<std::uint64_t> plain;  // Reused across all blocks.
     for (Addr addr = 0; addr < _geo.totalBlocks; ++addr) {
         const LeafLabel leaf = randomLeaf();
         _posMap.update(addr, leaf);
@@ -119,9 +117,10 @@ TinyOram::initializeTree()
                 slot.version = 0;
                 _realLevel[addr] = static_cast<std::uint8_t>(level);
                 if (_cfg.payloadEnabled) {
-                    _tree.storeCipher(
-                        _tree.slotIndex(b, s),
-                        _codec.encrypt(patternPayload(addr, 0)));
+                    patternPayloadInto(addr, 0, plain);
+                    _codec.encryptRef(
+                        plain.data(),
+                        _tree.cipherRef(_tree.slotIndex(b, s)));
                 }
                 placed = true;
                 break;
@@ -198,7 +197,7 @@ TinyOram::maybeInjectFaults(LeafLabel leaf)
 
     const std::uint64_t slotIdx =
         targets[_faults->pickTarget(tick, targets.size())];
-    _faults->corrupt(_tree.mutableCipherAt(slotIdx), tick,
+    _faults->corrupt(_tree.cipherRef(slotIdx), tick,
                      _faults->pickKind(tick), slotIdx);
     ++_stats.faultsInjected;
 }
@@ -237,7 +236,7 @@ TinyOram::recoverRealPayload(const Slot &slot, unsigned level,
                 cand.version != slot.version)
                 continue;
             if (_codec.verifyDecrypt(
-                    _tree.cipherAt(_tree.slotIndex(b, s)), out))
+                    _tree.cipherView(_tree.slotIndex(b, s)), out))
                 return true;
             // That copy is corrupt too; keep looking.
         }
@@ -281,7 +280,7 @@ TinyOram::handleUnrecoverable(const Slot &slot, BucketIndex bucket,
              slot.addr);
 }
 
-TinyOram::PathReadOutcome
+SB_HOT TinyOram::PathReadOutcome
 TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                    Cycles startTime)
 {
@@ -300,11 +299,12 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
         maybeInjectFaults(leaf);
 
     const unsigned ttl = _cfg.treetopLevels;
+    _tree.bucketsOnPath(leaf, _pathBuckets);
     std::vector<DramCoord> &coords = _readCoords;
     coords.clear();
     coords.reserve((_geo.leafLevel + 1 - ttl) * _cfg.slotsPerBucket);
     for (unsigned level = ttl; level <= _geo.leafLevel; ++level) {
-        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        const BucketIndex b = _pathBuckets[level];
         for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s)
             coords.push_back(_addressMap.mapSlot(b, s));
     }
@@ -328,7 +328,7 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
 
     std::size_t dramIdx = 0;
     for (unsigned level = 0; level <= _geo.leafLevel; ++level) {
-        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        const BucketIndex b = _pathBuckets[level];
         for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
             const bool onChip = level < ttl;
             const Cycles ready = onChip
@@ -387,7 +387,7 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 // redundancy) before declaring the block lost.
                 // sblint:allow-next-line(secret-branch): branches on the MAC verdict (fault events are architecturally visible), not payload bits
                 if (!_codec.verifyDecrypt(
-                        _tree.cipherAt(slotIdx),
+                        _tree.cipherView(slotIdx),
                         // sblint:allow-next-line(secret-branch): same MAC-verdict branch as annotated above
                         e.payload)) {
                     ++_stats.faultsDetected;
@@ -459,7 +459,7 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
     return out;
 }
 
-Cycles
+SB_HOT Cycles
 TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
 {
     ++_stats.pathWrites;
@@ -472,13 +472,29 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     _policy->beginPathWrite(leaf);
 
     const unsigned ttl = _cfg.treetopLevels;
+    _tree.bucketsOnPath(leaf, _pathBuckets);
     std::vector<DramCoord> &coords = _writeCoords;
     coords.clear();
 
     // Payloads of duplication candidates (blocks placed in this path
     // write and offered stash shadows), so shadow slots can be
-    // filled with real data in payload mode.
-    std::unordered_map<Addr, std::vector<std::uint64_t>> placedPayload;
+    // filled with real data in payload mode.  The buffers live in
+    // _placedBufs (capacity reused write after write); _placedIdx
+    // maps address -> dense buffer slot + 1 for the duration of this
+    // write (reset at the end via _placedAddrs).
+    SB_ASSERT(_pendingEnc.empty() && _placedAddrs.empty(),
+              "path-write scratch not drained");
+    auto placedBufIdx = [&](Addr addr) -> std::uint32_t {
+        std::uint32_t &ref = _placedIdx[addr];
+        if (ref == 0) {
+            const std::size_t idx = _placedAddrs.size();
+            if (_placedBufs.size() <= idx)
+                _placedBufs.emplace_back();
+            _placedAddrs.push_back(addr);
+            ref = static_cast<std::uint32_t>(idx) + 1;
+        }
+        return ref - 1;
+    };
 
     // Shadow copies sitting in the stash are offered to the
     // duplication policy: Rule-1 bounds them by their label's common
@@ -488,7 +504,9 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
         // iteration order is an implementation detail that a
         // checkpoint restore does not reproduce, and the offer order
         // decides which candidates the duplication queues pop first.
-        std::vector<const StashEntry *> stashShadows;
+        std::vector<const StashEntry *> &stashShadows =
+            _stashShadowScratch;
+        stashShadows.clear();
         _stash.forEach([&](const StashEntry &e) {
             if (e.isShadow())
                 stashShadows.push_back(&e);
@@ -505,7 +523,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             const unsigned maxLevel = std::min<unsigned>(
                 _tree.commonLevel(e.leaf, leaf), realLvl);
             if (_cfg.payloadEnabled)
-                placedPayload[e.addr] = e.payload;
+                _placedBufs[placedBufIdx(e.addr)] = e.payload;
             _policy->offerStashShadow(e.addr, e.leaf, e.version,
                                       realLvl, maxLevel);
         }
@@ -524,7 +542,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
                 _tree.commonLevel(e.leaf, leaf),
                 realInStash ? _geo.leafLevel + 1 : realLvl);
             if (_cfg.payloadEnabled)
-                placedPayload[e.addr] = e.payload;
+                _placedBufs[placedBufIdx(e.addr)] = e.payload;
             _policy->offerStashShadow(e.addr, e.leaf, e.version,
                                       rearLevel, maxLevel);
         }
@@ -532,13 +550,8 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
 
     // Pass 1 — plan and perform the greedy placements, leaf to root
     // (deepest-possible placement), collecting the dummy slots.
-    struct DummySlot
-    {
-        BucketIndex bucket;
-        unsigned slot;
-        unsigned level;
-    };
-    std::vector<DummySlot> dummies;
+    std::vector<DummySlot> &dummies = _dummyScratch;
+    dummies.clear();
 
     // One bucketing pass + one sort for the whole eviction: each
     // entry's common-prefix level with this path is computed once,
@@ -546,15 +559,15 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     // hot spot).  Placements mark entries consumed in the plan and
     // remove them from the stash, so shallower levels see exactly
     // what a fresh rescan would.
-    Stash::EvictionPlan plan =
-        _stash.planEviction([&](LeafLabel blockLeaf) {
-            return _tree.commonLevel(blockLeaf, leaf);
-        });
+    Stash::EvictionPlan &plan = _planScratch;
+    _stash.planEvictionInto(plan, [&](LeafLabel blockLeaf) {
+        return _tree.commonLevel(blockLeaf, leaf);
+    });
 
     for (int levelI = static_cast<int>(_geo.leafLevel); levelI >= 0;
          --levelI) {
         const unsigned level = static_cast<unsigned>(levelI);
-        const BucketIndex b = _tree.bucketOnPath(leaf, level);
+        const BucketIndex b = _pathBuckets[level];
 
         unsigned slotCursor = 0;
         plan.forEachEligible(level, [&](Stash::PlanEntry &cand) {
@@ -579,15 +592,14 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             const std::uint64_t slotIdx = _tree.slotIndex(b, slotCursor);
             _tree.slot(b, slotCursor) = value;
             if (_cfg.payloadEnabled) {
-                _codec.encryptInto(entry->payload,
-                                   _tree.cipherSlot(slotIdx));
-                if (_faults &&
-                    _faults->onSlotRewritten(slotIdx,
-                                             _tree.cipherSlot(slotIdx)))
-                    ++_stats.faultsInjected;
                 // The entry leaves the stash right below; hand its
-                // buffer to the duplication pass instead of copying.
-                placedPayload[entry->addr] = std::move(entry->payload);
+                // buffer to the duplication pass instead of copying,
+                // and defer the encryption to the batch-crypto step
+                // (nonce order is the pending-record order, which
+                // matches the per-slot encrypt order this replaces).
+                const std::uint32_t bi = placedBufIdx(entry->addr);
+                std::swap(_placedBufs[bi], entry->payload);
+                _pendingEnc.push_back(PendingEncrypt{slotIdx, bi});
             }
             if (value.isReal())
                 _realLevel[entry->addr] =
@@ -658,20 +670,49 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
                 _stash.dropShadowOf(choice->addr);
             markBufferedPlaced(choice->addr);
             if (_cfg.payloadEnabled) {
-                auto pit = placedPayload.find(choice->addr);
-                SB_ASSERT(pit != placedPayload.end(),
+                const std::uint32_t ref = _placedIdx[choice->addr];
+                SB_ASSERT(ref != 0,
                           "shadow candidate has no payload");
-                _codec.encryptInto(pit->second,
-                                   _tree.cipherSlot(slotIdx));
-                if (_faults &&
-                    _faults->onSlotRewritten(slotIdx,
-                                             _tree.cipherSlot(slotIdx)))
-                    ++_stats.faultsInjected;
+                _pendingEnc.push_back(PendingEncrypt{slotIdx, ref - 1});
             }
         } else if (_cfg.payloadEnabled) {
             _tree.eraseCipher(slotIdx);
         }
     }
+
+    // Batch-crypto step: one keystream pass re-encrypts every slot
+    // this write placed (pass-1 reals and pass-2 shadows — the slot
+    // sets are disjoint, so each slot is encrypted exactly once).
+    // Deferring the per-slot encryptions here keeps the placement
+    // loops branch-light and lets the codec amortise the PRF setup.
+    if (_cfg.payloadEnabled && !_pendingEnc.empty()) {
+        const std::uint64_t words = _cfg.blockBytes / 8;
+        const std::size_t n = _pendingEnc.size();
+        _encPlains.clear();
+        _encRefs.clear();
+        for (const PendingEncrypt &pe : _pendingEnc) {
+            _encPlains.push_back(_placedBufs[pe.bufIdx].data());
+            _encRefs.push_back(_tree.cipherRef(pe.slotIdx));
+        }
+        // sblint:allow-next-line(hot-path-alloc): pool-backed scratch; allocation-free once the pool is warm
+        std::vector<std::uint64_t> ks = _payloadPool.acquire(n * words);
+        _codec.encryptBatch(_encPlains.data(), _encRefs.data(), n,
+                            words, ks.data());
+        _payloadPool.release(std::move(ks));
+        // Stuck-cell re-application after the fact: each rewrite is
+        // keyed by slot index alone, so doing them after the batch is
+        // equivalent to interleaving them with per-slot encrypts.
+        for (const PendingEncrypt &pe : _pendingEnc) {
+            if (_faults &&
+                _faults->onSlotRewritten(pe.slotIdx,
+                                         _tree.cipherRef(pe.slotIdx)))
+                ++_stats.faultsInjected;
+        }
+    }
+    _pendingEnc.clear();
+    for (Addr a : _placedAddrs)
+        _placedIdx[a] = 0;
+    _placedAddrs.clear();
 
     // Buffered shadows that were not re-placed fall back into the
     // stash (replaceable), where merging and LFU displacement apply.
@@ -690,9 +731,14 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
         startTime + _cfg.aesLatency, coords, true);
     const Cycles done =
         std::max(batch.finish, startTime + _cfg.onChipLatency);
-    if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+    if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr) {
+        // The modelled crypto phase: the whole path is re-encrypted
+        // (one batch keystream pass) before the burst leaves the chip.
+        t->complete(obs::kTrackEviction, "crypto", startTime,
+                    _cfg.aesLatency);
         t->complete(obs::kTrackEviction, "path_write", startTime,
                     done - startTime);
+    }
     return done;
 }
 
@@ -885,8 +931,10 @@ TinyOram::peekPayload(Addr addr) const
         for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
             const Slot &slot = _tree.slot(b, s);
             if (slot.isReal() && slot.addr == addr) {
-                return _codec.decrypt(
-                    _tree.cipherAt(_tree.slotIndex(b, s)));
+                std::vector<std::uint64_t> out;
+                _codec.decryptInto(
+                    _tree.cipherView(_tree.slotIndex(b, s)), out);
+                return out;
             }
         }
     }

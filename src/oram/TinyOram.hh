@@ -205,11 +205,11 @@ class TinyOram
      */
     enum class ReadMode { Request, Dummy, Evict };
 
-    PathReadOutcome pathRead(LeafLabel leaf, ReadMode mode,
-                             Addr wantAddr, Cycles startTime);
+    SB_HOT PathReadOutcome pathRead(LeafLabel leaf, ReadMode mode,
+                                    Addr wantAddr, Cycles startTime);
 
     /** Greedy path write with duplication (Algorithm 1). */
-    Cycles pathWrite(LeafLabel leaf, Cycles startTime);
+    SB_HOT Cycles pathWrite(LeafLabel leaf, Cycles startTime);
 
     /** Run Step-5/6 eviction if the access counter says so. */
     Cycles maybeEvict(Cycles time);
@@ -311,6 +311,48 @@ class TinyOram
     /** Per-write scratch: which _evictShadows went back into the
      *  tree (parallel to _evictShadows). */
     std::vector<char> _evictShadowPlaced;
+
+    /** One empty slot found by path-write pass 1, to be filled (or
+     *  explicitly blanked) by the duplication pass. */
+    struct DummySlot
+    {
+        BucketIndex bucket;
+        unsigned slot;
+        unsigned level;
+    };
+    /** One slot whose re-encryption is deferred to the batch-crypto
+     *  step at the end of a path write. */
+    struct PendingEncrypt
+    {
+        std::uint64_t slotIdx;
+        std::uint32_t bufIdx;  ///< Index into _placedBufs.
+    };
+
+    // Per-path-access scratch, kept across calls so the steady state
+    // allocates nothing (vectors only ever grow to the path size /
+    // the per-write candidate count and stay there).
+    std::vector<BucketIndex> _pathBuckets;   ///< Root-first path buckets.
+    std::vector<DummySlot> _dummyScratch;
+    std::vector<const StashEntry *> _stashShadowScratch;
+    Stash::EvictionPlan _planScratch;
+    /**
+     * Payloads of this path write's duplication candidates.  Indexed
+     * by dense buffer slot; _placedIdx maps address -> slot+1 (0 =
+     * absent) and is sized to the whole address space at
+     * construction, with _placedAddrs recording which entries to
+     * reset afterwards.  Replaces a per-write
+     * unordered_map<Addr, vector> whose node churn was a measured
+     * hot-path allocation source.
+     */
+    std::vector<std::uint32_t> _placedIdx;
+    std::vector<Addr> _placedAddrs;
+    std::vector<std::vector<std::uint64_t>> _placedBufs;
+    /** Slots awaiting the batched re-encryption, in the exact order
+     *  per-slot encryption used to run (the nonce sequence is a
+     *  determinism contract). */
+    std::vector<PendingEncrypt> _pendingEnc;
+    std::vector<const std::uint64_t *> _encPlains;
+    std::vector<CipherRef> _encRefs;
 };
 
 } // namespace sboram

@@ -1,7 +1,5 @@
 #include "DupQueues.hh"
 
-#include <algorithm>
-
 namespace sboram {
 
 bool
@@ -21,28 +19,26 @@ DupQueue::better(const DupCandidate &a, const DupCandidate &b) const
     return a.seq > b.seq;
 }
 
-void
-DupQueue::push(const DupCandidate &cand)
-{
-    auto pos = std::upper_bound(
-        _items.begin(), _items.end(), cand,
-        [this](const DupCandidate &a, const DupCandidate &b) {
-            return better(a, b);
-        });
-    _items.insert(pos, cand);
-}
-
 std::optional<DupCandidate>
 DupQueue::popFor(unsigned slotLevel)
 {
-    for (auto it = _items.begin(); it != _items.end(); ++it) {
-        if (it->maxLevel > slotLevel) {
-            DupCandidate c = *it;
-            _items.erase(it);
-            return c;
-        }
+    // Strict minimum over the `better` total order among qualifying
+    // candidates; ties only occur between field-identical refill
+    // copies, so the choice does not depend on storage order.  The
+    // winner is removed by swap-with-last (order carries no meaning).
+    std::size_t best = _items.size();
+    for (std::size_t i = 0; i < _items.size(); ++i) {
+        if (_items[i].maxLevel <= slotLevel)
+            continue;
+        if (best == _items.size() || better(_items[i], _items[best]))
+            best = i;
     }
-    return std::nullopt;
+    if (best == _items.size())
+        return std::nullopt;
+    DupCandidate c = _items[best];
+    _items[best] = _items.back();
+    _items.pop_back();
+    return c;
 }
 
 } // namespace sboram

@@ -45,9 +45,14 @@ struct DupCandidate
 };
 
 /**
- * One priority queue of duplication candidates.  Implemented as a
- * sorted vector — per path write the population is at most
- * Z * (L + 1), so simplicity beats asymptotics.
+ * One priority queue of duplication candidates.  Implemented as an
+ * unsorted vector with selection at pop time: push is O(1), popFor
+ * scans for the best qualifying candidate.  Pushes vastly outnumber
+ * pops on the eviction path (every placed block enters both queues,
+ * and refills re-push the whole candidate set), so moving the work
+ * to the pop side wins — and `better` is a strict total order (the
+ * unique seq breaks every tie), so scan-min selects exactly the
+ * element a best-first sorted vector would have popped.
  */
 class DupQueue
 {
@@ -57,7 +62,7 @@ class DupQueue
 
     explicit DupQueue(Rank rank) : _rank(rank) {}
 
-    void push(const DupCandidate &cand);
+    void push(const DupCandidate &cand) { _items.push_back(cand); }
 
     /**
      * Pop the best candidate placed strictly deeper than @p slotLevel
@@ -72,7 +77,7 @@ class DupQueue
     bool better(const DupCandidate &a, const DupCandidate &b) const;
 
     Rank _rank;
-    std::vector<DupCandidate> _items;  ///< Kept sorted, best first.
+    std::vector<DupCandidate> _items;  ///< Unsorted; selected at pop.
 };
 
 } // namespace sboram

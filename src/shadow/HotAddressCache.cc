@@ -10,25 +10,14 @@ HotAddressCache::HotAddressCache(unsigned entries,
     _numSets = entries / associativity;
     while (_numSets & (_numSets - 1))
         _numSets &= _numSets - 1;
+    _setMask = _numSets - 1;
     _ways.resize(static_cast<std::size_t>(_numSets) * _assoc);
-}
-
-const HotAddressCache::Way *
-HotAddressCache::probe(Addr addr) const
-{
-    const unsigned set = static_cast<unsigned>(addr % _numSets);
-    const Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
-    for (unsigned w = 0; w < _assoc; ++w) {
-        if (base[w].valid && base[w].tag == addr)
-            return &base[w];
-    }
-    return nullptr;
 }
 
 void
 HotAddressCache::touch(Addr addr)
 {
-    const unsigned set = static_cast<unsigned>(addr % _numSets);
+    const unsigned set = static_cast<unsigned>(addr & _setMask);
     Way *base = &_ways[static_cast<std::size_t>(set) * _assoc];
     for (unsigned w = 0; w < _assoc; ++w) {
         if (base[w].valid && base[w].tag == addr) {
@@ -51,13 +40,6 @@ HotAddressCache::touch(Addr addr)
     victim->valid = true;
     victim->tag = addr;
     victim->counter = 1;
-}
-
-std::uint32_t
-HotAddressCache::count(Addr addr) const
-{
-    const Way *way = probe(addr);
-    return way ? way->counter : 0;
 }
 
 } // namespace sboram

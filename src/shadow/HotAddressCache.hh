@@ -29,8 +29,25 @@ class HotAddressCache
     /** Record an LLC miss: bump the counter, inserting if needed. */
     void touch(Addr addr);
 
-    /** Access count for @p addr; 0 when not cached. */
-    std::uint32_t count(Addr addr) const;
+    /**
+     * Access count for @p addr; 0 when not cached.  Defined inline —
+     * the stash's displacement scan and the duplication policy's
+     * candidate ranking call this once per shadow entry per event,
+     * which made an out-of-line probe one of the hottest symbols in
+     * the profile.  The set count is a power of two (the constructor
+     * rounds down), so the set index is a mask, not a division.
+     */
+    std::uint32_t
+    count(Addr addr) const
+    {
+        const Way *base =
+            &_ways[static_cast<std::size_t>(addr & _setMask) * _assoc];
+        for (unsigned w = 0; w < _assoc; ++w) {
+            if (base[w].valid && base[w].tag == addr)
+                return base[w].counter;
+        }
+        return 0;
+    }
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
@@ -70,10 +87,9 @@ class HotAddressCache
         std::uint32_t counter = 0;
     };
 
-    const Way *probe(Addr addr) const;
-
     std::vector<Way> _ways;
     unsigned _numSets;
+    unsigned _setMask;  ///< _numSets - 1 (power-of-two set count).
     unsigned _assoc;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

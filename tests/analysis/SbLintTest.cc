@@ -431,6 +431,93 @@ TEST(SbLintRules, UntrackedMetricScopedToSrcAndBench)
 }
 
 // ---------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, HotPathAllocFiresOnVectorConstruction)
+{
+    const auto fs = lintOne("src/oram/X.cc",
+                            "SB_HOT void f() {\n"
+                            "    std::vector<std::uint64_t> scratch;\n"
+                            "    scratch.push_back(1);\n"
+                            "}\n");
+    ASSERT_TRUE(fired(fs, Rule::HotPathAlloc));
+    EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(SbLintRules, HotPathAllocFiresOnNewAndMakeUnique)
+{
+    EXPECT_TRUE(fired(lintOne("src/oram/X.cc",
+                              "SB_HOT void f() {\n"
+                              "    auto *p = new int(3);\n"
+                              "    (void)p;\n"
+                              "}\n"),
+                      Rule::HotPathAlloc));
+    EXPECT_TRUE(fired(lintOne("src/oram/X.cc",
+                              "SB_HOT void f() {\n"
+                              "    auto p = std::make_unique<int>(3);\n"
+                              "}\n"),
+                      Rule::HotPathAlloc));
+}
+
+TEST(SbLintRules, HotPathAllocFiresOnUnorderedMapTouch)
+{
+    const auto fs = lintOne("src/oram/X.cc",
+                            "std::unordered_map<int, int> _cache;\n"
+                            "SB_HOT int f(int k) {\n"
+                            "    auto it = _cache.find(k);\n"
+                            "    return it == _cache.end() ? 0 : 1;\n"
+                            "}\n"
+                            "SB_HOT int g(int k) { return _cache[k]; }\n");
+    ASSERT_TRUE(fired(fs, Rule::HotPathAlloc));
+    // Both the .find() and the operator[] touch are flagged.
+    unsigned hits = 0;
+    for (const Finding &f : fs)
+        if (f.rule == Rule::HotPathAlloc)
+            ++hits;
+    EXPECT_EQ(hits, 2u);
+}
+
+TEST(SbLintRules, HotPathAllocIgnoresReferenceBindingAndColdCode)
+{
+    // A reference binding to member scratch allocates nothing, and an
+    // unannotated function may allocate freely.
+    EXPECT_TRUE(lintOne("src/oram/X.cc",
+                        "struct S { std::vector<int> _scratch; };\n"
+                        "SB_HOT void f(S &s) {\n"
+                        "    std::vector<int> &v = s._scratch;\n"
+                        "    v.clear();\n"
+                        "}\n")
+                    .empty());
+    EXPECT_FALSE(fired(lintOne("src/oram/X.cc",
+                               "void cold() {\n"
+                               "    std::vector<int> fine;\n"
+                               "    fine.push_back(1);\n"
+                               "}\n"),
+                       Rule::HotPathAlloc));
+}
+
+TEST(SbLintRules, HotPathAllocSkipsBareDeclarations)
+{
+    // A declaration annotated SB_HOT has no body here; the definition
+    // elsewhere is where the rule applies.
+    EXPECT_TRUE(lintOne("src/oram/X.hh",
+                        "SB_HOT void f(std::vector<int> &out);\n")
+                    .empty());
+}
+
+TEST(SbLintSuppress, HotPathAllocSuppressionWorks)
+{
+    const auto fs = lintOne(
+        "src/oram/X.cc",
+        "SB_HOT void f() {\n"
+        "    // sblint:allow-next-line(hot-path-alloc): pool-backed\n"
+        "    std::vector<std::uint64_t> ks = pool.acquire(8);\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------
 

@@ -291,6 +291,56 @@ TEST_F(CkptResume, CorruptedLatestFallsBackToPreviousGeneration)
               fallbacksBefore + 1);
 }
 
+TEST_F(CkptResume, VersionSkewIsRejectedBeforeAnyStateIsRestored)
+{
+    // A snapshot from a different format version (the slab layout
+    // bumped kSnapshotVersion) must be rejected at reader
+    // construction — before a single field of the target system is
+    // mutated — and demote to the previous generation exactly like
+    // corruption does.  Payload + faults so the ciphertext slab serde
+    // is on the restored path.
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    cfg.oram.payloadEnabled = true;
+    cfg.oram.fault.rate = 0.02;
+    cfg.oram.fault.seed = 11;
+    cfg.oram.fault.onUnrecoverable = UnrecoverablePolicy::Count;
+    const RunMetrics m0 = runSystem(cfg, trace);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    {
+        SystemConfig interrupted = cfg;
+        interrupted.checkpointInterval = 157;
+        interrupted.interruptAfterAccesses = 450;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(runSystem(interrupted, trace, &session),
+                     InterruptedError);
+    }
+
+    // The version u32 sits at byte 8, right after the magic.  Skew
+    // the newest generation's version field.
+    const std::string g0 = slotFile(dir.path(), key, 0);
+    const std::string g1 = slotFile(dir.path(), key, 1);
+    const std::uint64_t seq0 =
+        ckpt::SnapshotReader(ckpt::readFile(g0)).seq();
+    const std::uint64_t seq1 =
+        ckpt::SnapshotReader(ckpt::readFile(g1)).seq();
+    const std::string &newest = seq0 > seq1 ? g0 : g1;
+    flipByte(newest, 8);
+    EXPECT_THROW(ckpt::SnapshotReader(ckpt::readFile(newest)),
+                 CkptVersionError);
+
+    const std::uint64_t fallbacksBefore =
+        ckpt::counters().resumedFromFallback.load();
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 157;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &session));
+    EXPECT_EQ(ckpt::counters().resumedFromFallback.load(),
+              fallbacksBefore + 1);
+}
+
 TEST_F(CkptResume, BothGenerationsCorruptedReplaysFromStart)
 {
     const auto trace = makeTrace("mcf", kMisses, kSeed);

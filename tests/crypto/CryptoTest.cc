@@ -45,6 +45,30 @@ TEST(Prf, OutputsLookDistinct)
     EXPECT_EQ(seen.size(), 10000u);
 }
 
+TEST(Prf, StreamMatchesDirectCalls)
+{
+    // PrfStream hoists the per-nonce state out of the lane loop; it
+    // must stay bit-identical to prf64 — the keystream is a
+    // determinism contract (checkpoint resume re-derives it).
+    PrfKey key{0x1234, 0x5678};
+    for (std::uint64_t nonce : {1ULL, 2ULL, 0xdeadULL, ~0ULL}) {
+        PrfStream ks(key, nonce);
+        for (std::uint64_t lane = 0; lane < 64; ++lane)
+            ASSERT_EQ(ks.lane(lane), prf64(key, nonce, lane))
+                << "nonce=" << nonce << " lane=" << lane;
+    }
+}
+
+TEST(Prf, StreamFillMatchesLaneByLane)
+{
+    PrfKey key;
+    PrfStream ks(key, 42);
+    std::uint64_t buf[16];
+    ks.fill(buf, 16);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(buf[i], ks.lane(i));
+}
+
 TEST(Otp, RoundTrip)
 {
     OtpCodec codec;
@@ -83,6 +107,70 @@ TEST(Otp, EmptyPayload)
     OtpCodec codec;
     CipherText ct = codec.encrypt({});
     EXPECT_TRUE(codec.decrypt(ct).empty());
+}
+
+TEST(Otp, BatchMatchesSequentialEncrypts)
+{
+    // encryptBatch must be indistinguishable from successive
+    // encryptRef calls: same nonce sequence, same ciphertext bits,
+    // same tags.  Two codecs under one key, same starting counter.
+    const PrfKey key{11, 22};
+    OtpCodec seq(key);
+    OtpCodec batch(key);
+
+    constexpr std::size_t kSlots = 5;
+    constexpr std::uint64_t kWords = 6;
+    std::vector<std::vector<std::uint64_t>> plains(kSlots);
+    for (std::size_t s = 0; s < kSlots; ++s)
+        for (std::uint64_t w = 0; w < kWords; ++w)
+            plains[s].push_back(s * 1000 + w * 7 + 3);
+
+    std::vector<CipherText> seqOut(kSlots);
+    for (std::size_t s = 0; s < kSlots; ++s)
+        seq.encryptInto(plains[s], seqOut[s]);
+
+    std::vector<CipherText> batchOut(kSlots);
+    std::vector<const std::uint64_t *> plainPtrs;
+    std::vector<CipherRef> refs;
+    for (std::size_t s = 0; s < kSlots; ++s) {
+        batchOut[s].lanes.resize(kWords);
+        plainPtrs.push_back(plains[s].data());
+        refs.push_back(CipherRef(batchOut[s]));
+    }
+    std::vector<std::uint64_t> scratch(kSlots * kWords);
+    batch.encryptBatch(plainPtrs.data(), refs.data(), kSlots, kWords,
+                       scratch.data());
+
+    EXPECT_EQ(seq.noncesIssued(), batch.noncesIssued());
+    for (std::size_t s = 0; s < kSlots; ++s) {
+        EXPECT_EQ(batchOut[s].nonce, seqOut[s].nonce) << "slot " << s;
+        EXPECT_EQ(batchOut[s].tag, seqOut[s].tag) << "slot " << s;
+        EXPECT_EQ(batchOut[s].lanes, seqOut[s].lanes) << "slot " << s;
+        EXPECT_TRUE(batch.verify(batchOut[s]));
+        EXPECT_EQ(batch.decrypt(batchOut[s]), plains[s]);
+    }
+}
+
+TEST(Otp, BatchOfOneMatchesEncryptRef)
+{
+    const PrfKey key{5, 9};
+    OtpCodec a(key);
+    OtpCodec b(key);
+    std::vector<std::uint64_t> plain{1, 2, 3};
+
+    CipherText viaRef;
+    a.encryptInto(plain, viaRef);
+
+    CipherText viaBatch;
+    viaBatch.lanes.resize(plain.size());
+    const std::uint64_t *pp = plain.data();
+    CipherRef ref(viaBatch);
+    std::vector<std::uint64_t> scratch(plain.size());
+    b.encryptBatch(&pp, &ref, 1, plain.size(), scratch.data());
+
+    EXPECT_EQ(viaBatch.nonce, viaRef.nonce);
+    EXPECT_EQ(viaBatch.tag, viaRef.tag);
+    EXPECT_EQ(viaBatch.lanes, viaRef.lanes);
 }
 
 TEST(Otp, WrongKeyFailsToDecrypt)

@@ -60,7 +60,7 @@ TEST(Integrity, TamperedTreeSlotIsDetectedOnPathRead)
         }
     }
     ASSERT_TRUE(corrupted);
-    tree.mutableCipherAt(corruptedSlot).lanes[0] ^= 0xdeadULL;
+    tree.cipherRef(corruptedSlot).lanes[0] ^= 0xdeadULL;
 
     EXPECT_DEATH(
         {

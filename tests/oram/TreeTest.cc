@@ -7,7 +7,8 @@ using namespace sboram;
 namespace {
 
 OramTree
-makeTree(unsigned leafLevel, unsigned z)
+makeTree(unsigned leafLevel, unsigned z, bool payload = false,
+         std::uint64_t payloadWords = 8)
 {
     OramConfig cfg;
     cfg.dataBlocks = 1;
@@ -18,7 +19,7 @@ makeTree(unsigned leafLevel, unsigned z)
     geo.numBuckets = (std::uint64_t(2) << leafLevel) - 1;
     geo.numSlots = geo.numBuckets * z;
     geo.totalBlocks = 1;
-    return OramTree(geo, z, false, 8);
+    return OramTree(geo, z, payload, payloadWords);
 }
 
 } // namespace
@@ -100,13 +101,113 @@ TEST(OramTree, OccupancyCounters)
     EXPECT_EQ(tree.countReal(), 1u);
 }
 
-TEST(OramTree, CipherStoreRoundtrip)
+TEST(OramTree, PathTableMatchesDirectIndexing)
 {
-    OramTree tree = makeTree(4, 3);
-    CipherText ct;
-    ct.nonce = 5;
-    ct.lanes = {1, 2, 3};
-    tree.storeCipher(tree.slotIndex(3, 1), ct);
-    EXPECT_EQ(tree.cipherAt(tree.slotIndex(3, 1)).nonce, 5u);
-    tree.eraseCipher(tree.slotIndex(3, 1));
+    OramTree tree = makeTree(6, 4);
+    std::vector<BucketIndex> path;
+    for (LeafLabel leaf = 0; leaf < tree.numLeaves(); ++leaf) {
+        tree.bucketsOnPath(leaf, path);
+        ASSERT_EQ(path.size(), tree.leafLevel() + 1);
+        for (unsigned level = 0; level <= tree.leafLevel(); ++level)
+            EXPECT_EQ(path[level], tree.bucketOnPath(leaf, level));
+    }
+}
+
+TEST(OramTree, CipherSlabRoundtrip)
+{
+    OramTree tree = makeTree(4, 3, /*payload=*/true, /*words=*/3);
+    const std::uint64_t idx = tree.slotIndex(3, 1);
+    EXPECT_FALSE(tree.hasCipher(idx));
+
+    CipherRef ref = tree.cipherRef(idx);
+    ASSERT_EQ(ref.words, 3u);
+    *ref.nonce = 5;
+    *ref.tag = 77;
+    ref.lanes[0] = 1;
+    ref.lanes[1] = 2;
+    ref.lanes[2] = 3;
+
+    EXPECT_TRUE(tree.hasCipher(idx));
+    EXPECT_EQ(tree.countCiphers(), 1u);
+    CipherView view = tree.cipherView(idx);
+    EXPECT_EQ(*view.nonce, 5u);
+    EXPECT_EQ(*view.tag, 77u);
+    EXPECT_EQ(view.lanes[1], 2u);
+
+    // Neighbouring slots are untouched (the slab is geometry-indexed,
+    // one contiguous stripe per slot).
+    EXPECT_FALSE(tree.hasCipher(tree.slotIndex(3, 0)));
+    EXPECT_FALSE(tree.hasCipher(tree.slotIndex(3, 2)));
+
+    tree.eraseCipher(idx);
+    EXPECT_FALSE(tree.hasCipher(idx));
+    EXPECT_EQ(tree.countCiphers(), 0u);
+}
+
+TEST(OramTree, SlabSerdeRoundtrip)
+{
+    OramTree tree = makeTree(3, 2, /*payload=*/true, /*words=*/2);
+    // Occupy two slots (one of them previously erased and rewritten).
+    tree.slot(1, 0).type = BlockType::Real;
+    CipherRef a = tree.cipherRef(tree.slotIndex(1, 0));
+    *a.nonce = 9;
+    *a.tag = 4;
+    a.lanes[0] = 10;
+    a.lanes[1] = 11;
+    tree.slot(5, 1).type = BlockType::Shadow;
+    CipherRef b = tree.cipherRef(tree.slotIndex(5, 1));
+    *b.nonce = 3;
+    *b.tag = 8;
+    b.lanes[0] = 20;
+    b.lanes[1] = 21;
+
+    ckpt::Serializer out;
+    tree.saveState(out);
+
+    OramTree fresh = makeTree(3, 2, /*payload=*/true, /*words=*/2);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    fresh.loadState(in);
+
+    EXPECT_EQ(fresh.countCiphers(), 2u);
+    CipherView va = fresh.cipherView(tree.slotIndex(1, 0));
+    EXPECT_EQ(*va.nonce, 9u);
+    EXPECT_EQ(va.lanes[1], 11u);
+    CipherView vb = fresh.cipherView(tree.slotIndex(5, 1));
+    EXPECT_EQ(*vb.tag, 8u);
+    EXPECT_EQ(vb.lanes[0], 20u);
+
+    // And the restored tree serializes to the identical bytes.
+    ckpt::Serializer again;
+    fresh.saveState(again);
+    EXPECT_EQ(out.buffer(), again.buffer());
+}
+
+TEST(OramTree, SlabSerdeRejectsPayloadMismatch)
+{
+    // A payload-bearing snapshot must not load into a payload-less
+    // tree (and vice versa the cipher count would be absent).
+    OramTree tree = makeTree(3, 2, /*payload=*/true, /*words=*/2);
+    tree.slot(0, 0).type = BlockType::Real;
+    CipherRef a = tree.cipherRef(tree.slotIndex(0, 0));
+    *a.nonce = 1;
+    ckpt::Serializer out;
+    tree.saveState(out);
+
+    OramTree plain = makeTree(3, 2, /*payload=*/false);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(plain.loadState(in), CkptMismatchError);
+}
+
+TEST(OramTree, SlabSerdeRejectsLaneCountMismatch)
+{
+    OramTree tree = makeTree(3, 2, /*payload=*/true, /*words=*/2);
+    tree.slot(0, 0).type = BlockType::Real;
+    CipherRef a = tree.cipherRef(tree.slotIndex(0, 0));
+    *a.nonce = 1;
+    ckpt::Serializer out;
+    tree.saveState(out);
+
+    OramTree wider = makeTree(3, 2, /*payload=*/true, /*words=*/4);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(wider.loadState(in), CkptMismatchError);
 }

@@ -17,13 +17,24 @@ BUILD_DIR="$SRC_DIR/build/sanitize"
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DSB_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_fault test_ckpt -j >/dev/null
+cmake --build "$BUILD_DIR" --target test_fault test_ckpt throughput \
+    -j >/dev/null
 
 # Die on any UBSan report instead of just printing it.
 UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     "$BUILD_DIR/tests/test_fault"
 UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     "$BUILD_DIR/tests/test_ckpt"
+
+# The payload throughput bench drives the allocation-free slab access
+# path (pooled buffers, batched keystream scratch, raw CipherRef
+# pointer arithmetic) end to end — exactly the code where an
+# off-by-one lane index would otherwise scribble silently.  Tiny
+# trace so the sanitized run stays fast.
+(cd "$BUILD_DIR/bench" &&
+    UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+    SB_BENCH_QUICK=1 SB_BENCH_MISSES=500 SB_BENCH_THREADS=2 \
+    ./throughput)
 
 # The full hardening matrix, for orientation.  This script is one
 # row; the others are sibling ctests (ctest -R <name>).

@@ -53,6 +53,12 @@ const std::vector<RuleInfo> kRegistry = {
      "that is not a kMetric* constant from src/obs/MetricNames.hh — "
      "ad-hoc names fragment the time-series schema; declare the name "
      "once and reference the constant"},
+    {Rule::HotPathAlloc, "hot-path-alloc",
+     "allocation or hash-container traffic inside a function "
+     "annotated SB_HOT (the per-access hot path): raw new, "
+     "make_unique/make_shared, constructing a std::vector, or "
+     "touching a std::unordered_map/set — hot paths must be "
+     "allocation-free; use the VectorPool or per-object scratch"},
     {Rule::BadSuppression, "bad-suppression",
      "malformed sblint suppression: unknown rule name or missing "
      "justification text"},
@@ -811,6 +817,114 @@ scanMissingStatsLock(const std::string &path,
     }
 }
 
+/**
+ * hot-path-alloc: inside any function annotated SB_HOT, flag the
+ * allocation idioms the annotation outlaws — raw `new`,
+ * make_unique/make_shared, constructing a std::vector object (a
+ * reference or pointer binding `std::vector<T> &v = ...` is fine),
+ * and any touch of a variable declared as std::unordered_map/set
+ * (hashing and node churn off the access path).  The annotation is
+ * machine-checked rather than advisory: the functions it marks are
+ * the per-access ORAM hot path, whose allocation-freedom the
+ * throughput results depend on.
+ */
+void
+scanHotPathAlloc(const std::string &path, const std::vector<Tok> &t,
+                 const std::set<std::string> &unorderedVars,
+                 std::vector<Finding> &out)
+{
+    static const std::set<std::string> kMapOps = {
+        "find", "count", "at", "emplace", "insert", "erase",
+        "contains"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text != "SB_HOT")
+            continue;
+        // The macro's own definition is not an annotated function.
+        if (i > 0 && t[i - 1].text == "define")
+            continue;
+        // Locate the function body: the first '{' after the
+        // annotation outside the parameter parens; hitting ';' first
+        // means this is a declaration with the body elsewhere.
+        std::size_t open = std::string::npos;
+        int parens = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            const std::string &x = t[j].text;
+            if (x == "(") {
+                ++parens;
+            } else if (x == ")") {
+                --parens;
+            } else if (parens == 0 && x == ";") {
+                break;
+            } else if (parens == 0 && x == "{") {
+                open = j;
+                break;
+            }
+        }
+        if (open == std::string::npos)
+            continue;
+        const std::size_t close = matchForward(t, open, "{", "}");
+        if (close == std::string::npos)
+            continue;
+        for (std::size_t j = open + 1; j < close; ++j) {
+            const std::string &x = t[j].text;
+            const std::string &prev = t[j - 1].text;
+            if (x == "new" && prev != "operator") {
+                out.push_back(
+                    {path, t[j].line, Rule::HotPathAlloc,
+                     "raw 'new' inside an SB_HOT function — the hot "
+                     "path must be allocation-free; use pooled or "
+                     "per-object scratch storage"});
+            } else if ((x == "make_unique" || x == "make_shared") &&
+                       j + 1 < close &&
+                       (t[j + 1].text == "<" || t[j + 1].text == "(")) {
+                out.push_back(
+                    {path, t[j].line, Rule::HotPathAlloc,
+                     "'" + x +
+                         "' allocates inside an SB_HOT function — the "
+                         "hot path must be allocation-free"});
+            } else if (x == "unordered_map" || x == "unordered_set") {
+                out.push_back(
+                    {path, t[j].line, Rule::HotPathAlloc,
+                     "std::" + x +
+                         " in an SB_HOT function — node churn and "
+                         "hashing do not belong on the hot path; use "
+                         "a flat indexed scratch structure"});
+            } else if (x == "vector" && j + 1 < close &&
+                       t[j + 1].text == "<") {
+                const std::size_t gt = matchForward(t, j + 1, "<", ">");
+                if (gt == std::string::npos || gt + 1 >= close)
+                    continue;
+                const std::string &after = t[gt + 1].text;
+                if (after == "&" || after == "*")
+                    continue;  // Reference/pointer binding: no alloc.
+                if (isIdent(after)) {
+                    out.push_back(
+                        {path, t[j].line, Rule::HotPathAlloc,
+                         "std::vector constructed in an SB_HOT "
+                         "function — acquire a pooled buffer or "
+                         "reuse a member scratch vector"});
+                }
+            } else if (isIdent(x) && unorderedVars.count(x) &&
+                       j + 1 < close) {
+                const std::string &nx = t[j + 1].text;
+                const bool touch =
+                    nx == "[" ||
+                    ((nx == "." || nx == "->") && j + 2 < close &&
+                     kMapOps.count(t[j + 2].text));
+                if (touch) {
+                    out.push_back(
+                        {path, t[j].line, Rule::HotPathAlloc,
+                         "unordered container '" + x +
+                             "' touched in an SB_HOT function — "
+                             "hashing on the per-access hot path; "
+                             "use a geometry-indexed slab"});
+                }
+            }
+        }
+        i = close;
+    }
+}
+
 bool
 pathEndsWith(const std::string &path, const std::string &suffix)
 {
@@ -1007,6 +1121,7 @@ lintSources(const std::vector<SourceFile> &sources)
         scanFloatAccum(path, t, raw);
         scanMissingStatsLock(path, t, raw);
         scanUntrackedMetric(path, t, metricNames, raw);
+        scanHotPathAlloc(path, t, unorderedVars, raw);
 
         const Suppressions sup =
             collectSuppressions(path, stripped[f]);

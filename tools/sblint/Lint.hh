@@ -48,6 +48,7 @@ enum class Rule : std::uint8_t
     FloatAccum,           ///< float-accum
     MissingStatsLock,     ///< missing-stats-lock
     UntrackedMetric,      ///< untracked-metric
+    HotPathAlloc,         ///< hot-path-alloc
     BadSuppression,       ///< bad-suppression (meta rule; never allowed)
 };
 
