@@ -172,13 +172,33 @@ normalize(const RunMetrics &m, const RunMetrics &base)
 }
 
 /**
+ * Print the one-line machine-readable failure record for a dead
+ * bench.  The thread-local panicDiag() is preferred when the failing
+ * thread registered one, but futures rethrow on the *caller's*
+ * thread, whose slot is usually empty — so every classified error
+ * supplies a @p fallback synthesized from its structured fields.
+ * The line is always emitted on a fatal exit (not only under
+ * SB_PANIC) so harnesses can classify any dead process.
+ */
+inline void
+emitPanicDiag(const std::string &fallback)
+{
+    const std::string &diag = panicDiag();
+    std::fprintf(stderr, "panic-diag: %s\n",
+                 diag.empty() ? fallback.c_str() : diag.c_str());
+}
+
+/**
  * Standard bench entry point.  Validates SB_CKPT_DIR up front (an
  * unusable directory is a one-line diagnostic and a nonzero exit, not
  * a hang into ENOSPC mid-sweep), installs SIGINT/SIGTERM checkpoint
- * handlers when checkpointing is active, and maps the two expected
- * exception families onto conventional exit codes: an interrupted run
- * (final snapshot already on disk) exits 130 like a ^C'd shell job,
- * and any other simulator error exits kFatalExitCode.
+ * handlers when checkpointing is active, and classifies the expected
+ * exception families onto conventional exit codes:
+ *   130 — interrupted (final snapshot already on disk; resume it),
+ *   kRetryExhaustedExitCode (3) — a point spent its retry budget,
+ *   kFatalExitCode (2) — corruption, invariant violation, or any
+ *       other simulator error.
+ * Every fatal path emits one machine-readable `panic-diag:` line.
  */
 inline int
 guardedMain(int (*body)())
@@ -193,8 +213,30 @@ guardedMain(int (*body)())
                      "to resume\n",
                      e.what());
         return 130;
+    } catch (const RetryBudgetExhaustedError &e) {
+        std::fprintf(stderr, "retry budget exhausted: %s\n", e.what());
+        emitPanicDiag(strprintf(
+            "event=retry_exhausted label=%s attempts=%u slept_ms=%llu",
+            e.label().c_str(), e.attempts(),
+            static_cast<unsigned long long>(e.sleptMs())));
+        return kRetryExhaustedExitCode;
+    } catch (const CorruptionError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        emitPanicDiag(strprintf(
+            "event=corruption access=%llu bucket=%llu level=%u "
+            "recovered=0",
+            static_cast<unsigned long long>(e.accessCount()),
+            static_cast<unsigned long long>(e.bucket()), e.level()));
+        return kFatalExitCode;
+    } catch (const InvariantViolationError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        emitPanicDiag(strprintf(
+            "event=invariant_violation access=%llu",
+            static_cast<unsigned long long>(e.accessCount())));
+        return kFatalExitCode;
     } catch (const SimError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
+        emitPanicDiag("event=sim_error");
         return kFatalExitCode;
     }
 }

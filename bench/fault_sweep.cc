@@ -131,12 +131,23 @@ runBench()
                     "detected corruptions\n",
                     static_cast<unsigned long long>(m.faultsRecovered),
                     static_cast<unsigned long long>(m.faultsDetected));
+    } catch (const RetryBudgetExhaustedError &e) {
+        // The structured per-point failure record: the sweep reports
+        // the loss and finishes instead of tearing down.
+        std::printf("throw+retry: point '%s' exhausted its retry "
+                    "budget after %u attempt(s), %llu ms of backoff "
+                    "(last error: %s)\n",
+                    e.label().c_str(), e.attempts(),
+                    static_cast<unsigned long long>(e.sleptMs()),
+                    e.lastError().c_str());
+        return 0;
     } catch (const CorruptionError &e) {
         std::printf("throw+retry: lost a block on every attempt "
                     "(last: access %llu, bucket %llu, level %u)\n",
                     static_cast<unsigned long long>(e.accessCount()),
                     static_cast<unsigned long long>(e.bucket()),
                     e.level());
+        return 0;
     }
     return 0;
 }

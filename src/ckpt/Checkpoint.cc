@@ -176,6 +176,7 @@ CheckpointSession::loadLatest()
         std::vector<std::uint8_t> image;
         try {
             image = readFile(path);
+        // sblint:allow-next-line(swallowed-exception): recovery tier — an absent slot is the normal fresh-start case, not a failure to surface
         } catch (const CkptIoError &) {
             continue; // Absent slot: not an error.
         }
@@ -186,6 +187,7 @@ CheckpointSession::loadLatest()
                 throw CkptMismatchError(
                     "snapshot fingerprint does not match point key");
             readers[slot] = std::move(r);
+        // sblint:allow-next-line(swallowed-exception): recovery tier — a rejected snapshot demotes its slot and the loop falls back to the other generation; the warning records why
         } catch (const CheckpointError &e) {
             SB_WARN("rejecting checkpoint '%s': %s", path.c_str(),
                     e.what());

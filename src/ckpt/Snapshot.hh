@@ -39,12 +39,13 @@
 namespace sboram {
 namespace ckpt {
 
-/** Current snapshot format version.  Version 2: the ORAM tree's
- *  ciphertexts moved from a per-slot hash map to geometry-indexed
- *  slabs; the on-wire section shape is compatible, but snapshots are
- *  versioned by producer layout, so the bump forces a clean
- *  rejection of cross-version restores. */
-constexpr std::uint32_t kSnapshotVersion = 2;
+/** Current snapshot format version.  Version 3: the ORAM section
+ *  grew the recovery ladder's state (slot-quarantine table and
+ *  degraded-mode latch), the fault section grew the tier-3 reseed
+ *  generation, and RunMetrics grew resilience counters.  Old
+ *  snapshots are rejected with CkptVersionError before any state is
+ *  mutated and fall back per the existing recovery tiers. */
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 /** Well-known section ids used by sim/System and friends. */
 enum SectionId : std::uint32_t

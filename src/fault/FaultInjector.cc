@@ -91,6 +91,16 @@ FaultConfig::fromEnv(FaultConfig base)
             SB_WARN("ignoring invalid SB_FAULT_UNRECOVERABLE='%s' "
                     "(want panic|throw|count)", p);
     }
+
+    std::uint64_t v = 0;
+    if (envU64("SB_FAULT_BURST_EVERY", v))
+        base.burstEvery = static_cast<unsigned>(v);
+    if (envU64("SB_FAULT_BURST_LEN", v))
+        base.burstLen = static_cast<unsigned>(v);
+    if (envU64("SB_FAULT_SUBTREE_LEVELS", v))
+        base.subtreeLevels = static_cast<unsigned>(v);
+    if (envU64("SB_FAULT_SUBTREE_PREFIX", v))
+        base.subtreePrefix = v;
     return base;
 }
 
@@ -98,8 +108,39 @@ FaultInjector::FaultInjector(const FaultConfig &cfg) : _cfg(cfg)
 {
     SB_ASSERT(cfg.rate >= 0.0 && cfg.rate <= 1.0,
               "fault rate %f outside [0, 1]", cfg.rate);
-    _key.lo = cfg.seed * 0x9e3779b97f4a7c15ULL + 0xfa17ULL;
-    _key.hi = cfg.seed ^ 0x5bd1e9955bd1e995ULL;
+    SB_ASSERT(cfg.burstEvery == 0 || cfg.burstLen <= cfg.burstEvery,
+              "burst length %u exceeds burst period %u",
+              cfg.burstLen, cfg.burstEvery);
+    rekey();
+}
+
+void
+FaultInjector::rekey()
+{
+    // Each reseed generation derives an independent key from the same
+    // configured seed (generation 0 matches the historical
+    // derivation), so a rolled-back replay faces a fresh — but still
+    // fully deterministic and resumable — fault realization.
+    const std::uint64_t s =
+        _cfg.seed + 0x9e3779b97f4a7c15ULL * std::uint64_t(_reseeds);
+    _key.lo = s * 0x9e3779b97f4a7c15ULL + 0xfa17ULL;
+    _key.hi = s ^ 0x5bd1e9955bd1e995ULL;
+}
+
+void
+FaultInjector::reseed()
+{
+    reseedTo(0);
+}
+
+void
+FaultInjector::reseedTo(std::uint32_t minGeneration)
+{
+    _reseeds = std::max(_reseeds + 1, minGeneration);
+    rekey();
+    // Stuck cells model a persistent realization of the old storm;
+    // the rollback restored pre-fault memory, so disarm them.
+    _stuck.clear();
 }
 
 bool
@@ -107,10 +148,25 @@ FaultInjector::shouldInject(std::uint64_t accessCount) const
 {
     if (!_cfg.enabled())
         return false;
+    if (_cfg.burstEvery > 0 &&
+        accessCount % _cfg.burstEvery >= _cfg.burstLen)
+        return false;
     // Same 53-bit uniform mapping as Rng::uniform.
     const double u =
         (draw(accessCount, kStreamGate) >> 11) * 0x1.0p-53;
     return u < _cfg.rate;
+}
+
+bool
+FaultInjector::targetsLeaf(std::uint64_t leaf,
+                           unsigned leafLevel) const
+{
+    if (_cfg.subtreeLevels == 0)
+        return true;
+    if (_cfg.subtreeLevels >= leafLevel)
+        return leaf == _cfg.subtreePrefix;
+    return (leaf >> (leafLevel - _cfg.subtreeLevels)) ==
+           _cfg.subtreePrefix;
 }
 
 std::uint64_t

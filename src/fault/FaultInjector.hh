@@ -68,13 +68,33 @@ struct FaultConfig
 
     UnrecoverablePolicy onUnrecoverable = UnrecoverablePolicy::Panic;
 
+    /**
+     * Correlated bursts: when burstEvery > 0, faults are only drawn
+     * during the first burstLen accesses of every burstEvery-access
+     * window (rate applies inside the window).  Models periodic
+     * controller brown-outs rather than memoryless corruption.
+     */
+    unsigned burstEvery = 0;
+    unsigned burstLen = 0;
+
+    /**
+     * Spatially correlated storms: when subtreeLevels > 0, faults are
+     * only injected on paths whose leaf's top subtreeLevels bits equal
+     * subtreePrefix — one subtree of the ORAM takes the whole storm,
+     * the rest of the memory stays healthy.
+     */
+    unsigned subtreeLevels = 0;
+    std::uint64_t subtreePrefix = 0;
+
     bool enabled() const { return rate > 0.0; }
 
     /**
      * Overrides from the environment: SB_FAULT_RATE, SB_FAULT_SEED,
-     * SB_FAULT_KINDS (comma list of flip,drop,stuck) and
-     * SB_FAULT_UNRECOVERABLE (panic|throw|count).  Unset variables
-     * leave the corresponding field untouched.
+     * SB_FAULT_KINDS (comma list of flip,drop,stuck),
+     * SB_FAULT_UNRECOVERABLE (panic|throw|count), burst shaping via
+     * SB_FAULT_BURST_EVERY / SB_FAULT_BURST_LEN, and subtree
+     * targeting via SB_FAULT_SUBTREE_LEVELS / SB_FAULT_SUBTREE_PREFIX.
+     * Unset variables leave the corresponding field untouched.
      */
     static FaultConfig fromEnv(FaultConfig base);
     static FaultConfig fromEnv() { return fromEnv(FaultConfig{}); }
@@ -117,6 +137,29 @@ class FaultInjector
 
     /** Deterministic: does access #n draw a fault? */
     bool shouldInject(std::uint64_t accessCount) const;
+
+    /** Does the configured subtree filter cover @p leaf?  Always true
+     *  when subtree targeting is off. */
+    bool targetsLeaf(std::uint64_t leaf, unsigned leafLevel) const;
+
+    /**
+     * Shift to an independent fault realization (tier-3 rollback):
+     * replaying the cursor from a snapshot would otherwise re-inject
+     * the exact fault that was unrecoverable, looping forever.  The
+     * reseed generation is serialized so kill-and-resume replays the
+     * same post-rollback schedule.
+     */
+    void reseed();
+
+    /**
+     * reseed(), but additionally floors the resulting generation at
+     * @p minGeneration.  Restoring a snapshot rewinds the serialized
+     * generation counter, so consecutive rollbacks to the same
+     * snapshot would otherwise replay the same already-failed
+     * realization; the caller passes its rollback count to guarantee
+     * every attempt faces a schedule it has not seen.
+     */
+    void reseedTo(std::uint32_t minGeneration);
 
     /** Deterministic choice among @p choices targets for access #n. */
     std::uint64_t pickTarget(std::uint64_t accessCount,
@@ -172,6 +215,7 @@ class FaultInjector
             out.u32(cell.bit);
             out.u32(cell.remaining);
         }
+        out.u32(_reseeds);
     }
 
     void
@@ -190,9 +234,14 @@ class FaultInjector
             cell.remaining = in.u32();
             _stuck.emplace(slotIdx, cell);
         }
+        _reseeds = in.u32();
+        rekey();
     }
 
   private:
+    /** Derive the PRF key from (cfg.seed, reseed generation). */
+    void rekey();
+
     /** Keyed draw: uniform 64-bit value for (accessCount, stream). */
     std::uint64_t
     draw(std::uint64_t accessCount, std::uint64_t stream) const
@@ -208,6 +257,8 @@ class FaultInjector
 
     FaultConfig _cfg;
     PrfKey _key;
+    /** Tier-3 rollback generation; each bump rekeys the schedule. */
+    std::uint32_t _reseeds = 0;
     std::unordered_map<std::uint64_t, StuckCell> _stuck;
     FaultStats _stats;
     Observer _observer;

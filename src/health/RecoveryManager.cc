@@ -1,0 +1,139 @@
+#include "RecoveryManager.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/Errors.hh"
+#include "common/Logging.hh"
+
+namespace sboram {
+
+namespace {
+
+bool
+envUnsigned(const char *name, unsigned &out)
+{
+    // sblint:allow-next-line(ambient-nondeterminism): operator config knob read once at startup, not simulated randomness
+    const char *v = std::getenv(name);
+    if (!v)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE ||
+        parsed > 0xffffffffULL) {
+        SB_WARN("ignoring invalid %s='%s' (want a small integer)",
+                name, v);
+        return false;
+    }
+    out = static_cast<unsigned>(parsed);
+    return true;
+}
+
+} // namespace
+
+HealthConfig
+HealthConfig::fromEnv(HealthConfig base)
+{
+    envUnsigned("SB_HEALTH_QUARANTINE", base.quarantineThreshold);
+    envUnsigned("SB_HEALTH_HIGH_WATERMARK", base.stashHighWatermark);
+    envUnsigned("SB_HEALTH_LOW_WATERMARK", base.stashLowWatermark);
+    return base;
+}
+
+RecoveryManager::RecoveryManager(const HealthConfig &cfg,
+                                 std::uint64_t numSlots)
+    : _cfg(cfg)
+{
+    if (_cfg.backpressureEnabled())
+        SB_ASSERT(_cfg.stashLowWatermark < _cfg.stashHighWatermark,
+                  "stash watermarks must be hysteretic (low %u < high %u)",
+                  _cfg.stashLowWatermark, _cfg.stashHighWatermark);
+    if (_cfg.quarantineEnabled()) {
+        _failures.assign(numSlots, 0);
+        _quarantined.assign(numSlots, 0);
+    }
+}
+
+bool
+RecoveryManager::recordSlotFailure(std::uint64_t slotIdx)
+{
+    if (!_cfg.quarantineEnabled())
+        return false;
+    SB_ASSERT(slotIdx < _failures.size(),
+              "slot %llu outside failure table (%zu slots)",
+              static_cast<unsigned long long>(slotIdx),
+              _failures.size());
+    if (_quarantined[slotIdx])
+        return false;
+    if (++_failures[slotIdx] < _cfg.quarantineThreshold)
+        return false;
+    _quarantined[slotIdx] = 1;
+    ++_quarantinedCount;
+    return true;
+}
+
+int
+RecoveryManager::noteStashOccupancy(std::uint64_t realCount)
+{
+    if (!_cfg.backpressureEnabled())
+        return 0;
+    if (!_degraded && realCount >= _cfg.stashHighWatermark) {
+        _degraded = true;
+        return 1;
+    }
+    if (_degraded && realCount <= _cfg.stashLowWatermark) {
+        _degraded = false;
+        return -1;
+    }
+    return 0;
+}
+
+void
+RecoveryManager::saveState(ckpt::Serializer &out) const
+{
+    // Sparse encoding in ascending slot order: the table is sized for
+    // the whole tree but only storm-beaten slots have nonzero counts,
+    // and index order keeps snapshot bytes deterministic.
+    std::uint64_t nonzero = 0;
+    for (std::uint64_t i = 0; i < _failures.size(); ++i)
+        if (_failures[i] != 0)
+            ++nonzero;
+    out.u64(nonzero);
+    for (std::uint64_t i = 0; i < _failures.size(); ++i) {
+        if (_failures[i] == 0)
+            continue;
+        out.u64(i);
+        out.u32(_failures[i]);
+        out.u8(_quarantined[i]);
+    }
+    out.u8(_degraded ? 1 : 0);
+}
+
+void
+RecoveryManager::loadState(ckpt::Deserializer &in)
+{
+    if (_cfg.quarantineEnabled()) {
+        _failures.assign(_failures.size(), 0);
+        _quarantined.assign(_quarantined.size(), 0);
+    }
+    _quarantinedCount = 0;
+    const std::uint64_t nonzero = in.u64();
+    for (std::uint64_t k = 0; k < nonzero; ++k) {
+        const std::uint64_t idx = in.u64();
+        const std::uint32_t count = in.u32();
+        const std::uint8_t flag = in.u8();
+        if (idx >= _failures.size())
+            throw CkptMismatchError(
+                "snapshot quarantine table references slot " +
+                std::to_string(idx) + " outside the configured tree (" +
+                std::to_string(_failures.size()) + " slots)");
+        _failures[idx] = count;
+        _quarantined[idx] = flag;
+        if (flag)
+            ++_quarantinedCount;
+    }
+    _degraded = in.u8() != 0;
+}
+
+} // namespace sboram

@@ -38,6 +38,11 @@ inline constexpr char kMetricFaultsRecovered[] = "fault.recovered";
 inline constexpr char kMetricFaultsDetected[] = "fault.detected";
 /** Snapshots committed by the checkpoint hook. */
 inline constexpr char kMetricCheckpoints[] = "ckpt.snapshots";
+/** Tier-2 degraded-mode entries (stash backpressure engaged). */
+inline constexpr char kMetricDegradedEntries[] =
+    "health.degraded_entries";
+/** Tier-3 checkpoint auto-rollbacks performed. */
+inline constexpr char kMetricRollbacks[] = "health.rollbacks";
 
 // --- Gauges (instantaneous, polled at each sample) -------------------
 
@@ -53,6 +58,11 @@ inline constexpr char kMetricDriCounter[] = "policy.dri_counter";
 inline constexpr char kMetricStashHitRate[] = "oram.stash_hit_rate";
 /** Mean tree levels a shadow forward advanced the data. */
 inline constexpr char kMetricShadowHitDepth[] = "oram.shadow_hit_depth";
+/** Slots currently quarantined by the tier-1 failure table. */
+inline constexpr char kMetricQuarantinedSlots[] =
+    "health.quarantined_slots";
+/** 1 while tier-2 stash backpressure is engaged, else 0. */
+inline constexpr char kMetricDegraded[] = "health.degraded";
 
 // --- Histograms ------------------------------------------------------
 

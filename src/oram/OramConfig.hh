@@ -17,6 +17,7 @@
 #include "common/Logging.hh"
 #include "common/Types.hh"
 #include "fault/FaultInjector.hh"
+#include "health/RecoveryManager.hh"
 
 namespace sboram {
 
@@ -75,6 +76,13 @@ struct OramConfig
      * rate 0 disables it and leaves every code path untouched.
      */
     FaultConfig fault;
+
+    /**
+     * Fail-operational recovery ladder (tier-1 slot quarantine and
+     * tier-2 stash backpressure).  All-zero defaults disable both and
+     * leave the access path byte-identical to earlier versions.
+     */
+    HealthConfig health;
 
     std::uint64_t seed = 1;
 

@@ -28,6 +28,7 @@ TinyOram::TinyOram(const OramConfig &cfg, DramModel &dram,
                   cfg.slotsPerBucket),
       _policy(policy ? std::move(policy)
                      : std::make_unique<NullDuplicationPolicy>()),
+      _health(cfg.health, _geo.numSlots),
       _remapRng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0x1234),
       _dummyRng(cfg.seed * 0xd6e8feb86659fd93ULL + 0x5678)
 {
@@ -176,6 +177,10 @@ TinyOram::maybeInjectFaults(LeafLabel leaf)
     // per path access, independent of thread count and of how many
     // requests an access chain bundles.
     const std::uint64_t tick = _stats.pathReads;
+    // Spatially correlated storms only strike their configured
+    // subtree; other paths read healthy memory.
+    if (!_faults->targetsLeaf(leaf, _geo.leafLevel))
+        return;
     if (!_faults->shouldInject(tick))
         return;
 
@@ -235,8 +240,14 @@ TinyOram::recoverRealPayload(const Slot &slot, unsigned level,
             if (!cand.isShadow() || cand.addr != slot.addr ||
                 cand.version != slot.version)
                 continue;
-            if (_codec.verifyDecrypt(
-                    _tree.cipherView(_tree.slotIndex(b, s)), out))
+            const std::uint64_t candIdx = _tree.slotIndex(b, s);
+            // A parked shadow's authoritative copy is on chip and by
+            // construction uncorrupted.
+            if (auto sp = _spare.find(candIdx); sp != _spare.end()) {
+                out = sp->second;
+                return true;
+            }
+            if (_codec.verifyDecrypt(_tree.cipherView(candIdx), out))
                 return true;
             // That copy is corrupt too; keep looking.
         }
@@ -385,8 +396,20 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 // same-version shadow copy (the duplication the
                 // policies maintain for latency doubles as
                 // redundancy) before declaring the block lost.
+                // Tier-1 spare store: a remapped cell's authoritative
+                // copy lives on chip — the bad ciphertext stripe is
+                // never read, so it can neither fault nor need
+                // healing.  Consumption retires the parked copy; a
+                // non-consuming shadow copy leaves it in place.
+                if (auto sp = _spare.find(slotIdx);
+                    sp != _spare.end()) {
+                    e.payload.assign(sp->second.begin(),
+                                     sp->second.end());
+                    if (consume)
+                        _spare.erase(sp);
+                }
                 // sblint:allow-next-line(secret-branch): branches on the MAC verdict (fault events are architecturally visible), not payload bits
-                if (!_codec.verifyDecrypt(
+                else if (!_codec.verifyDecrypt(
                         _tree.cipherView(slotIdx),
                         // sblint:allow-next-line(secret-branch): same MAC-verdict branch as annotated above
                         e.payload)) {
@@ -395,6 +418,15 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                             _obs ? _obs->trace() : nullptr)
                         t->instant(_obsPathTrack, "fault_detected",
                                    ready);
+                    // Tier-1 bookkeeping: repeated detected failures
+                    // of one physical slot quarantine it.
+                    if (_health.recordSlotFailure(slotIdx)) {
+                        ++_stats.slotsQuarantined;
+                        if (obs::TraceSession *t2 =
+                                _obs ? _obs->trace() : nullptr)
+                            t2->instant(_obsPathTrack,
+                                        "slot_quarantined", ready);
+                    }
                     if (slot.isShadow()) {
                         ++_stats.faultsRecovered;
                         if (obs::TraceSession *t =
@@ -569,6 +601,12 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
         const unsigned level = static_cast<unsigned>(levelI);
         const BucketIndex b = _pathBuckets[level];
 
+        // Tier-1 note: quarantined slots stay full-fledged placement
+        // targets.  Their payloads are diverted into the on-chip
+        // spare store at the batch-crypto step below, so quarantine
+        // never shrinks capacity — capacity loss would retain blocks
+        // in the stash and leak fault state through the stash-hit
+        // pattern (see FaultObliviousnessTest).
         unsigned slotCursor = 0;
         plan.forEachEligible(level, [&](Stash::PlanEntry &cand) {
             if (slotCursor >= _cfg.slotsPerBucket)
@@ -650,8 +688,13 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             _tree.slotIndex(it->bucket, it->slot);
         slot.clear();
 
+        // Tier-2 degraded mode temporarily suppresses duplication so
+        // shadows do not compete with reals for bucket space while
+        // the stash drains.  Externally invisible: slot contents are
+        // re-encrypted either way.
         std::optional<ShadowChoice> choice =
-            _policy->selectShadow(it->level);
+            _health.degraded() ? std::optional<ShadowChoice>{}
+                               : _policy->selectShadow(it->level);
         // Rule-2 safety re-check: the real copy must be in the tree,
         // strictly below this slot (a buffered shadow's real copy
         // may have stayed in the stash).
@@ -677,6 +720,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             }
         } else if (_cfg.payloadEnabled) {
             _tree.eraseCipher(slotIdx);
+            _spare.erase(slotIdx);
         }
     }
 
@@ -687,22 +731,43 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     // loops branch-light and lets the codec amortise the PRF setup.
     if (_cfg.payloadEnabled && !_pendingEnc.empty()) {
         const std::uint64_t words = _cfg.blockBytes / 8;
-        const std::size_t n = _pendingEnc.size();
         _encPlains.clear();
         _encRefs.clear();
+        const bool qActive = _health.quarantineActive();
         for (const PendingEncrypt &pe : _pendingEnc) {
+            // Tier-1 spare-store remap: a placement into a
+            // quarantined slot parks its plaintext on chip instead of
+            // writing the bad cell (whose stripe stays erased).  The
+            // placement itself — and therefore stash occupancy and
+            // the external trace — is identical to a healthy slot's.
+            if (qActive && _health.isQuarantined(pe.slotIdx)) {
+                const std::vector<std::uint64_t> &buf =
+                    _placedBufs[pe.bufIdx];
+                _spare[pe.slotIdx].assign(buf.begin(),
+                                          buf.begin() + words);
+                _tree.eraseCipher(pe.slotIdx);
+                ++_stats.quarantineEvacuations;
+                continue;
+            }
             _encPlains.push_back(_placedBufs[pe.bufIdx].data());
             _encRefs.push_back(_tree.cipherRef(pe.slotIdx));
         }
-        // sblint:allow-next-line(hot-path-alloc): pool-backed scratch; allocation-free once the pool is warm
-        std::vector<std::uint64_t> ks = _payloadPool.acquire(n * words);
-        _codec.encryptBatch(_encPlains.data(), _encRefs.data(), n,
-                            words, ks.data());
-        _payloadPool.release(std::move(ks));
+        const std::size_t n = _encPlains.size();
+        if (n > 0) {
+            // sblint:allow-next-line(hot-path-alloc): pool-backed scratch; allocation-free once the pool is warm
+            std::vector<std::uint64_t> ks =
+                _payloadPool.acquire(n * words);
+            _codec.encryptBatch(_encPlains.data(), _encRefs.data(), n,
+                                words, ks.data());
+            _payloadPool.release(std::move(ks));
+        }
         // Stuck-cell re-application after the fact: each rewrite is
         // keyed by slot index alone, so doing them after the batch is
         // equivalent to interleaving them with per-slot encrypts.
+        // Parked slots are skipped — their cells were not rewritten.
         for (const PendingEncrypt &pe : _pendingEnc) {
+            if (qActive && _health.isQuarantined(pe.slotIdx))
+                continue;
             if (_faults &&
                 _faults->onSlotRewritten(pe.slotIdx,
                                          _tree.cipherRef(pe.slotIdx)))
@@ -761,6 +826,149 @@ TinyOram::maybeEvict(Cycles time)
     return time;
 }
 
+Cycles
+TinyOram::applyBackpressure(Cycles time)
+{
+    if (!_health.config().backpressureEnabled())
+        return time;
+    if (_health.degraded())
+        ++_stats.degradedTicks;
+    int change = _health.noteStashOccupancy(_stash.realCount());
+    if (change > 0) {
+        ++_stats.degradedEntries;
+        if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+            t->instant(obs::kTrackEviction, "degraded_enter", time);
+    }
+    if (_health.degraded()) {
+        // One emergency background sweep per access while degraded:
+        // an extra eviction on the same deterministic
+        // reverse-lexicographic sequence, draining in the background
+        // exactly like scheduled evictions.  The sweep appears in
+        // the external trace, but the degraded latch depends only on
+        // real-stash occupancy — which a clean run under the same
+        // health config follows identically — so the trace stays
+        // bit-identical to the fault-free run
+        // (tests/security/FaultObliviousnessTest.cc).
+        ++_stats.emergencyEvictions;
+        const LeafLabel leaf = nextEvictionLeaf();
+        PathReadOutcome read =
+            pathRead(leaf, ReadMode::Evict, kInvalidAddr, time);
+        _lastEvictionDone = pathWrite(leaf, read.finish);
+        change = _health.noteStashOccupancy(_stash.realCount());
+    }
+    if (change < 0) {
+        if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
+            t->instant(obs::kTrackEviction, "degraded_exit", time);
+    }
+    return time;
+}
+
+void
+TinyOram::shiftFaultRealization(std::uint32_t minGeneration)
+{
+    if (_faults)
+        _faults->reseedTo(minGeneration);
+}
+
+bool
+TinyOram::scrubStorage()
+{
+    if (!_cfg.payloadEnabled)
+        return true;
+    bool clean = true;
+    std::vector<std::uint64_t> plain;
+    for (BucketIndex b = 0; b < _tree.numBuckets(); ++b) {
+        for (unsigned s = 0; s < _cfg.slotsPerBucket; ++s) {
+            Slot &slot = _tree.slot(b, s);
+            if (!slot.valid())
+                continue;
+            const std::uint64_t slotIdx = _tree.slotIndex(b, s);
+            // Parked slots hold no ciphertext — the on-chip spare
+            // copy is authoritative and cannot corrupt.
+            if (_spare.count(slotIdx))
+                continue;
+            if (_codec.verify(_tree.cipherView(slotIdx)))
+                continue;
+
+            if (slot.isShadow()) {
+                // A corrupt shadow is a lost redundant copy, never
+                // lost data: reclaim the slot (same disposition the
+                // read path applies).
+                ++_stats.faultsDetected;
+                ++_stats.faultsRecovered;
+                if (_health.recordSlotFailure(slotIdx))
+                    ++_stats.slotsQuarantined;
+                slot.clear();
+                _tree.eraseCipher(slotIdx);
+                continue;
+            }
+
+            // Corrupt real block: heal from a same-version shadow —
+            // the stash may hold one, or any surviving tree shadow
+            // (Rule-1 keeps them on the block's own path, but the
+            // scrub walks everything anyway).
+            bool healed = false;
+            if (const StashEntry *sh = _stash.find(slot.addr);
+                sh && sh->isShadow() && sh->version == slot.version) {
+                plain = sh->payload;
+                healed = true;
+            }
+            for (BucketIndex b2 = 0; !healed && b2 < _tree.numBuckets();
+                 ++b2) {
+                for (unsigned s2 = 0; s2 < _cfg.slotsPerBucket; ++s2) {
+                    const Slot &cand = _tree.slot(b2, s2);
+                    if (!cand.isShadow() || cand.addr != slot.addr ||
+                        cand.version != slot.version)
+                        continue;
+                    const std::uint64_t candIdx =
+                        _tree.slotIndex(b2, s2);
+                    if (auto sp = _spare.find(candIdx);
+                        sp != _spare.end()) {
+                        plain = sp->second;
+                        healed = true;
+                        break;
+                    }
+                    if (_codec.verifyDecrypt(_tree.cipherView(candIdx),
+                                             plain)) {
+                        healed = true;
+                        break;
+                    }
+                }
+            }
+            if (!healed) {
+                // Leave the slot untouched — the next path read of it
+                // performs the full detection/unrecoverable
+                // accounting exactly once.
+                clean = false;
+                continue;
+            }
+            ++_stats.faultsDetected;
+            ++_stats.faultsRecovered;
+            if (_health.recordSlotFailure(slotIdx))
+                ++_stats.slotsQuarantined;
+            if (_health.quarantineActive() &&
+                _health.isQuarantined(slotIdx)) {
+                // The cell just crossed the quarantine threshold (or
+                // already had): park the healed payload on chip
+                // instead of rewriting the bad stripe.
+                _spare[slotIdx] = plain;
+                _tree.eraseCipher(slotIdx);
+                ++_stats.quarantineEvacuations;
+                continue;
+            }
+            _codec.encryptRef(plain.data(), _tree.cipherRef(slotIdx));
+            if (_faults &&
+                _faults->onSlotRewritten(slotIdx,
+                                         _tree.cipherRef(slotIdx))) {
+                // A stuck cell re-corrupted the healed rewrite.
+                ++_stats.faultsInjected;
+                clean = false;
+            }
+        }
+    }
+    return clean;
+}
+
 AccessResult
 TinyOram::accessOne(Addr addr, Cycles startTime, Op op,
                     const std::vector<std::uint64_t> *writeData)
@@ -812,6 +1020,7 @@ TinyOram::accessOne(Addr addr, Cycles startTime, Op op,
     ++_accessCounter;
     _policy->onRequestClassified(false);
     res.completeAt = maybeEvict(read.finish);
+    res.completeAt = applyBackpressure(res.completeAt);
     return res;
 }
 
@@ -914,7 +1123,7 @@ TinyOram::dummyAccess(Cycles issueTime)
                         read.finish - t);
     ++_accessCounter;
     _policy->onRequestClassified(true);
-    _freeAt = maybeEvict(read.finish);
+    _freeAt = applyBackpressure(maybeEvict(read.finish));
     return _freeAt;
 }
 
@@ -1003,6 +1212,11 @@ TinyOram::saveState(ckpt::Serializer &out) const
     out.u64(_stats.faultsDetected);
     out.u64(_stats.faultsRecovered);
     out.u64(_stats.faultsUnrecoverable);
+    out.u64(_stats.slotsQuarantined);
+    out.u64(_stats.quarantineEvacuations);
+    out.u64(_stats.degradedEntries);
+    out.u64(_stats.degradedTicks);
+    out.u64(_stats.emergencyEvictions);
 
     out.vecU8(_realLevel);
 
@@ -1018,6 +1232,14 @@ TinyOram::saveState(ckpt::Serializer &out) const
     out.u8(_faults ? 1 : 0);
     if (_faults)
         _faults->saveState(out);
+
+    _health.saveState(out);
+
+    out.u64(_spare.size());
+    for (const auto &[slotIdx, payload] : _spare) {
+        out.u64(slotIdx);
+        out.vecU64(payload);
+    }
 }
 
 void
@@ -1053,6 +1275,11 @@ TinyOram::loadState(ckpt::Deserializer &in)
     _stats.faultsDetected = in.u64();
     _stats.faultsRecovered = in.u64();
     _stats.faultsUnrecoverable = in.u64();
+    _stats.slotsQuarantined = in.u64();
+    _stats.quarantineEvacuations = in.u64();
+    _stats.degradedEntries = in.u64();
+    _stats.degradedTicks = in.u64();
+    _stats.emergencyEvictions = in.u64();
 
     std::vector<std::uint8_t> realLevel = in.vecU8();
     if (realLevel.size() != _realLevel.size())
@@ -1075,6 +1302,28 @@ TinyOram::loadState(ckpt::Deserializer &in)
             "fault-injector presence differs from configuration");
     if (_faults)
         _faults->loadState(in);
+
+    _health.loadState(in);
+
+    _spare.clear();
+    const std::uint64_t nSpare = in.u64();
+    const std::uint64_t numSlots =
+        _tree.numBuckets() * _cfg.slotsPerBucket;
+    if (nSpare > numSlots)
+        throw CkptMismatchError("spare-store table larger than tree");
+    const std::uint64_t words = _cfg.blockBytes / 8;
+    for (std::uint64_t i = 0; i < nSpare; ++i) {
+        const std::uint64_t slotIdx = in.u64();
+        if (slotIdx >= numSlots)
+            throw CkptMismatchError(
+                "spare-store slot index out of range");
+        std::vector<std::uint64_t> payload = in.vecU64();
+        // sblint:allow-next-line(secret-branch): deserialization shape validation on the vector length, not payload bits
+        if (payload.size() != words)
+            throw CkptMismatchError(
+                "spare-store payload size mismatch");
+        _spare.emplace(slotIdx, std::move(payload));
+    }
 }
 
 } // namespace sboram

@@ -21,6 +21,7 @@
 #define SBORAM_ORAM_TINYORAM_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -80,6 +81,13 @@ struct OramStats
     std::uint64_t faultsDetected = 0;      ///< Tag failures on read.
     std::uint64_t faultsRecovered = 0;     ///< Healed via duplication.
     std::uint64_t faultsUnrecoverable = 0; ///< No intact copy left.
+    /** Recovery-ladder accounting (HealthConfig; all zero when the
+     *  ladder is disabled). */
+    std::uint64_t slotsQuarantined = 0;    ///< Tier-1 quarantines.
+    std::uint64_t quarantineEvacuations = 0; ///< Payloads parked in spare.
+    std::uint64_t degradedEntries = 0;     ///< Tier-2 mode entries.
+    std::uint64_t degradedTicks = 0;       ///< Accesses spent degraded.
+    std::uint64_t emergencyEvictions = 0;  ///< Backpressure sweeps.
 };
 
 class TinyOram
@@ -147,6 +155,35 @@ class TinyOram
     const OramStats &stats() const { return _stats; }
     /** The fault injector, or nullptr when injection is disabled. */
     const FaultInjector *faultInjector() const { return _faults.get(); }
+    /** Recovery-ladder state (quarantine table, degraded latch). */
+    const RecoveryManager &health() const { return _health; }
+    /** Blocks currently remapped into the on-chip spare store. */
+    std::size_t spareStoreSize() const { return _spare.size(); }
+
+    /**
+     * Tier-3 hook: after sim/System rolls the simulation back to a
+     * snapshot, replaying the same cursor against the same fault
+     * schedule would re-corrupt the same slot and loop forever.
+     * Shift the injector to its next deterministic realization.  The
+     * generation floor keeps repeated rollbacks to the same snapshot
+     * from re-drawing an already-failed schedule (the restore rewinds
+     * the injector's serialized generation counter).
+     */
+    void shiftFaultRealization(std::uint32_t minGeneration = 0);
+
+    /**
+     * Patrol scrub over the whole stored tree (payload mode only):
+     * verify every valid slot's integrity tag, reclaim corrupt shadow
+     * copies, and heal corrupt real blocks from a same-version shadow
+     * where one survives.  Returns true when every real block
+     * verified (possibly after healing) — i.e. a snapshot taken now
+     * carries no latent corruption.  An unhealable corrupt real slot
+     * is left untouched (the next path read does the full
+     * unrecoverable accounting) and makes the scrub report false so
+     * the caller can skip committing a poisoned snapshot.
+     */
+    bool scrubStorage();
+
     const Stash &stash() const { return _stash; }
     const OramTree &tree() const { return _tree; }
     const PositionMap &posMap() const { return _posMap; }
@@ -214,6 +251,16 @@ class TinyOram
     /** Run Step-5/6 eviction if the access counter says so. */
     Cycles maybeEvict(Cycles time);
 
+    /**
+     * Tier-2 stash backpressure, run after every access's eviction
+     * slot: update the degraded-mode latch from real-stash occupancy
+     * and, while degraded, run one emergency background-eviction
+     * sweep.  Trace-neutral by construction — the latch depends only
+     * on occupancy, which a clean run under the same config follows
+     * identically.
+     */
+    Cycles applyBackpressure(Cycles time);
+
     /** One request-serving ORAM access for @p addr. */
     AccessResult accessOne(Addr addr, Cycles startTime,
                            Op op = Op::Read,
@@ -271,6 +318,20 @@ class TinyOram
     std::unique_ptr<DuplicationPolicy> _policy;
     /** Deterministic memory-fault source (null when rate is 0). */
     std::unique_ptr<FaultInjector> _faults;
+    /** Tiers 1–2 of the recovery ladder (quarantine, backpressure). */
+    RecoveryManager _health;
+    /**
+     * Tier-1 spare store: plaintext payloads of blocks whose assigned
+     * slot is quarantined, keyed by slot index.  A quarantined cell
+     * keeps participating in placement exactly as a healthy one — its
+     * contents just live on-chip instead of in the bad ciphertext
+     * stripe — so quarantine never shrinks tree capacity, never
+     * perturbs stash occupancy, and therefore never perturbs the
+     * external access trace (the DRAM-sparing analogue of remapping a
+     * bad row to a spare).  Ordered map: snapshot serde iterates it
+     * deterministically.
+     */
+    std::map<std::uint64_t, std::vector<std::uint64_t>> _spare;
     Rng _remapRng;
     Rng _dummyRng;
 

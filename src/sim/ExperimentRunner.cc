@@ -189,6 +189,10 @@ ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
 {
     // Trace generation happens on the worker so it parallelises too;
     // the cache deduplicates concurrent generation per key.
+    RetryPolicy policy;
+    policy.retries = retries;
+    policy.label = workload;
+    policy.jitterSeed = seed ^ configFingerprint(cfg);
     return deferRetry(
         [cfg, workload = std::move(workload), misses,
          seed](unsigned attempt) {
@@ -208,7 +212,7 @@ ExperimentRunner::submit(const SystemConfig &cfg, std::string workload,
             return runPointDurable(c, workload, misses, seed, attempt,
                                    trace);
         },
-        retries);
+        std::move(policy));
 }
 
 Future<RunMetrics>
@@ -219,6 +223,10 @@ ExperimentRunner::submitTrace(const SystemConfig &cfg,
     // Caller-materialised traces have no stable identity across
     // process relaunches, so these points run checkpoint-free; use
     // submit() for resumable sweeps.
+    RetryPolicy policy;
+    policy.retries = retries;
+    policy.label = "trace";
+    policy.jitterSeed = configFingerprint(cfg);
     return deferRetry(
         [cfg, trace = std::move(trace)](unsigned attempt) {
             SystemConfig c = cfg;
@@ -229,7 +237,7 @@ ExperimentRunner::submitTrace(const SystemConfig &cfg,
                     obs::makeLabel("trace", configFingerprint(c));
             return runSystem(c, *trace);
         },
-        retries);
+        std::move(policy));
 }
 
 std::vector<RunMetrics>

@@ -23,6 +23,7 @@
 #ifndef SBORAM_SIM_EXPERIMENTRUNNER_HH
 #define SBORAM_SIM_EXPERIMENTRUNNER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 
 #include "System.hh"
 #include "common/Errors.hh"
+#include "crypto/Prf.hh"
 #include "workload/Workload.hh"
 
 namespace sboram {
@@ -104,6 +106,58 @@ using SharedTrace = std::shared_ptr<const std::vector<LlcMissRecord>>;
  */
 SharedTrace cachedTrace(const std::string &workload,
                         std::uint64_t misses, std::uint64_t seed);
+
+/**
+ * How a retried task backs off and when it gives up.  All fields are
+ * deterministic inputs: the same (policy, attempt) pair always yields
+ * the same delay, so a sweep's retry schedule is reproducible —
+ * attempt timing never depends on wall clock, thread count, or launch
+ * order.
+ */
+struct RetryPolicy
+{
+    /** Extra attempts after the first (0 = fail on first error). */
+    unsigned retries = 0;
+    /** First delay in ms; doubles each attempt.  0 = no sleeping
+     *  (the historic immediate-rerun behavior). */
+    unsigned backoffBaseMs = 2;
+    /** Ceiling for the exponential term (jitter rides on top). */
+    unsigned backoffCapMs = 64;
+    /** Total sleep budget in ms across all attempts; exceeding it
+     *  throws RetryBudgetExhaustedError instead of sleeping again.
+     *  0 = unlimited (only `retries` bounds the loop). */
+    unsigned budgetMs = 0;
+    /** Seed for the PRF jitter (decorrelates concurrent points). */
+    std::uint64_t jitterSeed = 0;
+    /** Point name carried into the failure record. */
+    std::string label = "point";
+};
+
+/**
+ * Delay before retry number @p attempt (0-based: the delay slept
+ * after attempt 0 failed).  Exponential in the attempt number, capped
+ * at backoffCapMs, plus PRF jitter in [0, backoffBaseMs) keyed by
+ * (jitterSeed, label, attempt) — pure and deterministic.
+ */
+inline std::uint64_t
+retryBackoffMs(const RetryPolicy &p, unsigned attempt)
+{
+    if (p.backoffBaseMs == 0)
+        return 0;
+    std::uint64_t delay = p.backoffBaseMs;
+    for (unsigned i = 0; i < attempt && delay < p.backoffCapMs; ++i)
+        delay *= 2;
+    if (delay > p.backoffCapMs)
+        delay = p.backoffCapMs;
+    PrfKey key;
+    key.lo = p.jitterSeed * 0x9e3779b97f4a7c15ULL + 0xb0ffULL;
+    key.hi = p.jitterSeed ^ 0x5bd1e9955bd1e995ULL;
+    std::uint64_t labelHash = 0xcbf29ce484222325ULL;
+    for (char c : p.label)
+        labelHash = (labelHash ^ static_cast<unsigned char>(c)) *
+                    0x100000001b3ULL;
+    return delay + prf64(key, labelHash, attempt) % p.backoffBaseMs;
+}
 
 /** One experiment point for batch submission. */
 struct ExperimentPoint
@@ -187,26 +241,55 @@ class ExperimentRunner
     }
 
     /**
-     * defer() with bounded retry: @p fn receives the attempt number
-     * (0-based).  A SimError whose retryable() is true is retried up
-     * to @p retries extra times; the final error fails the future.
-     * Non-retryable errors fail immediately.
+     * defer() with bounded, backed-off retry: @p fn receives the
+     * attempt number (0-based).  A SimError whose retryable() is true
+     * is retried after a deterministic exponential-backoff delay
+     * (retryBackoffMs) until either the attempt count or the sleep
+     * budget of @p policy is spent.  Attempt exhaustion rethrows the
+     * last underlying error; budget exhaustion throws
+     * RetryBudgetExhaustedError — a structured per-point record the
+     * sweep can log without tearing down.  Non-retryable errors fail
+     * the future immediately.
      */
+    template <typename Fn>
+    auto
+    deferRetry(Fn fn, RetryPolicy policy)
+        -> Future<std::invoke_result_t<Fn &, unsigned>>
+    {
+        return defer(
+            [fn = std::move(fn), policy = std::move(policy)]() mutable {
+                std::uint64_t sleptMs = 0;
+                for (unsigned attempt = 0;; ++attempt) {
+                    try {
+                        return fn(attempt);
+                    } catch (const SimError &e) {
+                        if (!e.retryable() || attempt >= policy.retries)
+                            throw;
+                        const std::uint64_t delay =
+                            retryBackoffMs(policy, attempt);
+                        if (policy.budgetMs != 0 &&
+                            sleptMs + delay > policy.budgetMs)
+                            throw RetryBudgetExhaustedError(
+                                policy.label, attempt + 1, sleptMs,
+                                e.what());
+                        if (delay > 0)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(delay));
+                        sleptMs += delay;
+                    }
+                }
+            });
+    }
+
+    /** Retry with the default backoff policy (legacy signature). */
     template <typename Fn>
     auto
     deferRetry(Fn fn, unsigned retries)
         -> Future<std::invoke_result_t<Fn &, unsigned>>
     {
-        return defer([fn = std::move(fn), retries]() mutable {
-            for (unsigned attempt = 0;; ++attempt) {
-                try {
-                    return fn(attempt);
-                } catch (const SimError &e) {
-                    if (!e.retryable() || attempt >= retries)
-                        throw;
-                }
-            }
-        });
+        RetryPolicy policy;
+        policy.retries = retries;
+        return deferRetry(std::move(fn), std::move(policy));
     }
 
     /**

@@ -245,11 +245,12 @@ runSystem(const SystemConfig &cfg,
     // models skip it entirely.
     using SaveAllFn = std::function<void(ckpt::SnapshotWriter &)>;
     std::uint64_t lastSnapshotAt = 0;
-    auto makeHook = [&](SaveAllFn saveAll) -> CpuStepHook {
+    auto makeHook = [&](SaveAllFn saveAll,
+                        std::function<bool()> scrub) -> CpuStepHook {
         if (session == nullptr && cfg.interruptAfterAccesses == 0 &&
             obsPtr == nullptr)
             return CpuStepHook{};
-        return [&cfg, session, &lastSnapshotAt, saveAll, obsPtr,
+        return [&cfg, session, &lastSnapshotAt, saveAll, scrub, obsPtr,
                 &ckptCounter](const CpuCursor &cur) {
             if (obsPtr != nullptr)
                 obsPtr->onAccessBoundary(cur.accessesDone,
@@ -267,16 +268,32 @@ runSystem(const SystemConfig &cfg,
             if (!stopping && !due)
                 return;
             if (session != nullptr) {
-                ckpt::SnapshotWriter writer;
-                saveAll(writer);
-                session->commitSnapshot(writer);
-                lastSnapshotAt = cur.accessesDone;
-                if (ckptCounter != nullptr)
-                    ckptCounter->add();
-                if (obs::TraceSession *t =
-                        obsPtr ? obsPtr->trace() : nullptr)
-                    t->instant(obs::kTrackCheckpoint, "checkpoint",
-                               cur.partial.finishTime);
+                // Scrub-before-commit: a fault can sit latent between
+                // injection and the read that detects it, and a
+                // snapshot taken inside that window would hand tier-3
+                // rollback a poisoned restore point.  Verify (and
+                // shadow-heal) the stored state first; if an
+                // unhealable corruption is present, skip this cadence
+                // commit and keep the last clean generation.
+                if (scrub && !scrub()) {
+                    lastSnapshotAt = cur.accessesDone;
+                    if (obs::TraceSession *t =
+                            obsPtr ? obsPtr->trace() : nullptr)
+                        t->instant(obs::kTrackCheckpoint,
+                                   "checkpoint_skipped",
+                                   cur.partial.finishTime);
+                } else {
+                    ckpt::SnapshotWriter writer;
+                    saveAll(writer);
+                    session->commitSnapshot(writer);
+                    lastSnapshotAt = cur.accessesDone;
+                    if (ckptCounter != nullptr)
+                        ckptCounter->add();
+                    if (obs::TraceSession *t =
+                            obsPtr ? obsPtr->trace() : nullptr)
+                        t->instant(obs::kTrackCheckpoint, "checkpoint",
+                                   cur.partial.finishTime);
+                }
             }
             if (stopping)
                 throw InterruptedError(
@@ -322,7 +339,10 @@ runSystem(const SystemConfig &cfg,
             cursor.saveState(w.section(ckpt::kSectionCpu));
             port.saveState(w.section(ckpt::kSectionMem));
             dram.saveState(w.section(ckpt::kSectionDram));
-            w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+            ckpt::Serializer &met = w.section(ckpt::kSectionMetrics);
+            met.u64(m.rollbacks);
+            met.u64(m.replayedAccesses);
+            met.vecU64(m.missRetireTimes);
             if (obsPtr != nullptr)
                 obsPtr->saveState(w.section(ckpt::kSectionObs));
         };
@@ -337,6 +357,8 @@ runSystem(const SystemConfig &cfg,
                 cursor.loadState(dCpu);
                 port.loadState(dMem);
                 dram.loadState(dDram);
+                m.rollbacks = dMet.u64();
+                m.replayedAccesses = dMet.u64();
                 m.missRetireTimes = dMet.vecU64();
                 if (obsPtr != nullptr &&
                     reader->hasSection(ckpt::kSectionObs)) {
@@ -346,7 +368,8 @@ runSystem(const SystemConfig &cfg,
                 lastSnapshotAt = cursor.accessesDone;
             }
         }
-        CpuRunResult r = runCpu(maybeRecord(port), makeHook(saveAll));
+        CpuRunResult r =
+            runCpu(maybeRecord(port), makeHook(saveAll, {}));
         m.execTime = r.finishTime;
         m.dataAccessTime = port.busyTime();
         m.driTime = static_cast<double>(m.execTime) - m.dataAccessTime;
@@ -418,6 +441,20 @@ runSystem(const SystemConfig &cfg,
                 return static_cast<double>(
                     oram.stats().faultsRecovered);
             });
+            reg.gauge(obs::kMetricQuarantinedSlots, [&oram] {
+                return static_cast<double>(
+                    oram.health().quarantinedCount());
+            });
+            reg.gauge(obs::kMetricDegraded, [&oram] {
+                return oram.health().degraded() ? 1.0 : 0.0;
+            });
+            reg.gauge(obs::kMetricDegradedEntries, [&oram] {
+                return static_cast<double>(
+                    oram.stats().degradedEntries);
+            });
+            reg.gauge(obs::kMetricRollbacks, [&m] {
+                return static_cast<double>(m.rollbacks);
+            });
             reg.gauge(obs::kMetricStashReal, [&oram] {
                 return static_cast<double>(oram.stash().realCount());
             });
@@ -463,36 +500,130 @@ runSystem(const SystemConfig &cfg,
         if (shadowPolicy != nullptr)
             shadowPolicy->saveState(w.section(ckpt::kSectionPolicy));
         dram.saveState(w.section(ckpt::kSectionDram));
-        w.section(ckpt::kSectionMetrics).vecU64(m.missRetireTimes);
+        ckpt::Serializer &met = w.section(ckpt::kSectionMetrics);
+        met.u64(m.rollbacks);
+        met.u64(m.replayedAccesses);
+        met.vecU64(m.missRetireTimes);
         if (obsPtr != nullptr)
             obsPtr->saveState(w.section(ckpt::kSectionObs));
     };
+    auto restoreAll = [&](ckpt::SnapshotReader &reader) {
+        // Fetch every section first so a structurally wrong snapshot
+        // is rejected before any state mutates.
+        auto dCpu = reader.section(ckpt::kSectionCpu);
+        auto dPort = reader.section(ckpt::kSectionPort);
+        auto dOram = reader.section(ckpt::kSectionOram);
+        auto dDram = reader.section(ckpt::kSectionDram);
+        auto dMet = reader.section(ckpt::kSectionMetrics);
+        if (shadowPolicy != nullptr) {
+            auto dPol = reader.section(ckpt::kSectionPolicy);
+            shadowPolicy->loadState(dPol);
+        }
+        cursor.loadState(dCpu);
+        port.loadState(dPort);
+        oram.loadState(dOram);
+        dram.loadState(dDram);
+        m.rollbacks = dMet.u64();
+        m.replayedAccesses = dMet.u64();
+        m.missRetireTimes = dMet.vecU64();
+        if (obsPtr != nullptr &&
+            reader.hasSection(ckpt::kSectionObs)) {
+            auto dObs = reader.section(ckpt::kSectionObs);
+            obsPtr->loadState(dObs);
+        }
+        lastSnapshotAt = cursor.accessesDone;
+    };
+    // Auto-rollback's last line of defense: a fault can corrupt a
+    // stored ciphertext long before the next read detects it, so a
+    // cadence snapshot taken in that window captures the poison and
+    // rolling back to it deterministically reproduces the identical
+    // failure.  Keep the pristine access-0 state as an in-memory
+    // image (captured before any resume mutates it) so the ladder can
+    // escalate to a clean restart from the trace start.
+    std::vector<std::uint8_t> pristineImage;
+    if (session != nullptr && cfg.maxAutoRollbacks > 0) {
+        ckpt::SnapshotWriter writer;
+        saveAll(writer);
+        pristineImage = writer.finish(0, 0);
+    }
+    bool resumed = false;
     if (session != nullptr) {
         if (auto reader = session->loadLatest()) {
-            auto dCpu = reader->section(ckpt::kSectionCpu);
-            auto dPort = reader->section(ckpt::kSectionPort);
-            auto dOram = reader->section(ckpt::kSectionOram);
-            auto dDram = reader->section(ckpt::kSectionDram);
-            auto dMet = reader->section(ckpt::kSectionMetrics);
-            if (shadowPolicy != nullptr) {
-                auto dPol = reader->section(ckpt::kSectionPolicy);
-                shadowPolicy->loadState(dPol);
-            }
-            cursor.loadState(dCpu);
-            port.loadState(dPort);
-            oram.loadState(dOram);
-            dram.loadState(dDram);
-            m.missRetireTimes = dMet.vecU64();
-            if (obsPtr != nullptr &&
-                reader->hasSection(ckpt::kSectionObs)) {
-                auto dObs = reader->section(ckpt::kSectionObs);
-                obsPtr->loadState(dObs);
-            }
-            lastSnapshotAt = cursor.accessesDone;
+            restoreAll(*reader);
+            resumed = true;
         }
     }
+    if (session != nullptr && cfg.maxAutoRollbacks > 0 && !resumed) {
+        // Auto-rollback needs a restore point even for corruption
+        // that strikes before the first cadence snapshot: commit the
+        // pristine access-0 state up front.
+        ckpt::SnapshotWriter writer;
+        saveAll(writer);
+        session->commitSnapshot(writer);
+        if (ckptCounter != nullptr)
+            ckptCounter->add();
+    }
 
-    CpuRunResult r = runCpu(maybeRecord(port), makeHook(saveAll));
+    // Tier-3 of the recovery ladder: a CorruptionError that escaped
+    // the in-ORAM tiers rolls the whole simulation back to the latest
+    // valid snapshot generation and deterministically replays the
+    // cursor — with the fault schedule shifted to its next
+    // realization, since replaying the identical schedule would
+    // re-corrupt the identical slot — instead of tearing the run
+    // down.  Bounded attempts; exhaustion rethrows and the fatal
+    // classifier reports it exactly as before.
+    unsigned rollbacksUsed = 0;
+    std::uint64_t lastFailedAt = std::uint64_t(-1);
+    // Only auto-rollback sessions pay for the pre-commit patrol
+    // scrub; plain checkpointing tolerates latent corruption in a
+    // snapshot because it never restores one mid-run.
+    std::function<bool()> scrubFn;
+    if (session != nullptr && cfg.maxAutoRollbacks > 0)
+        scrubFn = [&oram] { return oram.scrubStorage(); };
+    CpuRunResult r;
+    for (;;) {
+        try {
+            r = runCpu(maybeRecord(port), makeHook(saveAll, scrubFn));
+            break;
+        } catch (const CorruptionError &) {
+            if (session == nullptr || cfg.maxAutoRollbacks == 0 ||
+                rollbacksUsed >= cfg.maxAutoRollbacks)
+                throw;
+            const std::uint64_t failedAt = cursor.accessesDone;
+            // Escalation within tier 3: when the replay reproduces
+            // the failure at the same access, the restored snapshot
+            // itself carries the failure (a latent corruption the
+            // pre-commit scrub could not heal, or a serialized stuck
+            // cell) — abandon the cadence snapshots and restart clean
+            // from the trace start.
+            const bool noProgress = failedAt == lastFailedAt;
+            std::unique_ptr<ckpt::SnapshotReader> reader;
+            if (!noProgress)
+                reader = session->loadLatest();
+            if (!reader) {
+                if (pristineImage.empty())
+                    throw;
+                reader = std::make_unique<ckpt::SnapshotReader>(
+                    pristineImage);
+            }
+            // The Metrics section in the restored image predates this
+            // ladder's own activity; carry the live counters across
+            // the restore so rollbacks are never undercounted.
+            const std::uint64_t priorRollbacks = m.rollbacks;
+            const std::uint64_t priorReplayed = m.replayedAccesses;
+            restoreAll(*reader);
+            lastFailedAt = failedAt;
+            ++rollbacksUsed;
+            m.rollbacks = priorRollbacks + 1;
+            m.replayedAccesses =
+                priorReplayed + (failedAt - cursor.accessesDone);
+            oram.shiftFaultRealization(rollbacksUsed);
+            if (obs::TraceSession *t =
+                    obsPtr ? obsPtr->trace() : nullptr)
+                t->instant(obs::kTrackCheckpoint, "auto_rollback",
+                           cursor.partial.finishTime);
+        }
+    }
 
     m.execTime = r.finishTime;
     m.dataAccessTime = port.dataBusyTime();
@@ -519,6 +650,13 @@ runSystem(const SystemConfig &cfg,
     m.faultsDetected = os.faultsDetected;
     m.faultsRecovered = os.faultsRecovered;
     m.faultsUnrecoverable = os.faultsUnrecoverable;
+    m.slotsQuarantined = os.slotsQuarantined;
+    m.quarantineEvacuations = os.quarantineEvacuations;
+    m.degradedEntries = os.degradedEntries;
+    m.degradedTicks = os.degradedTicks;
+    m.emergencyEvictions = os.emergencyEvictions;
+    // m.rollbacks / m.replayedAccesses are maintained by the tier-3
+    // loop above (and restored from the snapshot on resume).
     if (shadowPolicy)
         m.finalPartitionLevel = shadowPolicy->partitionLevel();
     if (obsPtr != nullptr) {
@@ -566,6 +704,13 @@ configFingerprint(const SystemConfig &cfg)
     s.u8(o.fault.stuckBits ? 1 : 0);
     s.u32(o.fault.stuckWrites);
     s.u8(static_cast<std::uint8_t>(o.fault.onUnrecoverable));
+    s.u32(o.fault.burstEvery);
+    s.u32(o.fault.burstLen);
+    s.u32(o.fault.subtreeLevels);
+    s.u64(o.fault.subtreePrefix);
+    s.u32(o.health.quarantineThreshold);
+    s.u32(o.health.stashHighWatermark);
+    s.u32(o.health.stashLowWatermark);
     s.u64(o.seed);
 
     const ShadowConfig &sh = cfg.shadow;
@@ -606,6 +751,10 @@ configFingerprint(const SystemConfig &cfg)
     s.u32(cfg.window);
     s.u8(cfg.recordPerMiss ? 1 : 0);
     s.u64(cfg.watchdogInterval);
+    // maxAutoRollbacks is semantic: a rollback shifts the fault
+    // realization, so runs with different budgets can end with
+    // different counters.
+    s.u32(cfg.maxAutoRollbacks);
     // checkpointInterval, interruptAfterAccesses and obs are
     // intentionally omitted: they change when snapshots happen and
     // what gets recorded about a run, never the result.
@@ -636,6 +785,13 @@ saveRunMetrics(ckpt::Serializer &out, const RunMetrics &m)
     out.u64(m.faultsDetected);
     out.u64(m.faultsRecovered);
     out.u64(m.faultsUnrecoverable);
+    out.u64(m.slotsQuarantined);
+    out.u64(m.quarantineEvacuations);
+    out.u64(m.degradedEntries);
+    out.u64(m.degradedTicks);
+    out.u64(m.emergencyEvictions);
+    out.u64(m.rollbacks);
+    out.u64(m.replayedAccesses);
     out.vecU64(m.missRetireTimes);
 }
 
@@ -663,6 +819,13 @@ loadRunMetrics(ckpt::Deserializer &in)
     m.faultsDetected = in.u64();
     m.faultsRecovered = in.u64();
     m.faultsUnrecoverable = in.u64();
+    m.slotsQuarantined = in.u64();
+    m.quarantineEvacuations = in.u64();
+    m.degradedEntries = in.u64();
+    m.degradedTicks = in.u64();
+    m.emergencyEvictions = in.u64();
+    m.rollbacks = in.u64();
+    m.replayedAccesses = in.u64();
     m.missRetireTimes = in.vecU64();
     return m;
 }

@@ -94,6 +94,18 @@ struct SystemConfig
     std::uint64_t interruptAfterAccesses = 0;
 
     /**
+     * Tier-3 of the recovery ladder: when a CorruptionError escapes
+     * the in-ORAM tiers and a CheckpointSession is attached, restore
+     * the latest valid snapshot generation and deterministically
+     * replay the cursor (with the fault schedule shifted to its next
+     * realization) instead of dying — up to this many times per run.
+     * 0 (default) disables auto-rollback and preserves the historic
+     * fail-fast behavior.  Part of the point fingerprint: rollbacks
+     * change the fault realization and hence the final counters.
+     */
+    unsigned maxAutoRollbacks = 0;
+
+    /**
      * Observability (DESIGN.md §9): event tracing, interval-sampled
      * metrics, heartbeat.  All off by default; the ExperimentRunner
      * merges the SB_OBS_* environment knobs in.  Not part of the
@@ -126,6 +138,16 @@ struct RunMetrics
     std::uint64_t faultsDetected = 0;
     std::uint64_t faultsRecovered = 0;
     std::uint64_t faultsUnrecoverable = 0;
+    /** Recovery-ladder accounting (zero when the ladder is off). */
+    std::uint64_t slotsQuarantined = 0;    ///< Tier-1 quarantines.
+    std::uint64_t quarantineEvacuations = 0;
+    std::uint64_t degradedEntries = 0;     ///< Tier-2 mode entries.
+    std::uint64_t degradedTicks = 0;       ///< Accesses spent degraded.
+    std::uint64_t emergencyEvictions = 0;
+    std::uint64_t rollbacks = 0;           ///< Tier-3 auto-rollbacks.
+    /** Trace records replayed across all rollbacks (MTTR numerator:
+     *  replayedAccesses / rollbacks = mean replay distance). */
+    std::uint64_t replayedAccesses = 0;
     /** Per-miss forward times, in trace order (recordPerMiss). */
     std::vector<Cycles> missRetireTimes;
 };

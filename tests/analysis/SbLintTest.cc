@@ -518,6 +518,99 @@ TEST(SbLintSuppress, HotPathAllocSuppressionWorks)
 }
 
 // ---------------------------------------------------------------------
+// swallowed-exception
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, SwallowedExceptionFiresOnEmptyCatch)
+{
+    const auto fs = lintOne("src/ckpt/X.cc",
+                            "void f() {\n"
+                            "    try { g(); }\n"
+                            "    catch (const std::exception &) {}\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::SwallowedException);
+    EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(SbLintRules, SwallowedExceptionFiresOnLogOnlyCatch)
+{
+    // Logging alone does not surface the failure to the caller.
+    EXPECT_TRUE(fired(lintOne("src/sim/X.cc",
+                              "void f() {\n"
+                              "    try { g(); }\n"
+                              "    catch (const SimError &e) {\n"
+                              "        SB_WARN(\"%s\", e.what());\n"
+                              "    }\n"
+                              "}\n"),
+                      Rule::SwallowedException));
+}
+
+TEST(SbLintRules, SwallowedExceptionAcceptsRethrowAndReturn)
+{
+    EXPECT_FALSE(fired(lintOne("src/sim/X.cc",
+                               "void f() {\n"
+                               "    try { g(); }\n"
+                               "    catch (const SimError &) {\n"
+                               "        throw;\n"
+                               "    }\n"
+                               "}\n"),
+                       Rule::SwallowedException));
+    EXPECT_FALSE(fired(lintOne("src/sim/X.cc",
+                               "int f() {\n"
+                               "    try { return g(); }\n"
+                               "    catch (const SimError &) {\n"
+                               "        return -1;\n"
+                               "    }\n"
+                               "}\n"),
+                       Rule::SwallowedException));
+}
+
+TEST(SbLintRules, SwallowedExceptionAcceptsCurrentException)
+{
+    // The ExperimentRunner future seam: the error is recorded and
+    // rethrown later on the caller's thread.
+    EXPECT_FALSE(fired(lintOne("src/sim/X.cc",
+                               "void f(State &s) {\n"
+                               "    try { run(); }\n"
+                               "    catch (...) {\n"
+                               "        s.error = "
+                               "std::current_exception();\n"
+                               "    }\n"
+                               "}\n"),
+                       Rule::SwallowedException));
+}
+
+TEST(SbLintRules, SwallowedExceptionAcceptsTestFailureMacros)
+{
+    EXPECT_FALSE(fired(lintOne("tests/ckpt/X.cc",
+                               "void f() {\n"
+                               "    try { g(); }\n"
+                               "    catch (const SimError &e) {\n"
+                               "        ADD_FAILURE() << e.what();\n"
+                               "    }\n"
+                               "    try { g(); }\n"
+                               "    catch (const SimError &e) {\n"
+                               "        EXPECT_EQ(1, 2);\n"
+                               "    }\n"
+                               "}\n"),
+                       Rule::SwallowedException));
+}
+
+TEST(SbLintSuppress, SwallowedExceptionSuppressionWorks)
+{
+    const auto fs = lintOne(
+        "src/ckpt/X.cc",
+        "void f() {\n"
+        "    try { g(); }\n"
+        "    // sblint:allow-next-line(swallowed-exception): "
+        "recovery tier falls through to the next generation\n"
+        "    catch (const CheckpointError &) {}\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------
 

@@ -173,6 +173,13 @@ expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
     EXPECT_EQ(a.faultsDetected, b.faultsDetected);
     EXPECT_EQ(a.faultsRecovered, b.faultsRecovered);
     EXPECT_EQ(a.faultsUnrecoverable, b.faultsUnrecoverable);
+    EXPECT_EQ(a.slotsQuarantined, b.slotsQuarantined);
+    EXPECT_EQ(a.quarantineEvacuations, b.quarantineEvacuations);
+    EXPECT_EQ(a.degradedEntries, b.degradedEntries);
+    EXPECT_EQ(a.degradedTicks, b.degradedTicks);
+    EXPECT_EQ(a.emergencyEvictions, b.emergencyEvictions);
+    EXPECT_EQ(a.rollbacks, b.rollbacks);
+    EXPECT_EQ(a.replayedAccesses, b.replayedAccesses);
     EXPECT_EQ(a.missRetireTimes, b.missRetireTimes);
 }
 
@@ -373,6 +380,158 @@ TEST_F(CkptResume, BothGenerationsCorruptedReplaysFromStart)
     expectSameMetrics(m0, runSystem(resumed, trace, &session));
     EXPECT_EQ(ckpt::counters().replaysFromStart.load(),
               replaysBefore + 1);
+}
+
+namespace {
+
+/**
+ * A shadow system under fault pressure heavy enough that tier-0
+ * shadow healing eventually fails, with the whole recovery ladder
+ * armed: quarantine, backpressure watermarks, fail-fast
+ * unrecoverable policy, and a tier-3 rollback budget.  Watermarks
+ * stay above the steady-state stash occupancy: pinning them below it
+ * would suppress duplication permanently and strip the tier-0 heals
+ * the rollback budget is sized for (the obliviousness tests drive
+ * degraded mode directly instead).
+ */
+SystemConfig
+ladderSystem()
+{
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    cfg.oram.payloadEnabled = true;
+    cfg.oram.fault.rate = 0.005;
+    cfg.oram.fault.seed = 11;
+    cfg.oram.fault.onUnrecoverable = UnrecoverablePolicy::Throw;
+    cfg.oram.health.quarantineThreshold = 2;
+    cfg.oram.health.stashHighWatermark = 10;
+    cfg.oram.health.stashLowWatermark = 4;
+    // Generous budget: the fallback test below pins the cadence past
+    // the end of the trace, so every rollback replays the whole tail
+    // under a fresh realization and may need several attempts.
+    cfg.maxAutoRollbacks = 32;
+    cfg.checkpointInterval = 157;
+    return cfg;
+}
+
+} // namespace
+
+TEST_F(CkptResume, AutoRollbackCompletesWhatWouldOtherwiseThrow)
+{
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    const SystemConfig cfg = ladderSystem();
+
+    // Anchor: without a checkpoint session there is no tier 3, so
+    // the same corruption that the ladder survives below is fatal.
+    EXPECT_THROW(runSystem(cfg, trace), CorruptionError);
+
+    // With a session the run rolls back, shifts the fault
+    // realization, replays, and completes.
+    TempDir dirA;
+    ckpt::CheckpointSession a(dirA.path(), configFingerprint(cfg));
+    const RunMetrics mA = runSystem(cfg, trace, &a);
+    EXPECT_GE(mA.rollbacks, 1u);
+    EXPECT_GE(mA.replayedAccesses, 1u);
+    EXPECT_EQ(mA.requests, trace.size() + mA.dummyRequests);
+
+    // Recovery itself is deterministic: an identical second run —
+    // rollbacks, replays and all — lands on bit-identical metrics.
+    TempDir dirB;
+    ckpt::CheckpointSession b(dirB.path(), configFingerprint(cfg));
+    expectSameMetrics(mA, runSystem(cfg, trace, &b));
+}
+
+TEST_F(CkptResume, CorruptedLatestFallsBackDuringAutoRollback)
+{
+    // Negative path inside tier 3: when the rollback handler loads a
+    // snapshot and the newest generation is corrupt, it must demote a
+    // generation — mid-recovery — exactly like resume does, and the
+    // whole scripted disaster must still be deterministic.
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    const SystemConfig cfg = ladderSystem();
+    const std::uint64_t key = configFingerprint(cfg);
+
+    auto scriptedDisaster = [&](const std::string &dir) {
+        // Interrupt late so the generation the resume falls back to
+        // is near the end of the trace: with the cadence then pushed
+        // past the trace end, every rollback replays only the short
+        // tail, which a shifted realization can actually complete.
+        SystemConfig interrupted = cfg;
+        interrupted.interruptAfterAccesses = 1350;
+        {
+            ckpt::CheckpointSession session(dir, key);
+            EXPECT_THROW(runSystem(interrupted, trace, &session),
+                         InterruptedError);
+        }
+
+        // Tamper with the newer generation on disk.
+        const std::string g0 = slotFile(dir, key, 0);
+        const std::string g1 = slotFile(dir, key, 1);
+        const std::uint64_t seq0 =
+            ckpt::SnapshotReader(ckpt::readFile(g0)).seq();
+        const std::uint64_t seq1 =
+            ckpt::SnapshotReader(ckpt::readFile(g1)).seq();
+        flipByte(seq0 > seq1 ? g0 : g1, 50);
+
+        // Resume with the cadence pushed past the end of the trace:
+        // no new snapshot ever overwrites the tampered file, so
+        // every in-rollback loadLatest sees it and must demote.
+        SystemConfig resumed = cfg;
+        resumed.checkpointInterval = 1u << 20;
+        ckpt::CheckpointSession session(dir, key);
+        return runSystem(resumed, trace, &session);
+    };
+
+    const std::uint64_t fallbacksBefore =
+        ckpt::counters().resumedFromFallback.load();
+    TempDir dirA;
+    const RunMetrics mA = scriptedDisaster(dirA.path());
+    EXPECT_GE(mA.rollbacks, 1u);
+    // One demotion at resume, plus one per rollback that reached
+    // loadLatest (at minimum the first — escalation to the pristine
+    // image, when it happens, bypasses the generation walk).
+    EXPECT_GE(ckpt::counters().resumedFromFallback.load(),
+              fallbacksBefore + 2);
+
+    TempDir dirB;
+    expectSameMetrics(mA, scriptedDisaster(dirB.path()));
+}
+
+TEST_F(CkptResume, QuarantineSpareStoreRoundTripsThroughSnapshot)
+{
+    // Tier-1 remap state — the failure-count table, the quarantine
+    // set, and the on-chip spare store holding parked payloads — must
+    // ride the snapshot: a run interrupted mid-campaign and resumed
+    // matches the straight run bit for bit.  (A lost spare entry
+    // would surface immediately: the parked slot's ciphertext stripe
+    // is erased, so rereading it would count a spurious detection.)
+    const auto trace = makeTrace("mcf", kMisses, kSeed);
+    SystemConfig cfg = smallSystem(Scheme::Shadow);
+    cfg.oram.payloadEnabled = true;
+    cfg.oram.fault.rate = 0.02;
+    cfg.oram.fault.seed = 23;
+    cfg.oram.fault.onUnrecoverable = UnrecoverablePolicy::Count;
+    cfg.oram.health.quarantineThreshold = 1;
+
+    const RunMetrics m0 = runSystem(cfg, trace);
+    // The campaign must actually populate the remap machinery, or
+    // this proves nothing about its serialization.
+    EXPECT_GT(m0.slotsQuarantined, 0u);
+    EXPECT_GT(m0.quarantineEvacuations, 0u);
+
+    TempDir dir;
+    const std::uint64_t key = configFingerprint(cfg);
+    {
+        SystemConfig interrupted = cfg;
+        interrupted.checkpointInterval = 157;
+        interrupted.interruptAfterAccesses = 900;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(runSystem(interrupted, trace, &session),
+                     InterruptedError);
+    }
+    SystemConfig resumed = cfg;
+    resumed.checkpointInterval = 157;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameMetrics(m0, runSystem(resumed, trace, &session));
 }
 
 TEST_F(CkptResume, StopRequestWritesFinalSnapshotThenResumes)

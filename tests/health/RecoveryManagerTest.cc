@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the tier-1/tier-2 mechanism state: the quarantine
+ * failure-count table and the hysteretic degraded-mode latch, plus
+ * their snapshot serde (the ladder must survive kill-and-resume with
+ * its quarantine set intact).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/Serde.hh"
+#include "common/Errors.hh"
+#include "health/RecoveryManager.hh"
+
+using namespace sboram;
+
+namespace {
+
+HealthConfig
+cfgQuarantine(unsigned threshold)
+{
+    HealthConfig cfg;
+    cfg.quarantineThreshold = threshold;
+    return cfg;
+}
+
+HealthConfig
+cfgBackpressure(unsigned high, unsigned low)
+{
+    HealthConfig cfg;
+    cfg.stashHighWatermark = high;
+    cfg.stashLowWatermark = low;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RecoveryManager, DisabledConfigRecordsNothing)
+{
+    RecoveryManager rm(HealthConfig{}, 64);
+    EXPECT_FALSE(rm.config().enabled());
+    EXPECT_FALSE(rm.recordSlotFailure(3));
+    EXPECT_FALSE(rm.isQuarantined(3));
+    EXPECT_FALSE(rm.quarantineActive());
+    EXPECT_EQ(rm.noteStashOccupancy(1000), 0);
+    EXPECT_FALSE(rm.degraded());
+}
+
+TEST(RecoveryManager, QuarantineTripsExactlyAtThreshold)
+{
+    RecoveryManager rm(cfgQuarantine(3), 64);
+    EXPECT_FALSE(rm.recordSlotFailure(7));
+    EXPECT_FALSE(rm.recordSlotFailure(7));
+    EXPECT_FALSE(rm.isQuarantined(7));
+    // The third failure is the transition — reported exactly once.
+    EXPECT_TRUE(rm.recordSlotFailure(7));
+    EXPECT_TRUE(rm.isQuarantined(7));
+    EXPECT_TRUE(rm.quarantineActive());
+    EXPECT_EQ(rm.quarantinedCount(), 1u);
+    // Further failures of a quarantined slot are not new transitions.
+    EXPECT_FALSE(rm.recordSlotFailure(7));
+    EXPECT_EQ(rm.quarantinedCount(), 1u);
+}
+
+TEST(RecoveryManager, FailureCountsAreIndependentPerSlot)
+{
+    RecoveryManager rm(cfgQuarantine(2), 64);
+    EXPECT_FALSE(rm.recordSlotFailure(1));
+    EXPECT_FALSE(rm.recordSlotFailure(2));
+    EXPECT_FALSE(rm.isQuarantined(1));
+    EXPECT_FALSE(rm.isQuarantined(2));
+    EXPECT_TRUE(rm.recordSlotFailure(2));
+    EXPECT_FALSE(rm.isQuarantined(1));
+    EXPECT_TRUE(rm.isQuarantined(2));
+}
+
+TEST(RecoveryManager, BackpressureLatchIsHysteretic)
+{
+    RecoveryManager rm(cfgBackpressure(10, 4), 64);
+    EXPECT_EQ(rm.noteStashOccupancy(9), 0);
+    EXPECT_FALSE(rm.degraded());
+    // Crossing the high watermark enters degraded mode once.
+    EXPECT_EQ(rm.noteStashOccupancy(10), 1);
+    EXPECT_TRUE(rm.degraded());
+    EXPECT_EQ(rm.noteStashOccupancy(12), 0);
+    // Between the watermarks the latch holds (hysteresis).
+    EXPECT_EQ(rm.noteStashOccupancy(7), 0);
+    EXPECT_TRUE(rm.degraded());
+    // At or below the low watermark it releases once.
+    EXPECT_EQ(rm.noteStashOccupancy(4), -1);
+    EXPECT_FALSE(rm.degraded());
+    EXPECT_EQ(rm.noteStashOccupancy(5), 0);
+    EXPECT_FALSE(rm.degraded());
+}
+
+TEST(RecoveryManager, WatermarksMustBeHysteretic)
+{
+    EXPECT_DEATH(RecoveryManager(cfgBackpressure(4, 4), 64),
+                 "hysteretic");
+}
+
+TEST(RecoveryManager, SerdeRoundTripsQuarantineAndLatch)
+{
+    HealthConfig cfg = cfgQuarantine(2);
+    cfg.stashHighWatermark = 6;
+    cfg.stashLowWatermark = 2;
+    RecoveryManager rm(cfg, 64);
+    rm.recordSlotFailure(5);
+    rm.recordSlotFailure(5);
+    rm.recordSlotFailure(9);
+    rm.noteStashOccupancy(6);
+    ASSERT_TRUE(rm.isQuarantined(5));
+    ASSERT_TRUE(rm.degraded());
+
+    ckpt::Serializer out;
+    rm.saveState(out);
+
+    RecoveryManager back(cfg, 64);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    back.loadState(in);
+    EXPECT_TRUE(back.isQuarantined(5));
+    EXPECT_FALSE(back.isQuarantined(9));
+    EXPECT_EQ(back.quarantinedCount(), 1u);
+    EXPECT_TRUE(back.degraded());
+    // The partial count for slot 9 also survived: one more failure
+    // quarantines it.
+    EXPECT_TRUE(back.recordSlotFailure(9));
+}
+
+TEST(RecoveryManager, SerdeIsSparseAndOrdered)
+{
+    RecoveryManager a(cfgQuarantine(2), 1024);
+    a.recordSlotFailure(1000);
+    a.recordSlotFailure(3);
+    RecoveryManager b(cfgQuarantine(2), 1024);
+    b.recordSlotFailure(3);
+    b.recordSlotFailure(1000);
+    ckpt::Serializer sa, sb;
+    a.saveState(sa);
+    b.saveState(sb);
+    // Ascending slot order, independent of failure order: snapshot
+    // bytes are deterministic.
+    EXPECT_EQ(sa.buffer(), sb.buffer());
+}
+
+TEST(RecoveryManager, LoadRejectsOutOfRangeSlot)
+{
+    RecoveryManager big(cfgQuarantine(1), 128);
+    big.recordSlotFailure(100);
+    ckpt::Serializer out;
+    big.saveState(out);
+
+    // The same bytes restored into a smaller tree must be rejected,
+    // not silently indexed out of bounds.
+    RecoveryManager small(cfgQuarantine(1), 64);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(small.loadState(in), CkptMismatchError);
+}
+
+TEST(RecoveryManager, LoadReplacesPriorState)
+{
+    RecoveryManager rm(cfgQuarantine(1), 64);
+    rm.recordSlotFailure(2);
+    ASSERT_TRUE(rm.isQuarantined(2));
+
+    // Restore an empty table over it: the stale quarantine must not
+    // survive the rollback.
+    RecoveryManager fresh(cfgQuarantine(1), 64);
+    ckpt::Serializer out;
+    fresh.saveState(out);
+    ckpt::Deserializer in(out.buffer().data(), out.buffer().size());
+    rm.loadState(in);
+    EXPECT_FALSE(rm.isQuarantined(2));
+    EXPECT_FALSE(rm.quarantineActive());
+    EXPECT_EQ(rm.quarantinedCount(), 0u);
+}

@@ -73,6 +73,20 @@ modeConfig(ShadowMode mode)
     return scfg;
 }
 
+/**
+ * Arm the tier-1/tier-2 ladder aggressively enough to actually fire
+ * at test scale: first failure quarantines a slot, and the
+ * watermarks sit below the steady-state stash swing so degraded mode
+ * cycles many times per run.
+ */
+void
+armLadder(OramConfig &cfg)
+{
+    cfg.health.quarantineThreshold = 1;
+    cfg.health.stashHighWatermark = 3;
+    cfg.health.stashLowWatermark = 1;
+}
+
 } // namespace
 
 class FaultObliviousness
@@ -124,6 +138,53 @@ TEST_P(FaultObliviousness, RecoveryLeavesTheTraceUntouched)
     }
 }
 
+TEST_P(FaultObliviousness, LadderMechanismsLeaveTheTraceUntouched)
+{
+    // Tier 1 and tier 2 both active: slot quarantine permanently
+    // retires slots (faulty run only — failures drive it) and the
+    // backpressure latch cycles degraded mode with its emergency
+    // sweeps (both runs — the latch watches real-stash occupancy,
+    // which faults never perturb).  Neither mechanism may leave a
+    // fingerprint in the external trace: the clean run under the
+    // same health config must match the faulted run bit for bit.
+    const auto addrs = randomSequence(2500, 1 << 10, 67);
+
+    OramConfig cleanCfg = smallConfig();
+    cleanCfg.serveFromShadow = false;
+    armLadder(cleanCfg);
+    auto clean = makeShadowFixture(cleanCfg, modeConfig(GetParam()));
+    TraceRecorder cleanTrace;
+    clean->oram.setTraceSink(&cleanTrace);
+    drive(clean->oram, addrs);
+
+    OramConfig faultyCfg = faultyConfig(0.05);
+    faultyCfg.serveFromShadow = false;
+    armLadder(faultyCfg);
+    auto faulty = makeShadowFixture(faultyCfg,
+                                    modeConfig(GetParam()));
+    TraceRecorder faultyTrace;
+    faulty->oram.setTraceSink(&faultyTrace);
+    drive(faulty->oram, addrs);
+
+    // Both ladder tiers must actually have fired.
+    const OramStats &st = faulty->oram.stats();
+    ASSERT_GT(st.faultsRecovered, 0u);
+    ASSERT_GT(st.slotsQuarantined, 0u);
+    ASSERT_GT(st.degradedEntries, 0u);
+    ASSERT_GT(st.emergencyEvictions, 0u);
+    // The latch is fault-blind: the clean run cycles identically.
+    EXPECT_EQ(clean->oram.stats().degradedEntries,
+              st.degradedEntries);
+    EXPECT_EQ(clean->oram.stats().emergencyEvictions,
+              st.emergencyEvictions);
+
+    ASSERT_EQ(cleanTrace.events().size(), faultyTrace.events().size());
+    for (std::size_t i = 0; i < cleanTrace.events().size(); ++i) {
+        ASSERT_TRUE(cleanTrace.events()[i] == faultyTrace.events()[i])
+            << "ladder mechanism perturbed the trace at event " << i;
+    }
+}
+
 TEST_P(FaultObliviousness, ReadLeavesStayUniformUnderFaults)
 {
     auto fx = makeShadowFixture(faultyConfig(0.05),
@@ -140,16 +201,23 @@ TEST_P(FaultObliviousness, ReadLeavesStayUniformUnderFaults)
 TEST_P(FaultObliviousness, ScanAndCyclicStayInseparableUnderFaults)
 {
     // The RRWP-k distinguisher from the paper's Section III, re-run
-    // with faults active: recovered corruption must not reintroduce
-    // a workload-dependent signal.
+    // with faults active and the full degradation ladder armed:
+    // recovered corruption, quarantined slots and degraded-mode
+    // emergency sweeps must not reintroduce a workload-dependent
+    // signal.
     auto collectRates = [&](const std::vector<Addr> &addrs) {
         OramConfig cfg = faultyConfig(0.02);
         cfg.seed = 59;
+        armLadder(cfg);
         auto fx = makeShadowFixture(cfg, modeConfig(GetParam()));
         TraceRecorder rec;
         fx->oram.setTraceSink(&rec);
         drive(fx->oram, addrs);
         EXPECT_GT(fx->oram.stats().faultsRecovered, 0u);
+        // RRWP-k must hold with the ladder actually engaged, not
+        // merely configured.
+        EXPECT_GT(fx->oram.stats().slotsQuarantined, 0u);
+        EXPECT_GT(fx->oram.stats().degradedEntries, 0u);
         std::vector<double> rates;
         const auto &ev = rec.events();
         const std::size_t chunk = 400;

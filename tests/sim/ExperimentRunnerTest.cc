@@ -237,6 +237,74 @@ TEST(ExperimentRunner, DeferRetryHonoursRetryability)
     EXPECT_EQ(calls, 1u);
 }
 
+TEST(ExperimentRunner, BackoffScheduleIsDeterministicAndBounded)
+{
+    RetryPolicy p;
+    p.backoffBaseMs = 16;
+    p.backoffCapMs = 128;
+    p.jitterSeed = 42;
+    p.label = "sweep-point-7";
+
+    for (unsigned attempt = 0; attempt < 12; ++attempt) {
+        const std::uint64_t d = retryBackoffMs(p, attempt);
+        // Pure function of (policy, attempt).
+        EXPECT_EQ(d, retryBackoffMs(p, attempt));
+        // Exponential term in [base, cap], jitter in [0, base).
+        EXPECT_GE(d, p.backoffBaseMs);
+        EXPECT_LT(d, p.backoffCapMs + p.backoffBaseMs);
+        if (attempt == 0) {
+            EXPECT_LT(d, 2u * p.backoffBaseMs);
+        }
+    }
+
+    // Different jitter seeds decorrelate the schedules: concurrent
+    // points retrying the same attempt must not thunder in lockstep.
+    RetryPolicy q = p;
+    q.jitterSeed = 43;
+    bool differs = false;
+    for (unsigned attempt = 0; attempt < 12 && !differs; ++attempt)
+        differs = retryBackoffMs(p, attempt) != retryBackoffMs(q, attempt);
+    EXPECT_TRUE(differs);
+
+    // base 0 keeps the historic immediate-rerun behavior.
+    RetryPolicy z = p;
+    z.backoffBaseMs = 0;
+    EXPECT_EQ(retryBackoffMs(z, 0), 0u);
+    EXPECT_EQ(retryBackoffMs(z, 7), 0u);
+}
+
+TEST(ExperimentRunner, BudgetExhaustionCarriesTheForensicRecord)
+{
+    struct Transient : SimError
+    {
+        Transient() : SimError("transient stripe loss") {}
+        bool retryable() const override { return true; }
+    };
+
+    ExperimentRunner pool(1);
+    RetryPolicy policy;
+    policy.retries = 100;       // Attempts won't be the bound.
+    policy.backoffBaseMs = 4;
+    policy.backoffCapMs = 8;
+    policy.budgetMs = 10;       // The ladder trips this first.
+    policy.label = "storm/rd phase 2";
+
+    Future<unsigned> f = pool.deferRetry(
+        [](unsigned) -> unsigned { throw Transient(); }, policy);
+    try {
+        f.get();
+        FAIL() << "budget exhaustion did not throw";
+    } catch (const RetryBudgetExhaustedError &e) {
+        EXPECT_EQ(e.label(), policy.label);
+        EXPECT_GE(e.attempts(), 1u);
+        EXPECT_LE(e.sleptMs(), policy.budgetMs);
+        EXPECT_NE(std::string(e.lastError()).find("stripe loss"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find(policy.label),
+                  std::string::npos);
+    }
+}
+
 TEST(ExperimentRunner, RetriedPointShiftsOnlyTheFaultSeed)
 {
     // retries > 0 must not change attempt 0: a clean point returns

@@ -1,0 +1,61 @@
+#!/bin/sh
+# End-to-end smoke for the recovery escalation ladder.  Registered as
+# the `chaos_smoke` ctest (bench/); also usable standalone:
+#
+#     tools/chaos_smoke.sh <chaos_storm-binary>
+#
+# The drill:
+#   1. run the full chaos storm at the committed phase length,
+#   2. the run must be deterministic (the bench self-checks its two
+#      passes and exits nonzero otherwise),
+#   3. every profile except the full storm must end at availability
+#      1.0000 for every policy — the ladder absorbs tier<=2 fault
+#      rates completely,
+#   4. the full storm must end at availability 1.0000 for every
+#      duplicating policy (rd/hd/dynamic) — only the no-duplication
+#      baseline is allowed to exhaust its budget,
+#   5. tier 3 must actually fire: the table must report at least one
+#      auto-rollback somewhere.
+set -eu
+
+BENCH=${1:?usage: chaos_smoke.sh <chaos_storm-binary>}
+WORK=$(mktemp -d /tmp/sbchaos-smoke-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail()
+{
+    echo "chaos_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# --- 1+2. deterministic full storm -----------------------------------
+cd "$WORK"
+"$BENCH" >"$WORK/out.txt" 2>"$WORK/err.txt" ||
+    fail "chaos_storm failed or was nondeterministic (see stderr):
+$(tail -5 "$WORK/err.txt")"
+
+JSON="$WORK/BENCH_resilience.json"
+[ -f "$JSON" ] || fail "BENCH_resilience.json not written"
+
+grep -q '"deterministic": true' "$JSON" ||
+    fail "determinism flag not set in BENCH_resilience.json"
+
+# --- 3. tier<=2 rates: full availability for every policy ------------
+BAD=$(grep -o '{"profile": "[a-z]*", "policy": "[a-z]*", "availability": [0-9.]*' "$JSON" |
+    grep -v '"profile": "storm"' |
+    grep -v '"availability": 1.0000' || true)
+[ -z "$BAD" ] || fail "availability < 1 at a tier<=2 rate: $BAD"
+
+# --- 4. full storm: duplication keeps the service up -----------------
+BAD=$(grep -o '{"profile": "storm", "policy": "[a-z]*", "availability": [0-9.]*' "$JSON" |
+    grep -v '"policy": "tiny"' |
+    grep -v '"availability": 1.0000' || true)
+[ -z "$BAD" ] || fail "a duplicating policy lost the full storm: $BAD"
+
+# --- 5. tier 3 fired at least once -----------------------------------
+ROLLBACKS=$(grep -o '"tier3_rollbacks": [0-9]*' "$JSON" |
+    awk -F': ' '{s += $2} END {print s}')
+[ "${ROLLBACKS:-0}" -ge 1 ] ||
+    fail "no auto-rollback fired anywhere in the storm grid"
+
+echo "chaos_smoke: OK ($ROLLBACKS auto-rollbacks across the grid)"

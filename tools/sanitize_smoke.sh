@@ -17,7 +17,8 @@ BUILD_DIR="$SRC_DIR/build/sanitize"
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DSB_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_fault test_ckpt throughput \
+cmake --build "$BUILD_DIR" \
+    --target test_fault test_ckpt throughput chaos_storm \
     -j >/dev/null
 
 # Die on any UBSan report instead of just printing it.
@@ -35,6 +36,17 @@ UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
     SB_BENCH_QUICK=1 SB_BENCH_MISSES=500 SB_BENCH_THREADS=2 \
     ./throughput)
+
+# The chaos harness exercises the whole recovery ladder — corruption
+# of live ciphertext, scrub-and-heal rewrites, snapshot restore into
+# live objects, replay — which is the densest pointer traffic in the
+# tree.  Short phases keep the sanitized run fast; the ladder still
+# rolls back (the smoke asserts determinism, not availability, at
+# this length).
+(cd "$BUILD_DIR/bench" &&
+    UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+    SB_BENCH_MISSES=500 SB_BENCH_THREADS=2 \
+    ./chaos_storm >/dev/null)
 
 # The full hardening matrix, for orientation.  This script is one
 # row; the others are sibling ctests (ctest -R <name>).

@@ -59,6 +59,11 @@ const std::vector<RuleInfo> kRegistry = {
      "make_unique/make_shared, constructing a std::vector, or "
      "touching a std::unordered_map/set — hot paths must be "
      "allocation-free; use the VectorPool or per-object scratch"},
+    {Rule::SwallowedException, "swallowed-exception",
+     "catch body that neither rethrows, returns, exits, nor records "
+     "the error (current_exception / test-failure macro) — a silently "
+     "swallowed exception hides real failures; handle it or carry an "
+     "sblint:allow justification"},
     {Rule::BadSuppression, "bad-suppression",
      "malformed sblint suppression: unknown rule name or missing "
      "justification text"},
@@ -925,6 +930,57 @@ scanHotPathAlloc(const std::string &path, const std::vector<Tok> &t,
     }
 }
 
+/**
+ * swallowed-exception: a catch body must do *something* visible with
+ * the error — rethrow it, return/propagate, terminate, stash it via
+ * current_exception (the ExperimentRunner's future seam), escalate
+ * through SB_FATAL/SB_PANIC, or (in tests) fail/skip the test.  A
+ * body with none of those silently converts a real failure into
+ * nothing; intentional swallows (e.g. the checkpoint recovery tiers,
+ * where a bad snapshot legitimately falls through to the next tier)
+ * carry a written sblint:allow justification.
+ */
+void
+scanSwallowedException(const std::string &path,
+                       const std::vector<Tok> &t,
+                       std::vector<Finding> &out)
+{
+    static const std::set<std::string> kHandled = {
+        "throw", "return", "exit", "_exit", "abort", "goto",
+        "current_exception", "rethrow_exception", "SB_FATAL",
+        "SB_PANIC", "FAIL", "ADD_FAILURE", "SUCCEED", "GTEST_SKIP"};
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].text != "catch" || t[i + 1].text != "(")
+            continue;
+        const std::size_t closeParen =
+            matchForward(t, i + 1, "(", ")");
+        if (closeParen == std::string::npos ||
+            closeParen + 1 >= t.size() ||
+            t[closeParen + 1].text != "{")
+            continue;
+        const std::size_t open = closeParen + 1;
+        const std::size_t close = matchForward(t, open, "{", "}");
+        if (close == std::string::npos)
+            continue;
+        bool handled = false;
+        for (std::size_t j = open + 1; j < close && !handled; ++j) {
+            const std::string &x = t[j].text;
+            handled = kHandled.count(x) != 0 ||
+                      startsWith(x, "EXPECT_") ||
+                      startsWith(x, "ASSERT_");
+        }
+        if (!handled) {
+            out.push_back(
+                {path, t[i].line, Rule::SwallowedException,
+                 "catch body neither rethrows, returns, exits, nor "
+                 "records the error — a swallowed exception hides "
+                 "real failures; handle it or justify with "
+                 "sblint:allow"});
+        }
+        i = close;
+    }
+}
+
 bool
 pathEndsWith(const std::string &path, const std::string &suffix)
 {
@@ -1122,6 +1178,7 @@ lintSources(const std::vector<SourceFile> &sources)
         scanMissingStatsLock(path, t, raw);
         scanUntrackedMetric(path, t, metricNames, raw);
         scanHotPathAlloc(path, t, unorderedVars, raw);
+        scanSwallowedException(path, t, raw);
 
         const Suppressions sup =
             collectSuppressions(path, stripped[f]);

@@ -49,6 +49,7 @@ enum class Rule : std::uint8_t
     MissingStatsLock,     ///< missing-stats-lock
     UntrackedMetric,      ///< untracked-metric
     HotPathAlloc,         ///< hot-path-alloc
+    SwallowedException,   ///< swallowed-exception
     BadSuppression,       ///< bad-suppression (meta rule; never allowed)
 };
 

@@ -31,7 +31,7 @@ fi
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DSB_SANITIZE=tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_sim -j >/dev/null
+cmake --build "$BUILD_DIR" --target test_sim chaos_storm -j >/dev/null
 
 # halt_on_error turns any report into a non-zero exit; the runner and
 # system suites cover defer/deferRetry, sweeps, trace caching and
@@ -40,3 +40,12 @@ TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
 SB_BENCH_THREADS=8 \
     "$BUILD_DIR/tests/test_sim" \
     --gtest_filter='ExperimentRunner*:System*'
+
+# The chaos harness fans every (profile, policy, phase, pass) out to
+# the pool, each with its own checkpoint session and rollback loop —
+# the widest concurrent use of the runner in the tree.  Short phases
+# keep the TSan run fast.
+(cd "$BUILD_DIR/bench" &&
+    TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    SB_BENCH_MISSES=400 SB_BENCH_THREADS=8 \
+    ./chaos_storm >/dev/null)
