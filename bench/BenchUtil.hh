@@ -196,8 +196,8 @@ emitPanicDiag(const std::string &fallback)
  * exception families onto conventional exit codes:
  *   130 — interrupted (final snapshot already on disk; resume it),
  *   kRetryExhaustedExitCode (3) — a point spent its retry budget,
- *   kFatalExitCode (2) — corruption, invariant violation, or any
- *       other simulator error.
+ *   kFatalExitCode (2) — corruption, invariant violation, a stalled
+ *       service scheduler, or any other simulator error.
  * Every fatal path emits one machine-readable `panic-diag:` line.
  */
 inline int
@@ -233,6 +233,17 @@ guardedMain(int (*body)())
         emitPanicDiag(strprintf(
             "event=invariant_violation access=%llu",
             static_cast<unsigned long long>(e.accessCount())));
+        return kFatalExitCode;
+    } catch (const ServiceStallError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        emitPanicDiag(strprintf(
+            "event=service_stall queue_depth=%llu in_flight=%llu "
+            "shed=%llu deadline_misses=%llu served=%llu",
+            static_cast<unsigned long long>(e.queueDepth()),
+            static_cast<unsigned long long>(e.inFlight()),
+            static_cast<unsigned long long>(e.requestsShed()),
+            static_cast<unsigned long long>(e.deadlineMisses()),
+            static_cast<unsigned long long>(e.served())));
         return kFatalExitCode;
     } catch (const SimError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());

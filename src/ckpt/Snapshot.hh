@@ -39,13 +39,14 @@
 namespace sboram {
 namespace ckpt {
 
-/** Current snapshot format version.  Version 3: the ORAM section
- *  grew the recovery ladder's state (slot-quarantine table and
- *  degraded-mode latch), the fault section grew the tier-3 reseed
- *  generation, and RunMetrics grew resilience counters.  Old
+/** Current snapshot format version.  Version 4: the RecoveryManager
+ *  state grew the service-pressure latch, and service-mode snapshots
+ *  add the kSectionSvc cursor (arrival-generator state, admitted
+ *  queue, latency samples).  Version 3 added the recovery ladder's
+ *  state, the tier-3 reseed generation and resilience counters.  Old
  *  snapshots are rejected with CkptVersionError before any state is
  *  mutated and fall back per the existing recovery tiers. */
-constexpr std::uint32_t kSnapshotVersion = 3;
+constexpr std::uint32_t kSnapshotVersion = 4;
 
 /** Well-known section ids used by sim/System and friends. */
 enum SectionId : std::uint32_t
@@ -58,6 +59,7 @@ enum SectionId : std::uint32_t
     kSectionMetrics = 6,  ///< Partial RunMetrics (missRetireTimes).
     kSectionMem = 7,      ///< InsecureMemory baseline state.
     kSectionObs = 8,      ///< Observability counters/sampler (optional).
+    kSectionSvc = 9,      ///< Service pipeline (arrivals cursor, queue).
     kSectionResult = 100, ///< Final RunMetrics of a completed point.
 };
 

@@ -176,6 +176,47 @@ class RetryBudgetExhaustedError : public SimError
 };
 
 /**
+ * The service-layer liveness watchdog observed a scheduler that made
+ * no progress (no admission, no completion, no virtual-time advance)
+ * for its configured bound of iterations — a wedged pipeline.  The
+ * run fails loudly with the queue forensics a post-mortem needs
+ * instead of hanging; never retryable, the wedge is deterministic.
+ */
+class ServiceStallError : public SimError
+{
+  public:
+    ServiceStallError(const std::string &msg, std::uint64_t queueDepth,
+                      std::uint64_t inFlight,
+                      std::uint64_t requestsShed,
+                      std::uint64_t deadlineMisses, std::uint64_t served)
+        : SimError("service scheduler stalled: " + msg + " (queue " +
+                   std::to_string(queueDepth) + ", in-flight " +
+                   std::to_string(inFlight) + ", shed " +
+                   std::to_string(requestsShed) + ", deadline misses " +
+                   std::to_string(deadlineMisses) + ", served " +
+                   std::to_string(served) + ")"),
+          _queueDepth(queueDepth), _inFlight(inFlight),
+          _requestsShed(requestsShed), _deadlineMisses(deadlineMisses),
+          _served(served) {}
+
+    /** Requests sitting in the admission queue at the stall. */
+    std::uint64_t queueDepth() const { return _queueDepth; }
+    /** Requests eligible to issue (past notBefore) at the stall. */
+    std::uint64_t inFlight() const { return _inFlight; }
+    std::uint64_t requestsShed() const { return _requestsShed; }
+    std::uint64_t deadlineMisses() const { return _deadlineMisses; }
+    /** Requests completed before the stall. */
+    std::uint64_t served() const { return _served; }
+
+  private:
+    std::uint64_t _queueDepth;
+    std::uint64_t _inFlight;
+    std::uint64_t _requestsShed;
+    std::uint64_t _deadlineMisses;
+    std::uint64_t _served;
+};
+
+/**
  * The invariant watchdog observed a violated controller invariant
  * (checkInvariants failed mid-run).  Never retryable: the state
  * machine diverged deterministically.

@@ -74,6 +74,15 @@ RecoveryManager::recordSlotFailure(std::uint64_t slotIdx)
 }
 
 int
+RecoveryManager::noteServicePressure(bool active)
+{
+    if (active == _servicePressure)
+        return 0;
+    _servicePressure = active;
+    return active ? 1 : -1;
+}
+
+int
 RecoveryManager::noteStashOccupancy(std::uint64_t realCount)
 {
     if (!_cfg.backpressureEnabled())
@@ -108,6 +117,7 @@ RecoveryManager::saveState(ckpt::Serializer &out) const
         out.u8(_quarantined[i]);
     }
     out.u8(_degraded ? 1 : 0);
+    out.u8(_servicePressure ? 1 : 0);
 }
 
 void
@@ -134,6 +144,7 @@ RecoveryManager::loadState(ckpt::Deserializer &in)
             ++_quarantinedCount;
     }
     _degraded = in.u8() != 0;
+    _servicePressure = in.u8() != 0;
 }
 
 } // namespace sboram

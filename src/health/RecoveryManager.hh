@@ -36,7 +36,14 @@
  * Tier 3 (checkpoint auto-rollback on unrecoverable corruption) lives
  * in sim/System; this class only carries the state the lower tiers
  * need, and serializes it into the snapshot so resumed runs keep
- * their quarantine set and degraded flag (kSnapshotVersion 3).
+ * their quarantine set and latches (kSnapshotVersion 4).
+ *
+ * The online service layer (src/svc) adds a second pressure source:
+ * admission-queue watermarks latch *service pressure*, which joins
+ * tier 2 in suppressing shadow duplication (duplicationSuppressed())
+ * but deliberately does NOT trigger emergency eviction sweeps —
+ * sweeps add path accesses to the external trace, and service load
+ * must never perturb the trace (DESIGN.md §12).
  */
 
 #ifndef SBORAM_HEALTH_RECOVERY_MANAGER_HH
@@ -119,7 +126,28 @@ class RecoveryManager
 
     bool degraded() const { return _degraded; }
 
-    /** Snapshot serde; appended to the ORAM section (version 3). */
+    /**
+     * Latch or release service-layer pressure (admission-queue
+     * watermarks in src/svc).  Returns +1 when this call set the
+     * latch, -1 when it cleared it, 0 when nothing changed.
+     */
+    int noteServicePressure(bool active);
+
+    bool servicePressure() const { return _servicePressure; }
+
+    /**
+     * True when shadow duplication must pause: either the tier-2
+     * stash latch or the service-pressure latch is set.  Suppressing
+     * duplication only changes *which* already-on-path blocks carry
+     * shadow copies — it never adds or removes path accesses, so
+     * both latches are invisible in the external trace.
+     */
+    bool duplicationSuppressed() const
+    {
+        return _degraded || _servicePressure;
+    }
+
+    /** Snapshot serde; appended to the ORAM section (version 4). */
     void saveState(ckpt::Serializer &out) const;
     void loadState(ckpt::Deserializer &in);
 
@@ -131,6 +159,7 @@ class RecoveryManager
     std::vector<std::uint8_t> _quarantined;
     std::uint64_t _quarantinedCount = 0;
     bool _degraded = false;
+    bool _servicePressure = false;
 };
 
 } // namespace sboram

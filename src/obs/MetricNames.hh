@@ -43,6 +43,21 @@ inline constexpr char kMetricDegradedEntries[] =
     "health.degraded_entries";
 /** Tier-3 checkpoint auto-rollbacks performed. */
 inline constexpr char kMetricRollbacks[] = "health.rollbacks";
+/** Service requests admitted into the bounded queue. */
+inline constexpr char kMetricSvcAdmitted[] = "svc.admitted";
+/** Service requests completed (data forwarded to the client). */
+inline constexpr char kMetricSvcCompleted[] = "svc.completed";
+/** Service requests shed with a structured outcome (admission-full
+ *  or deadline-exhausted; never a silent drop). */
+inline constexpr char kMetricSvcShed[] = "svc.shed";
+/** Deadline expiries observed at the scheduler (each either retries
+ *  with PRF-jittered backoff or escalates to a shed). */
+inline constexpr char kMetricSvcDeadlineMisses[] =
+    "svc.deadline_misses";
+/** Deadline-triggered retries re-queued with backoff. */
+inline constexpr char kMetricSvcRetries[] = "svc.retries";
+/** Reads completed by fanning out another reader's path access. */
+inline constexpr char kMetricSvcDedupJoins[] = "svc.dedup_joins";
 
 // --- Gauges (instantaneous, polled at each sample) -------------------
 
@@ -63,11 +78,17 @@ inline constexpr char kMetricQuarantinedSlots[] =
     "health.quarantined_slots";
 /** 1 while tier-2 stash backpressure is engaged, else 0. */
 inline constexpr char kMetricDegraded[] = "health.degraded";
+/** Requests currently waiting in the service admission queue. */
+inline constexpr char kMetricSvcQueueDepth[] = "svc.queue_depth";
+/** 1 while service backpressure (queue watermarks) is latched. */
+inline constexpr char kMetricSvcBackpressure[] = "svc.backpressure";
 
 // --- Histograms ------------------------------------------------------
 
 /** Per-request forward latency (cycles from issue to LLC forward). */
 inline constexpr char kMetricReqLatency[] = "req.latency";
+/** Service latency (cycles from arrival to data forward). */
+inline constexpr char kMetricSvcLatency[] = "svc.latency";
 
 } // namespace obs
 } // namespace sboram

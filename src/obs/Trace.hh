@@ -14,6 +14,8 @@
  *   1  background eviction — evict read/write (X), fault instants
  *      raised during evictions
  *   2  checkpoint — snapshot-commit spans (B/E)
+ *   3  service — request spans (X) from arrival to completion,
+ *      shed / dedup-join / backpressure instants (src/svc)
  *
  * B/E spans on one tid must nest; the session tracks per-tid open
  * depth so tests (and tools/obs_check) can assert balance.  Eviction
@@ -37,6 +39,7 @@ enum : unsigned
     kTrackPipeline = 0,
     kTrackEviction = 1,
     kTrackCheckpoint = 2,
+    kTrackService = 3,
 };
 
 class TraceSession

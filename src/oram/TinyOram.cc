@@ -688,13 +688,14 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             _tree.slotIndex(it->bucket, it->slot);
         slot.clear();
 
-        // Tier-2 degraded mode temporarily suppresses duplication so
-        // shadows do not compete with reals for bucket space while
-        // the stash drains.  Externally invisible: slot contents are
-        // re-encrypted either way.
+        // Tier-2 degraded mode and service-layer backpressure both
+        // temporarily suppress duplication so shadows do not compete
+        // with reals for bucket space.  Externally invisible: slot
+        // contents are re-encrypted either way.
         std::optional<ShadowChoice> choice =
-            _health.degraded() ? std::optional<ShadowChoice>{}
-                               : _policy->selectShadow(it->level);
+            _health.duplicationSuppressed()
+                ? std::optional<ShadowChoice>{}
+                : _policy->selectShadow(it->level);
         // Rule-2 safety re-check: the real copy must be in the tree,
         // strictly below this slot (a buffered shadow's real copy
         // may have stayed in the stash).

@@ -157,6 +157,18 @@ class TinyOram
     const FaultInjector *faultInjector() const { return _faults.get(); }
     /** Recovery-ladder state (quarantine table, degraded latch). */
     const RecoveryManager &health() const { return _health; }
+
+    /**
+     * Service-layer entry into the recovery ladder: admission-queue
+     * watermarks latch/release duplication suppression (but never the
+     * tier-2 eviction sweeps — those would add trace events).
+     * Returns +1 on latch, -1 on release, 0 when unchanged.
+     */
+    int noteServicePressure(bool active)
+    {
+        return _health.noteServicePressure(active);
+    }
+
     /** Blocks currently remapped into the on-chip spare store. */
     std::size_t spareStoreSize() const { return _spare.size(); }
 

@@ -77,6 +77,7 @@ class Future
     get() const
     {
         std::unique_lock<std::mutex> lock(_state->mutex);
+        // sblint:allow-next-line(unbounded-wait): the pool completes or fails every task — the error path stores _state->error and notifies, so this wait always terminates
         _state->ready.wait(lock, [&] {
             return _state->value.has_value() ||
                    _state->error != nullptr;

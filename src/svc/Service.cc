@@ -1,0 +1,646 @@
+#include "svc/Service.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/Errors.hh"
+#include "common/Logging.hh"
+#include "crypto/Prf.hh"
+#include "obs/MetricNames.hh"
+#include "obs/Metrics.hh"
+#include "obs/Observer.hh"
+#include "obs/Trace.hh"
+
+namespace sboram {
+namespace svc {
+
+namespace {
+
+/** Nearest-rank percentile over a sorted sample, q in thousandths. */
+Cycles
+percentile(const std::vector<Cycles> &sorted, std::uint64_t q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::uint64_t n = sorted.size();
+    std::uint64_t k = (n * q + 999) / 1000;
+    if (k == 0)
+        k = 1;
+    return sorted[k - 1];
+}
+
+/**
+ * Deterministic PRF-jittered exponential backoff for a deadline
+ * retry.  Stateless: keyed on the arrival seed and the (seq, attempt)
+ * pair, so resumes and replays draw the same jitter without burning
+ * generator state.
+ */
+Cycles
+retryBackoff(const ServiceConfig &cfg, std::uint64_t seq,
+             unsigned attempt)
+{
+    const Cycles base = std::max<Cycles>(1, cfg.retryBackoffCycles);
+    const unsigned shift = std::min(attempt, 6u);
+    const PrfKey key{0x7376632d72747279ULL, cfg.arrivals.seed};
+    return (base << shift) + prf64(key, seq, attempt) % base;
+}
+
+} // namespace
+
+/** Everything run() needs beyond the controller itself. */
+struct ServicePipeline::Impl
+{
+    ServiceConfig cfg;
+    DramModel dram;
+    ShadowPolicy *shadowPolicy = nullptr;  ///< Owned by the oram.
+    ArrivalGenerator gen;
+
+    /** Injected arrival list (test seam); empty = use the generator. */
+    std::vector<ArrivalRecord> injected;
+    bool useInjected = false;
+    std::uint64_t injectedCursor = 0;
+
+    bool ran = false;
+
+    explicit Impl(const ServiceConfig &c)
+        : cfg(c), dram(c.dramTiming, c.dramGeometry), gen(c.arrivals)
+    {
+    }
+};
+
+ServicePipeline::ServicePipeline(const ServiceConfig &cfg)
+    : _impl(std::make_unique<Impl>(cfg))
+{
+    SB_ASSERT(cfg.scheme != Scheme::Insecure,
+              "the service layer fronts an ORAM controller");
+    SB_ASSERT(cfg.queueCapacity > 0, "queueCapacity must be positive");
+    if (cfg.queueHighWatermark != 0)
+        SB_ASSERT(cfg.queueLowWatermark < cfg.queueHighWatermark &&
+                      cfg.queueHighWatermark <= cfg.queueCapacity,
+                  "queue watermarks must be hysteretic and within "
+                  "capacity (low %llu < high %llu <= cap %llu)",
+                  static_cast<unsigned long long>(
+                      cfg.queueLowWatermark),
+                  static_cast<unsigned long long>(
+                      cfg.queueHighWatermark),
+                  static_cast<unsigned long long>(cfg.queueCapacity));
+    SB_ASSERT(cfg.deadline > 0, "deadline must be positive");
+    SB_ASSERT(cfg.arrivals.addressBlocks <= cfg.oram.dataBlocks,
+              "arrival address space exceeds the ORAM data space");
+
+    std::unique_ptr<DuplicationPolicy> policy;
+    if (cfg.scheme == Scheme::Shadow) {
+        auto sp = std::make_unique<ShadowPolicy>(
+            cfg.shadow, cfg.oram.deriveLevels());
+        _impl->shadowPolicy = sp.get();
+        policy = std::move(sp);
+    }
+    _oram = std::make_unique<TinyOram>(cfg.oram, _impl->dram,
+                                       std::move(policy));
+}
+
+ServicePipeline::~ServicePipeline() = default;
+
+void
+ServicePipeline::setTraceSink(TraceSink *sink)
+{
+    _oram->setTraceSink(sink);
+}
+
+void
+ServicePipeline::injectArrivals(std::vector<ArrivalRecord> arrivals)
+{
+    _impl->injected = std::move(arrivals);
+    _impl->useInjected = true;
+}
+
+ServiceStats
+ServicePipeline::run(ckpt::CheckpointSession *session)
+{
+    SB_ASSERT(!_impl->ran, "a ServicePipeline runs exactly once");
+    _impl->ran = true;
+    SB_ASSERT(session == nullptr || !_impl->useInjected,
+              "checkpointing is unsupported with injected arrivals");
+
+    const ServiceConfig &cfg = _impl->cfg;
+    TinyOram &oram = *_oram;
+    const std::uint64_t total =
+        _impl->useInjected
+            ? static_cast<std::uint64_t>(_impl->injected.size())
+            : cfg.requests;
+
+    ServiceStats stats;
+    std::deque<Request> queue;
+    std::vector<Cycles> latencies;
+    latencies.reserve(std::min<std::uint64_t>(total, 1u << 20));
+    Cycles now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t resolved = 0;
+    bool pressureOn = false;
+
+    // One-record lookahead over the arrival source, so "is the next
+    // arrival due" is a field compare instead of a generator call.
+    ArrivalRecord pending;
+    bool pendingValid = false;
+    std::uint64_t pulled = 0;  ///< Arrivals drawn from the source.
+    auto pull = [&]() {
+        if (pulled >= total) {
+            pendingValid = false;
+            return;
+        }
+        pending = _impl->useInjected
+                      ? _impl->injected[_impl->injectedCursor++]
+                      : _impl->gen.next();
+        ++pulled;
+        pendingValid = true;
+    };
+
+    // Observability: identical artifact bytes whether or not anyone
+    // is watching, like sim/System.
+    std::unique_ptr<obs::RunObserver> observer;
+    obs::RunObserver *obsPtr = nullptr;
+    obs::HistogramSink *latencyHist = nullptr;
+    if (cfg.obs.any()) {
+        observer = std::make_unique<obs::RunObserver>(cfg.obs);
+        obsPtr = observer.get();
+        obsPtr->setTotalAccesses(total);
+        oram.setObserver(obsPtr);
+        if (cfg.obs.metrics) {
+            obs::MetricRegistry &reg = obsPtr->registry();
+            reg.gauge(obs::kMetricSvcAdmitted, [&stats] {
+                return static_cast<double>(stats.admitted);
+            });
+            reg.gauge(obs::kMetricSvcCompleted, [&stats] {
+                return static_cast<double>(stats.completed);
+            });
+            reg.gauge(obs::kMetricSvcShed, [&stats] {
+                return static_cast<double>(stats.requestsShed);
+            });
+            reg.gauge(obs::kMetricSvcDeadlineMisses, [&stats] {
+                return static_cast<double>(stats.deadlineMisses);
+            });
+            reg.gauge(obs::kMetricSvcRetries, [&stats] {
+                return static_cast<double>(stats.retries);
+            });
+            reg.gauge(obs::kMetricSvcDedupJoins, [&stats] {
+                return static_cast<double>(stats.dedupJoins);
+            });
+            reg.gauge(obs::kMetricSvcQueueDepth, [&queue] {
+                return static_cast<double>(queue.size());
+            });
+            reg.gauge(obs::kMetricSvcBackpressure, [&pressureOn] {
+                return pressureOn ? 1.0 : 0.0;
+            });
+            latencyHist = &reg.histogram(
+                obs::kMetricSvcLatency, 64,
+                static_cast<double>(
+                    std::max<Cycles>(1, cfg.deadline / 32)));
+        }
+        obsPtr->sealRegistry();
+    }
+    obs::TraceSession *traceS = obsPtr ? obsPtr->trace() : nullptr;
+
+    auto notePressure = [&]() {
+        if (!pressureOn && cfg.queueHighWatermark != 0 &&
+            queue.size() >= cfg.queueHighWatermark) {
+            pressureOn = true;
+            ++stats.backpressureEntries;
+            oram.noteServicePressure(true);
+            if (_controlLog != nullptr) {
+                ControlRecord rec;
+                rec.kind = ControlRecord::Kind::Pressure;
+                rec.pressureOn = true;
+                _controlLog->push_back(rec);
+            }
+            if (traceS != nullptr)
+                traceS->instant(obs::kTrackService,
+                                "svc_backpressure_enter", now);
+        } else if (pressureOn &&
+                   queue.size() <= cfg.queueLowWatermark) {
+            pressureOn = false;
+            ++stats.backpressureExits;
+            oram.noteServicePressure(false);
+            if (_controlLog != nullptr) {
+                ControlRecord rec;
+                rec.kind = ControlRecord::Kind::Pressure;
+                rec.pressureOn = false;
+                _controlLog->push_back(rec);
+            }
+            if (traceS != nullptr)
+                traceS->instant(obs::kTrackService,
+                                "svc_backpressure_exit", now);
+        }
+    };
+
+    auto shed = [&](std::uint64_t client, Cycles arrival,
+                    ShedReason reason) {
+        (void)client;
+        ++stats.requestsShed;
+        if (reason == ShedReason::AdmissionFull)
+            ++stats.shedAdmission;
+        else
+            ++stats.shedDeadline;
+        ++resolved;
+        if (traceS != nullptr)
+            traceS->instant(obs::kTrackService,
+                            reason == ShedReason::AdmissionFull
+                                ? "shed_admission"
+                                : "shed_deadline",
+                            std::max(now, arrival));
+    };
+
+    auto complete = [&](const Request &r, Cycles at,
+                        bool usedShadow) {
+        ++stats.completed;
+        ++resolved;
+        const Cycles lat = at - r.arrival;
+        latencies.push_back(lat);
+        if (usedShadow)
+            ++stats.shadowEarlyCompletions;
+        if (latencyHist != nullptr)
+            latencyHist->sample(static_cast<double>(lat));
+        if (traceS != nullptr)
+            traceS->complete(obs::kTrackService, "request",
+                             r.arrival, lat);
+    };
+
+    /** Admit every arrival due at or before @p now; returns count. */
+    auto admitDue = [&]() {
+        std::uint64_t admitted = 0;
+        while (pendingValid && pending.arrival <= now) {
+            ++stats.arrivals;
+            if (queue.size() >= cfg.queueCapacity) {
+                shed(pending.client, pending.arrival,
+                     ShedReason::AdmissionFull);
+            } else {
+                Request r;
+                r.seq = nextSeq++;
+                r.client = pending.client;
+                r.addr = pending.addr;
+                r.isWrite = pending.isWrite;
+                r.arrival = pending.arrival;
+                r.notBefore = pending.arrival;
+                r.deadlineAt = pending.arrival + cfg.deadline;
+                queue.push_back(r);
+                ++stats.admitted;
+                ++admitted;
+                stats.maxQueueDepth = std::max<std::uint64_t>(
+                    stats.maxQueueDepth, queue.size());
+            }
+            pull();
+        }
+        if (admitted != 0)
+            notePressure();
+        return admitted;
+    };
+
+    // --- Checkpointing ----------------------------------------------
+    std::uint64_t lastSnapshotAt = 0;
+    auto saveAll = [&](ckpt::SnapshotWriter &w) {
+        ckpt::Serializer &s = w.section(ckpt::kSectionSvc);
+        _impl->gen.saveState(s);
+        s.u8(pendingValid ? 1 : 0);
+        s.u64(pending.arrival);
+        s.u64(pending.client);
+        s.u64(pending.addr);
+        s.u8(pending.isWrite ? 1 : 0);
+        s.u64(pulled);
+        s.u64(now);
+        s.u64(nextSeq);
+        s.u64(resolved);
+        s.u8(pressureOn ? 1 : 0);
+        s.u64(queue.size());
+        for (const Request &r : queue) {
+            s.u64(r.seq);
+            s.u64(r.client);
+            s.u64(r.addr);
+            s.u8(r.isWrite ? 1 : 0);
+            s.u64(r.arrival);
+            s.u64(r.notBefore);
+            s.u64(r.deadlineAt);
+            s.u32(r.attempts);
+        }
+        s.u64(stats.arrivals);
+        s.u64(stats.admitted);
+        s.u64(stats.completed);
+        s.u64(stats.dedupJoins);
+        s.u64(stats.shadowEarlyCompletions);
+        s.u64(stats.requestsShed);
+        s.u64(stats.shedAdmission);
+        s.u64(stats.shedDeadline);
+        s.u64(stats.retries);
+        s.u64(stats.deadlineMisses);
+        s.u64(stats.maxQueueDepth);
+        s.u64(stats.backpressureEntries);
+        s.u64(stats.backpressureExits);
+        s.u64(stats.issuedAccesses);
+        s.vecU64(latencies);
+        oram.saveState(w.section(ckpt::kSectionOram));
+        if (_impl->shadowPolicy != nullptr)
+            _impl->shadowPolicy->saveState(
+                w.section(ckpt::kSectionPolicy));
+        _impl->dram.saveState(w.section(ckpt::kSectionDram));
+        if (obsPtr != nullptr)
+            obsPtr->saveState(w.section(ckpt::kSectionObs));
+    };
+    auto restoreAll = [&](ckpt::SnapshotReader &reader) {
+        // Fetch every section first so a structurally wrong snapshot
+        // is rejected before any state mutates.
+        auto dSvc = reader.section(ckpt::kSectionSvc);
+        auto dOram = reader.section(ckpt::kSectionOram);
+        auto dDram = reader.section(ckpt::kSectionDram);
+        if (_impl->shadowPolicy != nullptr) {
+            auto dPol = reader.section(ckpt::kSectionPolicy);
+            _impl->shadowPolicy->loadState(dPol);
+        }
+        _impl->gen.loadState(dSvc);
+        pendingValid = dSvc.u8() != 0;
+        pending.arrival = dSvc.u64();
+        pending.client = dSvc.u64();
+        pending.addr = dSvc.u64();
+        pending.isWrite = dSvc.u8() != 0;
+        pulled = dSvc.u64();
+        now = dSvc.u64();
+        nextSeq = dSvc.u64();
+        resolved = dSvc.u64();
+        pressureOn = dSvc.u8() != 0;
+        queue.clear();
+        const std::uint64_t depth = dSvc.u64();
+        for (std::uint64_t i = 0; i < depth; ++i) {
+            Request r;
+            r.seq = dSvc.u64();
+            r.client = dSvc.u64();
+            r.addr = dSvc.u64();
+            r.isWrite = dSvc.u8() != 0;
+            r.arrival = dSvc.u64();
+            r.notBefore = dSvc.u64();
+            r.deadlineAt = dSvc.u64();
+            r.attempts = dSvc.u32();
+            queue.push_back(r);
+        }
+        stats.arrivals = dSvc.u64();
+        stats.admitted = dSvc.u64();
+        stats.completed = dSvc.u64();
+        stats.dedupJoins = dSvc.u64();
+        stats.shadowEarlyCompletions = dSvc.u64();
+        stats.requestsShed = dSvc.u64();
+        stats.shedAdmission = dSvc.u64();
+        stats.shedDeadline = dSvc.u64();
+        stats.retries = dSvc.u64();
+        stats.deadlineMisses = dSvc.u64();
+        stats.maxQueueDepth = dSvc.u64();
+        stats.backpressureEntries = dSvc.u64();
+        stats.backpressureExits = dSvc.u64();
+        stats.issuedAccesses = dSvc.u64();
+        latencies = dSvc.vecU64();
+        oram.loadState(dOram);
+        _impl->dram.loadState(dDram);
+        if (obsPtr != nullptr &&
+            reader.hasSection(ckpt::kSectionObs)) {
+            auto dObs = reader.section(ckpt::kSectionObs);
+            obsPtr->loadState(dObs);
+        }
+        lastSnapshotAt = resolved;
+    };
+    auto maybeCheckpoint = [&]() {
+        const bool stopping =
+            ckpt::stopRequested() ||
+            (cfg.interruptAfterResolved != 0 &&
+             resolved >= cfg.interruptAfterResolved);
+        const bool due = session != nullptr &&
+                         cfg.checkpointInterval != 0 &&
+                         resolved - lastSnapshotAt >=
+                             cfg.checkpointInterval;
+        if (!stopping && !due)
+            return;
+        if (session != nullptr) {
+            ckpt::SnapshotWriter writer;
+            saveAll(writer);
+            session->commitSnapshot(writer);
+            lastSnapshotAt = resolved;
+            if (traceS != nullptr)
+                traceS->instant(obs::kTrackCheckpoint, "checkpoint",
+                                now);
+        }
+        if (stopping)
+            throw InterruptedError(
+                "service run stopped after " +
+                    std::to_string(resolved) +
+                    " resolved requests (final checkpoint written)",
+                resolved);
+    };
+
+    bool resumed = false;
+    if (session != nullptr) {
+        if (auto reader = session->loadLatest()) {
+            restoreAll(*reader);
+            resumed = true;
+        }
+    }
+    if (!resumed)
+        pull();
+
+    // --- Scheduler loop ---------------------------------------------
+    std::uint64_t idleIters = 0;
+    auto eligibleCount = [&]() {
+        std::uint64_t n = 0;
+        for (const Request &r : queue)
+            if (r.notBefore <= now)
+                ++n;
+        return n;
+    };
+    while (resolved < total) {
+        bool progress = false;
+        const std::uint64_t before = resolved;
+        if (admitDue() != 0)
+            progress = true;
+        if (resolved != before) {
+            progress = true;  // Admission sheds resolve arrivals.
+            maybeCheckpoint();
+        }
+
+        if (cfg.testForceStall) {
+            // The seam refuses to issue or advance time, so the only
+            // possible outcome is a watchdog trip.
+            progress = false;
+        } else {
+            // Lowest-seq eligible request issues next (seq-sorted
+            // wait list; the queue is already in seq order).
+            std::size_t pick = queue.size();
+            for (std::size_t i = 0; i < queue.size(); ++i) {
+                if (queue[i].notBefore <= now) {
+                    pick = i;
+                    break;
+                }
+            }
+            if (pick == queue.size()) {
+                // Nothing runnable: jump to the next event (arrival
+                // or retry release).  No event and an empty stream
+                // means everything is resolved already.
+                Cycles next = kNoCycles;
+                if (pendingValid)
+                    next = pending.arrival;
+                for (const Request &r : queue)
+                    next = std::min(next, r.notBefore);
+                if (next != kNoCycles && next > now) {
+                    now = next;
+                    progress = true;
+                }
+            } else if (now > queue[pick].deadlineAt) {
+                // Expired at the head of the runnable set: retry with
+                // jittered backoff while the budget lasts, then shed
+                // — a structured outcome either way.
+                Request &r = queue[pick];
+                ++stats.deadlineMisses;
+                if (r.attempts >= cfg.maxRetries) {
+                    shed(r.client, r.arrival,
+                         ShedReason::DeadlineExhausted);
+                    queue.erase(queue.begin() +
+                                static_cast<std::ptrdiff_t>(pick));
+                    notePressure();
+                } else {
+                    ++r.attempts;
+                    ++stats.retries;
+                    r.notBefore =
+                        now + retryBackoff(cfg, r.seq, r.attempts);
+                    r.deadlineAt = r.notBefore + cfg.deadline;
+                }
+                progress = true;
+                maybeCheckpoint();
+            } else {
+                // Issue the pick; one path access serves the primary
+                // and fans out to every queued same-address reader.
+                const Request r = queue[pick];
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+                if (_controlLog != nullptr) {
+                    ControlRecord rec;
+                    rec.kind = ControlRecord::Kind::Access;
+                    rec.addr = r.addr;
+                    rec.isWrite = r.isWrite;
+                    _controlLog->push_back(rec);
+                }
+                const Cycles issueAt = now;
+                const AccessResult res = oram.access(
+                    r.addr, r.isWrite ? Op::Write : Op::Read,
+                    issueAt);
+                ++stats.issuedAccesses;
+                now = std::max(now, res.completeAt);
+                complete(r, r.isWrite ? res.completeAt : res.forwardAt,
+                         res.usedShadow);
+                if (!r.isWrite) {
+                    for (auto it = queue.begin();
+                         it != queue.end();) {
+                        if (!it->isWrite && it->addr == r.addr) {
+                            ++stats.dedupJoins;
+                            if (traceS != nullptr)
+                                traceS->instant(obs::kTrackService,
+                                                "dedup_join",
+                                                res.forwardAt);
+                            complete(*it, res.forwardAt,
+                                     res.usedShadow);
+                            it = queue.erase(it);
+                        } else {
+                            ++it;
+                        }
+                    }
+                }
+                notePressure();
+                if (obsPtr != nullptr)
+                    obsPtr->onAccessBoundary(resolved, now, issueAt,
+                                             res.forwardAt);
+                progress = true;
+                maybeCheckpoint();
+            }
+        }
+
+        if (progress) {
+            idleIters = 0;
+        } else if (++idleIters > cfg.watchdogBound) {
+            throw ServiceStallError(
+                "no admission, completion or time advance for " +
+                    std::to_string(idleIters) + " scheduler "
+                    "iterations at cycle " + std::to_string(now),
+                queue.size(), eligibleCount(), stats.requestsShed,
+                stats.deadlineMisses, stats.completed);
+        }
+    }
+
+    if (pressureOn) {
+        // Release the latch so the final controller state matches a
+        // pressure-balanced control sequence.
+        pressureOn = false;
+        ++stats.backpressureExits;
+        oram.noteServicePressure(false);
+        if (_controlLog != nullptr) {
+            ControlRecord rec;
+            rec.kind = ControlRecord::Kind::Pressure;
+            rec.pressureOn = false;
+            _controlLog->push_back(rec);
+        }
+    }
+
+    stats.finishTime = now;
+    stats.oram = oram.stats();
+    if (!latencies.empty()) {
+        std::vector<Cycles> sorted = latencies;
+        std::sort(sorted.begin(), sorted.end());
+        stats.latencyP50 = percentile(sorted, 500);
+        stats.latencyP99 = percentile(sorted, 990);
+        stats.latencyP999 = percentile(sorted, 999);
+        stats.latencyMax = sorted.back();
+        stats.latencyMean =
+            static_cast<double>(std::accumulate(
+                sorted.begin(), sorted.end(),
+                static_cast<std::uint64_t>(0))) /
+            static_cast<double>(sorted.size());
+    }
+
+    if (session != nullptr)
+        session->removeSnapshots();
+    if (obsPtr != nullptr) {
+        obsPtr->finalSample(resolved, now);
+        obsPtr->close();
+    }
+    return stats;
+}
+
+ServiceStats
+runService(const ServiceConfig &cfg, ckpt::CheckpointSession *session)
+{
+    ServicePipeline pipeline(cfg);
+    return pipeline.run(session);
+}
+
+std::uint64_t
+serviceConfigFingerprint(const ServiceConfig &cfg)
+{
+    // Reuse the SystemConfig fingerprint for the embedded memory
+    // system so the two stay in lockstep field-for-field, then append
+    // the service-only knobs.  Cadence and observability fields
+    // (checkpointInterval, interruptAfterResolved, testForceStall,
+    // obs) are deliberately omitted: any cadence resumes to the same
+    // outcome.
+    SystemConfig sys;
+    sys.scheme = cfg.scheme;
+    sys.oram = cfg.oram;
+    sys.shadow = cfg.shadow;
+    sys.dramTiming = cfg.dramTiming;
+    sys.dramGeometry = cfg.dramGeometry;
+
+    ckpt::Serializer s;
+    s.u64(configFingerprint(sys));
+    fingerprintArrivals(s, cfg.arrivals);
+    s.u64(cfg.requests);
+    s.u64(cfg.queueCapacity);
+    s.u64(cfg.queueHighWatermark);
+    s.u64(cfg.queueLowWatermark);
+    s.u64(cfg.deadline);
+    s.u32(cfg.maxRetries);
+    s.u64(cfg.retryBackoffCycles);
+    s.u64(cfg.watchdogBound);
+    return ckpt::fnv1a(s.buffer().data(), s.buffer().size());
+}
+
+} // namespace svc
+} // namespace sboram

@@ -597,6 +597,90 @@ TEST(SbLintRules, SwallowedExceptionAcceptsTestFailureMacros)
                        Rule::SwallowedException));
 }
 
+// ---------------------------------------------------------------------
+// unbounded-wait
+// ---------------------------------------------------------------------
+
+TEST(SbLintRules, UnboundedWaitFiresOnCondvarWait)
+{
+    const auto fs = lintOne("src/svc/X.cc",
+                            "void f(std::condition_variable &cv,\n"
+                            "       std::unique_lock<std::mutex> &l) {\n"
+                            "    cv.wait(l, [] { return ready; });\n"
+                            "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::UnboundedWait);
+    EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(SbLintRules, UnboundedWaitFiresOnFutureGet)
+{
+    EXPECT_TRUE(fired(lintOne("src/sim/X.cc",
+                              "int f() {\n"
+                              "    std::future<int> fut = go();\n"
+                              "    return fut.get();\n"
+                              "}\n"),
+                      Rule::UnboundedWait));
+    // The repo's own Future template counts too.
+    EXPECT_TRUE(fired(lintOne("src/sim/X.cc",
+                              "int f() {\n"
+                              "    Future<int> fut = submit();\n"
+                              "    return fut.get();\n"
+                              "}\n"),
+                      Rule::UnboundedWait));
+}
+
+TEST(SbLintRules, UnboundedWaitAcceptsDeadlineVariants)
+{
+    // wait_for / wait_until carry a deadline — that is the fix the
+    // rule is pushing toward, so they must not fire.
+    EXPECT_FALSE(fired(lintOne("src/svc/X.cc",
+                               "void f(std::condition_variable &cv,\n"
+                               "       std::unique_lock<std::mutex> &l) {\n"
+                               "    cv.wait_for(l, t, [] { return ready; });\n"
+                               "    cv.wait_until(l, d, [] { return ready; });\n"
+                               "}\n"),
+                       Rule::UnboundedWait));
+}
+
+TEST(SbLintRules, UnboundedWaitIgnoresNonFutureGet)
+{
+    // .get() on anything not declared as a future in the same file
+    // (smart pointers, optionals) is out of scope.
+    EXPECT_FALSE(fired(lintOne("src/mem/X.cc",
+                               "void f(std::shared_ptr<int> p,\n"
+                               "       std::optional<int> o) {\n"
+                               "    use(p.get());\n"
+                               "    use(o.value());\n"
+                               "}\n"),
+                       Rule::UnboundedWait));
+}
+
+TEST(SbLintRules, UnboundedWaitScopedToSrc)
+{
+    // Tests and benches may block forever; ctest timeouts bound them.
+    EXPECT_FALSE(fired(lintOne("tests/sim/X.cc",
+                               "void f(std::future<int> &fut,\n"
+                               "       std::condition_variable &cv,\n"
+                               "       std::unique_lock<std::mutex> &l) {\n"
+                               "    cv.wait(l, [] { return ready; });\n"
+                               "    (void)fut.get();\n"
+                               "}\n"),
+                       Rule::UnboundedWait));
+}
+
+TEST(SbLintSuppress, UnboundedWaitSuppressionWorks)
+{
+    EXPECT_FALSE(fired(lintOne(
+        "src/sim/X.cc",
+        "void f(std::condition_variable &cv,\n"
+        "       std::unique_lock<std::mutex> &l) {\n"
+        "    // sblint:allow-next-line(unbounded-wait): dtor notifies\n"
+        "    cv.wait(l, [] { return stop; });\n"
+        "}\n"),
+                       Rule::UnboundedWait));
+}
+
 TEST(SbLintSuppress, SwallowedExceptionSuppressionWorks)
 {
     const auto fs = lintOne(

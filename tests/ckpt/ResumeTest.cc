@@ -22,6 +22,7 @@
 #include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "sim/ExperimentRunner.hh"
+#include "svc/Service.hh"
 
 using namespace sboram;
 
@@ -598,6 +599,134 @@ TEST_F(CkptResume, FingerprintIgnoresCadenceButSeesSemantics)
     SystemConfig shadow = base;
     shadow.shadow.driCounterBits = 4;
     EXPECT_NE(configFingerprint(base), configFingerprint(shadow));
+}
+
+namespace {
+
+/** Bursty, shedding, fault-ridden service point: the snapshot must
+ *  carry the arrival cursor, the admitted-but-unissued queue, the
+ *  pressure latch and the in-flight retry state. */
+svc::ServiceConfig
+serviceResumeConfig()
+{
+    svc::ServiceConfig cfg;
+    cfg.oram.dataBlocks = 1 << 10;
+    cfg.oram.posMapMode = PosMapMode::OnChip;
+    cfg.oram.stashCapacity = 200;
+    cfg.oram.seed = 7;
+    cfg.oram.payloadEnabled = true;
+    cfg.oram.fault.rate = 0.05;
+    cfg.oram.fault.seed = 97;
+    cfg.oram.fault.onUnrecoverable = UnrecoverablePolicy::Count;
+    cfg.shadow.mode = ShadowMode::DynamicPartition;
+    cfg.arrivals.kind = ArrivalKind::Bursty;
+    cfg.arrivals.clients = 1000;
+    cfg.arrivals.addressBlocks = 256;
+    cfg.arrivals.meanGapCycles = 400.0;
+    cfg.arrivals.burstFactor = 6.0;
+    cfg.arrivals.burstOnCycles = 60'000;
+    cfg.arrivals.burstOffCycles = 120'000;
+    cfg.arrivals.seed = 21;
+    cfg.requests = 600;
+    cfg.queueCapacity = 32;
+    cfg.queueHighWatermark = 24;
+    cfg.queueLowWatermark = 8;
+    cfg.deadline = 30'000;
+    cfg.maxRetries = 1;
+    return cfg;
+}
+
+void
+expectSameServiceStats(const svc::ServiceStats &a,
+                       const svc::ServiceStats &b)
+{
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dedupJoins, b.dedupJoins);
+    EXPECT_EQ(a.shadowEarlyCompletions, b.shadowEarlyCompletions);
+    EXPECT_EQ(a.requestsShed, b.requestsShed);
+    EXPECT_EQ(a.shedAdmission, b.shedAdmission);
+    EXPECT_EQ(a.shedDeadline, b.shedDeadline);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+    EXPECT_EQ(a.backpressureEntries, b.backpressureEntries);
+    EXPECT_EQ(a.backpressureExits, b.backpressureExits);
+    EXPECT_EQ(a.issuedAccesses, b.issuedAccesses);
+    EXPECT_EQ(a.finishTime, b.finishTime);
+    EXPECT_EQ(a.latencyP50, b.latencyP50);
+    EXPECT_EQ(a.latencyP99, b.latencyP99);
+    EXPECT_EQ(a.latencyP999, b.latencyP999);
+    EXPECT_EQ(a.latencyMax, b.latencyMax);
+    EXPECT_EQ(a.latencyMean, b.latencyMean);
+    EXPECT_EQ(a.oram.pathReads, b.oram.pathReads);
+    EXPECT_EQ(a.oram.pathWrites, b.oram.pathWrites);
+    EXPECT_EQ(a.oram.shadowForwards, b.oram.shadowForwards);
+    EXPECT_EQ(a.oram.shadowsWritten, b.oram.shadowsWritten);
+    EXPECT_EQ(a.oram.faultsInjected, b.oram.faultsInjected);
+    EXPECT_EQ(a.oram.faultsDetected, b.oram.faultsDetected);
+    EXPECT_EQ(a.oram.faultsRecovered, b.oram.faultsRecovered);
+    EXPECT_EQ(a.oram.faultsUnrecoverable, b.oram.faultsUnrecoverable);
+}
+
+} // namespace
+
+TEST_F(CkptResume, ServiceRunKilledMidStreamResumesBitIdentically)
+{
+    // The service snapshot (kSectionSvc at kSnapshotVersion 4) must
+    // carry everything the scheduler is: generator cursor, lookahead
+    // record, queue with per-request retry state, pressure latch,
+    // stats and the latency sample — a run interrupted mid-overload
+    // and resumed matches the straight run stat for stat.
+    const svc::ServiceConfig cfg = serviceResumeConfig();
+    const svc::ServiceStats s0 = svc::runService(cfg);
+    // The interruption point below lands mid-campaign: sheds and
+    // backpressure must be live in the final numbers or the snapshot
+    // never saw them in flight.
+    EXPECT_GT(s0.requestsShed, 0u);
+    EXPECT_GT(s0.backpressureEntries, 0u);
+    EXPECT_GT(s0.oram.faultsInjected, 0u);
+
+    TempDir dir;
+    const std::uint64_t key = svc::serviceConfigFingerprint(cfg);
+    {
+        svc::ServiceConfig interrupted = cfg;
+        interrupted.checkpointInterval = 50;
+        interrupted.interruptAfterResolved = 250;
+        ckpt::CheckpointSession session(dir.path(), key);
+        EXPECT_THROW(svc::runService(interrupted, &session),
+                     InterruptedError);
+    }
+    // The resumed config clears the interrupt seam (it already
+    // fired); the fingerprint ignores both cadence fields, so the
+    // session still addresses the same snapshot files.
+    svc::ServiceConfig resumed = cfg;
+    resumed.checkpointInterval = 50;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameServiceStats(s0, svc::runService(resumed, &session));
+}
+
+TEST_F(CkptResume, ServiceStopRequestWritesFinalSnapshotThenResumes)
+{
+    const svc::ServiceConfig cfg = serviceResumeConfig();
+    const svc::ServiceStats s0 = svc::runService(cfg);
+
+    TempDir dir;
+    const std::uint64_t key = svc::serviceConfigFingerprint(cfg);
+    {
+        svc::ServiceConfig interrupted = cfg;
+        interrupted.checkpointInterval = 100;
+        ckpt::CheckpointSession session(dir.path(), key);
+        ckpt::requestStop();  // What SIGINT/SIGTERM would set.
+        EXPECT_THROW(svc::runService(interrupted, &session),
+                     InterruptedError);
+        ckpt::clearStopForTesting();
+    }
+    svc::ServiceConfig resumed = cfg;
+    resumed.checkpointInterval = 100;
+    ckpt::CheckpointSession session(dir.path(), key);
+    expectSameServiceStats(s0, svc::runService(resumed, &session));
 }
 
 TEST_F(CkptResume, UnwritableCheckpointDirIsOneLineFatal)

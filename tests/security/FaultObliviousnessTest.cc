@@ -24,6 +24,7 @@
 #include "common/Rng.hh"
 #include "security/Distinguisher.hh"
 #include "security/TraceRecorder.hh"
+#include "svc/Service.hh"
 
 using namespace sboram;
 using namespace sboram::test;
@@ -241,6 +242,86 @@ TEST_P(FaultObliviousness, ScanAndCyclicStayInseparableUnderFaults)
     const double z = meanDistinguisherZ(scanRates, cyclicRates);
     EXPECT_LT(std::abs(z), 4.0)
         << "fault recovery made the traces separable";
+}
+
+TEST_P(FaultObliviousness, ServiceSheddingStaysInseparableUnderFaults)
+{
+    // The service layer stacks scheduling machinery on top of the
+    // controller: bounded admission, deadline retries, structured
+    // shedding and pressure-driven duplication suppression.  All of
+    // it is timing-driven — shed decisions are a function of queue
+    // depth and deadlines, never of which address a request names —
+    // so an overloaded, fault-ridden run must leave the RRWP-k
+    // distinguisher unable to separate a scan stream from a cyclic
+    // one even while a sizable fraction of each is being shed.
+    auto collectRates = [&](const std::vector<Addr> &addrs) {
+        svc::ServiceConfig cfg;
+        cfg.oram = faultyConfig(0.02);
+        cfg.oram.seed = 59;
+        armLadder(cfg.oram);
+        cfg.shadow = modeConfig(GetParam());
+        cfg.arrivals.seed = 31;
+        cfg.arrivals.clients = 64;
+        cfg.arrivals.addressBlocks = 1 << 10;
+        cfg.requests = addrs.size();
+        cfg.queueCapacity = 32;
+        cfg.queueHighWatermark = 24;
+        cfg.queueLowWatermark = 8;
+        cfg.deadline = 25'000;
+        cfg.maxRetries = 1;
+
+        // Open-loop pressure: alternating 300-request blocks of burst
+        // (gaps far below the per-access service time, so the bounded
+        // queue fills and admission sheds) and drain (gaps far above
+        // it, so the backlog completes).  The cadence is identical for
+        // both streams, so any divergence in shed decisions could only
+        // come from the address pattern — exactly what must not
+        // happen.
+        std::vector<ArrivalRecord> stream(addrs.size());
+        Cycles t = 0;
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            t += (i / 300) % 2 == 0 ? 60 : 1200;
+            stream[i].arrival = t;
+            stream[i].client = i % 64;
+            stream[i].addr = addrs[i];
+            stream[i].isWrite = false;
+        }
+
+        svc::ServicePipeline pipe(cfg);
+        TraceRecorder rec;
+        pipe.setTraceSink(&rec);
+        pipe.injectArrivals(std::move(stream));
+        const svc::ServiceStats st = pipe.run();
+
+        // Overload and faults must both have been live, and the
+        // pipeline fail-operational throughout.
+        EXPECT_GT(st.requestsShed, 0u);
+        EXPECT_GT(st.oram.faultsRecovered, 0u);
+        EXPECT_DOUBLE_EQ(st.availability(), 1.0);
+
+        std::vector<double> rates;
+        const auto &ev = rec.events();
+        const std::size_t chunk = 200;
+        for (std::size_t s = 0; s + chunk <= ev.size(); s += chunk) {
+            std::vector<TraceEvent> part(ev.begin() + s,
+                                         ev.begin() + s + chunk);
+            rates.push_back(rrwpRate(part, 32));
+        }
+        return rates;
+    };
+
+    std::vector<Addr> scan(3000), cyclic(3000);
+    for (std::size_t i = 0; i < scan.size(); ++i) {
+        scan[i] = i % (1 << 10);
+        cyclic[i] = i % 600;  // Beyond the stash; see TraceSecurity.
+    }
+    auto scanRates = collectRates(scan);
+    auto cyclicRates = collectRates(cyclic);
+    ASSERT_GE(scanRates.size(), 5u);
+    ASSERT_GE(cyclicRates.size(), 5u);
+    const double z = meanDistinguisherZ(scanRates, cyclicRates);
+    EXPECT_LT(std::abs(z), 4.0)
+        << "overload shedding made the traces separable";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -64,6 +64,11 @@ const std::vector<RuleInfo> kRegistry = {
      "the error (current_exception / test-failure macro) — a silently "
      "swallowed exception hides real failures; handle it or carry an "
      "sblint:allow justification"},
+    {Rule::UnboundedWait, "unbounded-wait",
+     "condition-variable wait() or future get() with no deadline or "
+     "stop condition in src/ — a lost notification hangs the process "
+     "instead of failing; use wait_for/wait_until with a stop "
+     "predicate, or justify why the wakeup is guaranteed"},
     {Rule::BadSuppression, "bad-suppression",
      "malformed sblint suppression: unknown rule name or missing "
      "justification text"},
@@ -408,6 +413,40 @@ collectUnorderedVars(const std::vector<Tok> &t)
         if (close == std::string::npos)
             continue;
         // Skip ref/pointer/cv tokens between the type and the name.
+        std::size_t j = close + 1;
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "const"))
+            ++j;
+        if (j < t.size() && isIdent(t[j].text)) {
+            // An identifier followed by '(' is a function name.
+            if (j + 1 >= t.size() || t[j + 1].text != "(")
+                names.insert(t[j].text);
+        }
+    }
+    return names;
+}
+
+/**
+ * Variable names declared as std::future/std::shared_future (or the
+ * ExperimentRunner's Future) — the receivers whose .get() blocks
+ * without a deadline.  Collected per file: future-typed locals are
+ * short-lived, and a cross-file union would let an unrelated `f`
+ * elsewhere turn every `f.get()` into a finding.
+ */
+std::set<std::string>
+collectFutureVars(const std::vector<Tok> &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text != "future" && t[i].text != "shared_future" &&
+            t[i].text != "Future")
+            continue;
+        if (i + 1 >= t.size() || t[i + 1].text != "<")
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
         std::size_t j = close + 1;
         while (j < t.size() &&
                (t[j].text == "&" || t[j].text == "*" ||
@@ -981,6 +1020,47 @@ scanSwallowedException(const std::string &path,
     }
 }
 
+/**
+ * unbounded-wait: a condition-variable wait() or a future get() in
+ * src/ blocks with no deadline and no stop condition the scanner can
+ * see — if the producer dies or the notify is lost, the process hangs
+ * instead of failing.  wait_for/wait_until are distinct tokens and
+ * pass; non-future get() calls (unique_ptr::get, Deserializer getters)
+ * are excluded by requiring a future-typed receiver.  The service
+ * layer exists precisely so stalls surface as ServiceStallError, so
+ * every surviving blocking wait needs a written justification.
+ */
+void
+scanUnboundedWait(const std::string &path, const std::vector<Tok> &t,
+                  const std::set<std::string> &futureVars,
+                  std::vector<Finding> &out)
+{
+    if (!startsWith(path, "src/"))
+        return;
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+        if (t[i - 1].text != "." && t[i - 1].text != "->")
+            continue;
+        if (t[i + 1].text != "(")
+            continue;
+        if (t[i].text == "wait") {
+            out.push_back(
+                {path, t[i].line, Rule::UnboundedWait,
+                 "wait() with no deadline — a lost notification "
+                 "blocks forever; use wait_for/wait_until with a stop "
+                 "condition, or justify why the wakeup is guaranteed"});
+        } else if (t[i].text == "get" && i >= 2 &&
+                   isIdent(t[i - 2].text) &&
+                   futureVars.count(t[i - 2].text) != 0) {
+            out.push_back(
+                {path, t[i].line, Rule::UnboundedWait,
+                 "future '" + t[i - 2].text +
+                     "'.get() blocks with no deadline — a dead "
+                     "producer hangs the caller; bound the wait or "
+                     "justify why completion is guaranteed"});
+        }
+    }
+}
+
 bool
 pathEndsWith(const std::string &path, const std::string &suffix)
 {
@@ -1179,6 +1259,7 @@ lintSources(const std::vector<SourceFile> &sources)
         scanUntrackedMetric(path, t, metricNames, raw);
         scanHotPathAlloc(path, t, unorderedVars, raw);
         scanSwallowedException(path, t, raw);
+        scanUnboundedWait(path, t, collectFutureVars(t), raw);
 
         const Suppressions sup =
             collectSuppressions(path, stripped[f]);

@@ -50,6 +50,7 @@ enum class Rule : std::uint8_t
     UntrackedMetric,      ///< untracked-metric
     HotPathAlloc,         ///< hot-path-alloc
     SwallowedException,   ///< swallowed-exception
+    UnboundedWait,        ///< unbounded-wait
     BadSuppression,       ///< bad-suppression (meta rule; never allowed)
 };
 

@@ -31,7 +31,8 @@ fi
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DSB_SANITIZE=tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_sim chaos_storm -j >/dev/null
+cmake --build "$BUILD_DIR" \
+    --target test_sim test_svc chaos_storm service_storm -j >/dev/null
 
 # halt_on_error turns any report into a non-zero exit; the runner and
 # system suites cover defer/deferRetry, sweeps, trace caching and
@@ -41,6 +42,13 @@ SB_BENCH_THREADS=8 \
     "$BUILD_DIR/tests/test_sim" \
     --gtest_filter='ExperimentRunner*:System*'
 
+# The service scheduler is lock-light by ownership — each pipeline is
+# single-threaded — so TSan vets exactly the claim that nothing leaks
+# between concurrently running points.
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+SB_BENCH_THREADS=8 \
+    "$BUILD_DIR/tests/test_svc"
+
 # The chaos harness fans every (profile, policy, phase, pass) out to
 # the pool, each with its own checkpoint session and rollback loop —
 # the widest concurrent use of the runner in the tree.  Short phases
@@ -49,3 +57,12 @@ SB_BENCH_THREADS=8 \
     TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     SB_BENCH_MISSES=400 SB_BENCH_THREADS=8 \
     ./chaos_storm >/dev/null)
+
+# The latency storm does the same for the service pipeline: two passes
+# per point, all points concurrently on the pool, futures carrying the
+# whole ServiceStats across threads.  The shortened run diverges from
+# the committed full-length baseline, so the regression guard is off.
+(cd "$BUILD_DIR/bench" &&
+    TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    SB_BENCH_MISSES=400 SB_BENCH_THREADS=8 SB_BENCH_REGRESSION=0 \
+    ./service_storm >/dev/null)
