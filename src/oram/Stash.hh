@@ -298,8 +298,10 @@ class Stash
     void
     recyclePayload(StashEntry &entry)
     {
-        // sblint:allow-next-line(secret-branch): branches on buffer presence (payload-mode config), never on payload contents
-        if (_recycle && !entry.payload.empty())
+        // Unconditional hand-off: release() itself drops capacity-0
+        // buffers, so gating on the entry's buffer state here would
+        // be a data-dependent branch for nothing.
+        if (_recycle)
             _recycle->release(std::move(entry.payload));
     }
 

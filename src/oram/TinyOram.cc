@@ -87,9 +87,13 @@ void
 TinyOram::patternPayloadInto(Addr addr, std::uint32_t version,
                              std::vector<std::uint64_t> &out) const
 {
-    out.resize(_cfg.blockBytes / 8);
+    // Loop bound from the config, not from the (secret) payload
+    // buffer being overwritten — same length, but structurally
+    // independent of block contents.
+    const std::size_t words = _cfg.blockBytes / 8;
+    out.resize(words);
     PrfKey key{0xfeedfacecafebeefULL, 0x0123456789abcdefULL};
-    for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::size_t i = 0; i < words; ++i)
         out[i] = prf64(key, (addr << 20) ^ version, i);
 }
 
@@ -186,7 +190,10 @@ TinyOram::maybeInjectFaults(LeafLabel leaf)
 
     // Candidate targets: occupied off-chip slots on this path (the
     // treetop lives on-chip and is not exposed to DRAM faults).
-    std::vector<std::uint64_t> targets;
+    // Member scratch: this runs inside the pathRead hot path, so the
+    // candidate list reuses its capacity across accesses.
+    std::vector<std::uint64_t> &targets = _faultTargetScratch;
+    targets.clear();
     targets.reserve((_geo.leafLevel + 1 - _cfg.treetopLevels) *
                     _cfg.slotsPerBucket);
     for (unsigned level = _cfg.treetopLevels; level <= _geo.leafLevel;
@@ -408,11 +415,8 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                     if (consume)
                         _spare.erase(sp);
                 }
-                // sblint:allow-next-line(secret-branch): branches on the MAC verdict (fault events are architecturally visible), not payload bits
                 else if (!_codec.verifyDecrypt(
-                        _tree.cipherView(slotIdx),
-                        // sblint:allow-next-line(secret-branch): same MAC-verdict branch as annotated above
-                        e.payload)) {
+                        _tree.cipherView(slotIdx), e.payload)) {
                     ++_stats.faultsDetected;
                     if (obs::TraceSession *t =
                             _obs ? _obs->trace() : nullptr)
@@ -438,11 +442,8 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                         _tree.eraseCipher(slotIdx);
                         continue;
                     }
-                    // sblint:allow-next-line(secret-branch): branches on recovery success (a public fault-handling outcome), not payload bits
-                    if (recoverRealPayload(
-                            slot, level, leaf,
-                            // sblint:allow-next-line(secret-branch): same recovery-outcome branch as annotated above
-                            e.payload)) {
+                    if (recoverRealPayload(slot, level, leaf,
+                                           e.payload)) {
                         ++_stats.faultsRecovered;
                         if (obs::TraceSession *t =
                                 _obs ? _obs->trace() : nullptr)
@@ -454,6 +455,7 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                                 _obs ? _obs->trace() : nullptr)
                             t->instant(_obsPathTrack,
                                        "fault_unrecoverable", ready);
+                        // sblint:allow-next-line(hot-path-alloc): unrecoverable-fault exit — formats the fatal diagnostic once, then the ladder unwinds; never on a healthy access
                         handleUnrecoverable(slot, b, level,
                                             e.payload);
                     }
@@ -474,6 +476,7 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                 else
                     _payloadPool.release(std::move(e.payload));
             } else {
+                // sblint:allow-next-line(hot-path-alloc): stash hash-map churn models the on-chip CAM — bounded by stash capacity, inside the controller, off the timed DRAM path
                 _stash.insert(std::move(e));
             }
 
@@ -520,8 +523,14 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
         std::uint32_t &ref = _placedIdx[addr];
         if (ref == 0) {
             const std::size_t idx = _placedAddrs.size();
-            if (_placedBufs.size() <= idx)
+            // Grow the cache against its own high-water counter, not
+            // _placedBufs.size(): the buffers hold payload words, and
+            // occupancy is placement bookkeeping that must stay
+            // independent of them.
+            if (_placedBufsMade <= idx) {
                 _placedBufs.emplace_back();
+                ++_placedBufsMade;
+            }
             _placedAddrs.push_back(addr);
             ref = static_cast<std::uint32_t>(idx) + 1;
         }
@@ -651,6 +660,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             placed.wasShadow = entry->isShadow();
             _policy->onBlockPlaced(placed);
 
+            // sblint:allow-next-line(hot-path-alloc): stash hash-map churn models the on-chip CAM — bounded by stash capacity, inside the controller, off the timed DRAM path
             _stash.remove(cand.addr);
             cand.placed = true;
             ++slotCursor;
@@ -711,6 +721,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             slot.version = choice->version;
             ++_stats.shadowsWritten;
             if (choice->releaseStashCopy)
+                // sblint:allow-next-line(hot-path-alloc): stash hash-map churn models the on-chip CAM — bounded by stash capacity, inside the controller, off the timed DRAM path
                 _stash.dropShadowOf(choice->addr);
             markBufferedPlaced(choice->addr);
             if (_cfg.payloadEnabled) {
@@ -735,6 +746,11 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
         _encPlains.clear();
         _encRefs.clear();
         const bool qActive = _health.quarantineActive();
+        // Counted alongside the pushes: the batch length is placement
+        // bookkeeping (pending placements minus quarantine parks, all
+        // trace-visible quantities), so the size/branch below must
+        // not be derived from a buffer that holds payload pointers.
+        std::size_t n = 0;
         for (const PendingEncrypt &pe : _pendingEnc) {
             // Tier-1 spare-store remap: a placement into a
             // quarantined slot parks its plaintext on chip instead of
@@ -752,8 +768,8 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
             }
             _encPlains.push_back(_placedBufs[pe.bufIdx].data());
             _encRefs.push_back(_tree.cipherRef(pe.slotIdx));
+            ++n;
         }
-        const std::size_t n = _encPlains.size();
         if (n > 0) {
             // sblint:allow-next-line(hot-path-alloc): pool-backed scratch; allocation-free once the pool is warm
             std::vector<std::uint64_t> ks =
@@ -785,6 +801,7 @@ TinyOram::pathWrite(LeafLabel leaf, Cycles startTime)
     for (std::size_t i = 0; i < _evictShadows.size(); ++i) {
         StashEntry &e = _evictShadows[i];
         if (!_evictShadowPlaced[i])
+            // sblint:allow-next-line(hot-path-alloc): stash hash-map churn models the on-chip CAM — bounded by stash capacity, inside the controller, off the timed DRAM path
             _stash.insert(std::move(e));
         else
             _payloadPool.release(std::move(e.payload));
@@ -1319,7 +1336,6 @@ TinyOram::loadState(ckpt::Deserializer &in)
             throw CkptMismatchError(
                 "spare-store slot index out of range");
         std::vector<std::uint64_t> payload = in.vecU64();
-        // sblint:allow-next-line(secret-branch): deserialization shape validation on the vector length, not payload bits
         if (payload.size() != words)
             throw CkptMismatchError(
                 "spare-store payload size mismatch");

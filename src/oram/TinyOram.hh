@@ -407,6 +407,7 @@ class TinyOram
     std::vector<BucketIndex> _pathBuckets;   ///< Root-first path buckets.
     std::vector<DummySlot> _dummyScratch;
     std::vector<const StashEntry *> _stashShadowScratch;
+    std::vector<std::uint64_t> _faultTargetScratch;
     Stash::EvictionPlan _planScratch;
     /**
      * Payloads of this path write's duplication candidates.  Indexed
@@ -420,6 +421,11 @@ class TinyOram
     std::vector<std::uint32_t> _placedIdx;
     std::vector<Addr> _placedAddrs;
     std::vector<std::vector<std::uint64_t>> _placedBufs;
+    /** High-water count of constructed _placedBufs entries — the
+     *  structural mirror of _placedBufs.size(), kept separate so
+     *  cache-growth decisions never read the payload-bearing
+     *  vector. */
+    std::size_t _placedBufsMade = 0;
     /** Slots awaiting the batched re-encryption, in the exact order
      *  per-slot encryption used to run (the nonce sequence is a
      *  determinism contract). */

@@ -19,8 +19,12 @@ if [ ! -x "$BUILD_DIR/tools/sblint/sblint" ]; then
 fi
 
 echo "== sblint =="
+# Self-lint included (tools/); the SARIF log lands in the build tree
+# for CI upload / IDE import.
 "$BUILD_DIR/tools/sblint/sblint" --root "$SRC_DIR" \
-    "$SRC_DIR/src" "$SRC_DIR/bench" "$SRC_DIR/tests"
+    --sarif "$BUILD_DIR/sblint.sarif" \
+    "$SRC_DIR/src" "$SRC_DIR/bench" "$SRC_DIR/tests" "$SRC_DIR/tools"
+echo "sblint: SARIF log written to $BUILD_DIR/sblint.sarif"
 
 echo "== clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then

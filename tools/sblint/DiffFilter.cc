@@ -1,0 +1,59 @@
+#include "DiffFilter.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sboram {
+namespace lint {
+
+ChangedLines
+parseUnifiedDiff(const std::string &diffText)
+{
+    ChangedLines out;
+    std::istringstream in(diffText);
+    std::string line;
+    std::string current;
+    while (std::getline(in, line)) {
+        if (line.rfind("+++ ", 0) == 0) {
+            std::string path = line.substr(4);
+            if (path.rfind("b/", 0) == 0)
+                path = path.substr(2);
+            if (path == "/dev/null")
+                current.clear();  // Deleted file.
+            else
+                current = path;
+            continue;
+        }
+        if (line.rfind("@@", 0) != 0 || current.empty())
+            continue;
+        // "@@ -a[,b] +c[,d] @@": take the new-side c[,d].
+        const std::size_t plus = line.find('+');
+        if (plus == std::string::npos)
+            continue;
+        char *end = nullptr;
+        const unsigned long start =
+            std::strtoul(line.c_str() + plus + 1, &end, 10);
+        unsigned long count = 1;
+        if (end != nullptr && *end == ',')
+            count = std::strtoul(end + 1, nullptr, 10);
+        for (unsigned long i = 0; i < count; ++i)
+            out[current].insert(
+                static_cast<std::uint32_t>(start + i));
+    }
+    return out;
+}
+
+std::vector<Finding>
+filterToDiff(const std::vector<Finding> &in, const ChangedLines &changed)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : in) {
+        const auto it = changed.find(f.file);
+        if (it != changed.end() && it->second.count(f.line))
+            out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace sboram

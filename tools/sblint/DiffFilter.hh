@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Incremental lint: restrict findings to lines changed since a base
+ * revision.
+ *
+ * The CLI runs `git diff -U0 <base> -- <roots>` and hands the raw
+ * unified diff here; parsing and filtering are pure functions so the
+ * unit tests cover them without a git checkout.  The full-tree run
+ * stays the ctest gate — the diff filter exists for fast pre-commit
+ * iteration, not as the source of truth.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_DIFFFILTER_HH
+#define SBORAM_TOOLS_SBLINT_DIFFFILTER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "Lint.hh"
+
+namespace sboram {
+namespace lint {
+
+/** Changed (added/modified) lines per new-side path. */
+using ChangedLines = std::map<std::string, std::set<std::uint32_t>>;
+
+/**
+ * Parse `git diff -U0` output: `+++ b/<path>` headers select the
+ * file, `@@ -a[,b] +c[,d] @@` hunk headers contribute lines
+ * [c, c+d) (d defaults to 1; d == 0 is a pure deletion and
+ * contributes nothing).  Unrecognized lines are skipped, so the
+ * parser tolerates rename/mode noise.
+ */
+ChangedLines parseUnifiedDiff(const std::string &diffText);
+
+/** Findings that land on a changed line of a changed file. */
+std::vector<Finding> filterToDiff(const std::vector<Finding> &in,
+                                  const ChangedLines &changed);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_DIFFFILTER_HH

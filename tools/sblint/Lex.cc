@@ -1,0 +1,207 @@
+#include "Lex.hh"
+
+#include <cctype>
+
+namespace sboram {
+namespace lint {
+
+namespace {
+
+/** Two-character operators kept as one token. */
+bool
+mergePair(char a, char b)
+{
+    return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+           (a == '+' && b == '=') || (a == '-' && b == '=') ||
+           (a == '*' && b == '=') || (a == '/' && b == '=') ||
+           (a == '=' && b == '=') || (a == '!' && b == '=') ||
+           (a == '&' && b == '&') || (a == '|' && b == '|') ||
+           (a == '+' && b == '+') || (a == '-' && b == '-');
+}
+
+} // namespace
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdent(const std::string &t)
+{
+    return !t.empty() && isIdentStart(t[0]);
+}
+
+StrippedFile
+stripSource(const std::string &src)
+{
+    StrippedFile out;
+    std::string code, comment;
+    enum class St { Code, Line, Block, Str, Chr, Raw } st = St::Code;
+
+    auto flushLine = [&] {
+        out.code.push_back(code);
+        out.comment.push_back(comment);
+        code.clear();
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+        if (c == '\n') {
+            flushLine();
+            if (st == St::Line)
+                st = St::Code;
+            continue;
+        }
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                code += "  ";
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                code += "  ";
+                ++i;
+            } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
+                st = St::Raw;
+                code += ' ';
+            } else if (c == '"') {
+                st = St::Str;
+                code += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                code += '\'';
+            } else {
+                code += c;
+            }
+            break;
+        case St::Line:
+            comment += c;
+            code += ' ';
+            break;
+        case St::Block:
+            // Block-comment text is deliberately *not* collected:
+            // suppression directives are `//` line comments by
+            // contract, so documentation can show a directive
+            // verbatim inside /* ... */ without arming it.
+            code += ' ';
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                code += ' ';
+                ++i;
+            }
+            break;
+        case St::Str:
+            if (c == '\\') {
+                code += "  ";
+                ++i;
+            } else if (c == '"') {
+                code += '"';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\') {
+                code += "  ";
+                ++i;
+            } else if (c == '\'') {
+                code += '\'';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+        case St::Raw:
+            code += ' ';
+            if (c == ')' && n == '"') {
+                code += ' ';
+                ++i;
+                st = St::Code;
+            }
+            break;
+        }
+    }
+    flushLine();
+    return out;
+}
+
+std::vector<Tok>
+tokenize(const std::vector<std::string> &lines)
+{
+    std::vector<Tok> toks;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string &s = lines[ln];
+        const std::uint32_t lineNo = static_cast<std::uint32_t>(ln + 1);
+        std::size_t i = 0;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+            } else if (isIdentStart(c)) {
+                std::size_t j = i + 1;
+                while (j < s.size() && isIdentChar(s[j]))
+                    ++j;
+                toks.push_back({s.substr(i, j - i), lineNo});
+                i = j;
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::size_t j = i + 1;
+                while (j < s.size() &&
+                       (isIdentChar(s[j]) || s[j] == '.' ||
+                        s[j] == '\''))
+                    ++j;
+                toks.push_back({s.substr(i, j - i), lineNo});
+                i = j;
+            } else if (i + 1 < s.size() && mergePair(c, s[i + 1])) {
+                toks.push_back({s.substr(i, 2), lineNo});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, c), lineNo});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+std::size_t
+matchForward(const std::vector<Tok> &t, std::size_t open,
+             const char *openSym, const char *closeSym)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].text == openSym)
+            ++depth;
+        else if (t[i].text == closeSym && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+std::size_t
+matchBackward(const std::vector<Tok> &t, std::size_t close,
+              const char *openSym, const char *closeSym)
+{
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (t[i].text == closeSym)
+            ++depth;
+        else if (t[i].text == openSym && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+} // namespace lint
+} // namespace sboram

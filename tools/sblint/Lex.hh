@@ -1,0 +1,66 @@
+/**
+ * @file
+ * sblint lexing layer: comment/string stripping and tokenization.
+ *
+ * Split out of Lint.cc so the whole-program modules (Program.hh,
+ * Taint.hh) and the per-line scanners share one token stream per
+ * file instead of re-lexing.  The lexer is deliberately dumb — no
+ * preprocessor, no trigraphs — because the repo's own style is the
+ * only input it has to handle; DESIGN.md §8 spells out the resulting
+ * soundness limits.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_LEX_HH
+#define SBORAM_TOOLS_SBLINT_LEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sboram {
+namespace lint {
+
+/** One token: text plus the 1-based source line it starts on. */
+struct Tok
+{
+    std::string text;
+    std::uint32_t line = 0;
+};
+
+/**
+ * Stripped view of one source file, line structure preserved.
+ *
+ * `code` has string/char-literal contents and every comment blanked
+ * (column positions intact).  `comment` holds the text of `//` line
+ * comments only: suppression directives are line comments by
+ * contract, so prose inside a block comment can *mention* a
+ * directive (docs, examples) without arming it.
+ */
+struct StrippedFile
+{
+    std::vector<std::string> code;
+    std::vector<std::string> comment;
+};
+
+/** Strip comments/literals out of @p src (see StrippedFile). */
+StrippedFile stripSource(const std::string &src);
+
+/** Tokenize the stripped code lines. */
+std::vector<Tok> tokenize(const std::vector<std::string> &lines);
+
+bool isIdentStart(char c);
+bool isIdentChar(char c);
+bool isIdent(const std::string &t);
+
+/** Index of the matching closer for the opener at @p open, or npos. */
+std::size_t matchForward(const std::vector<Tok> &t, std::size_t open,
+                         const char *openSym, const char *closeSym);
+
+/** Index of the matching opener for the closer at @p close, or npos. */
+std::size_t matchBackward(const std::vector<Tok> &t, std::size_t close,
+                          const char *openSym, const char *closeSym);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_LEX_HH

@@ -6,6 +6,10 @@
 #include <set>
 #include <sstream>
 
+#include "Lex.hh"
+#include "Program.hh"
+#include "Taint.hh"
+
 namespace sboram {
 namespace lint {
 
@@ -25,10 +29,22 @@ const std::vector<RuleInfo> kRegistry = {
      "ambient randomness or clock/environment read outside "
      "src/common/Rng.hh and bench/BenchUtil.hh — all simulator "
      "randomness must flow through the seeded Rng/PRF"},
-    {Rule::SecretBranch, "secret-branch",
-     "control flow on an SB_SECRET-annotated payload accessor inside "
-     "src/oram or src/shadow — the modelled hardware must not branch "
-     "on block plaintext"},
+    {Rule::TaintedBranch, "tainted-branch",
+     "if/switch/ternary/short-circuit condition on data that the "
+     "taint engine traces back to an SB_SECRET source (src/oram, "
+     "src/shadow, src/svc) — the modelled hardware must not branch "
+     "on block plaintext; restructure, or wrap a justified exit in "
+     "SB_DECLASSIFY"},
+    {Rule::TaintedIndex, "tainted-index",
+     "array/pointer subscript whose index is secret-tainted — "
+     "secret-dependent addressing leaks through the access trace"},
+    {Rule::TaintedLoopBound, "tainted-loop-bound",
+     "while/for condition on secret-tainted data — a "
+     "secret-dependent iteration count leaks through trace length"},
+    {Rule::TaintedLength, "tainted-length",
+     "resize/reserve/substr/pool-acquire size or "
+     "memcpy/memmove/memset byte count that is secret-tainted — "
+     "variable-length operations leak through sizes"},
     {Rule::UncheckedSerde, "unchecked-serde",
      "Serde read helper called for its side effect with the typed "
      "result discarded — use Deserializer::skip() to skip bytes, or "
@@ -69,201 +85,17 @@ const std::vector<RuleInfo> kRegistry = {
      "stop condition in src/ — a lost notification hangs the process "
      "instead of failing; use wait_for/wait_until with a stop "
      "predicate, or justify why the wakeup is guaranteed"},
+    {Rule::DeadSuppression, "dead-suppression",
+     "sblint:allow directive whose target line has no finding of the "
+     "named rule — a stale allow hides nothing today and masks a "
+     "future regression; remove it or fix the rule name"},
     {Rule::BadSuppression, "bad-suppression",
      "malformed sblint suppression: unknown rule name or missing "
      "justification text"},
 };
 
 // ---------------------------------------------------------------------
-// Comment/string stripping
-// ---------------------------------------------------------------------
-
-struct StrippedFile
-{
-    std::vector<std::string> code;     ///< Literals/comments blanked.
-    std::vector<std::string> comment;  ///< Comment text per line.
-};
-
-/**
- * Blank string/char-literal contents and comments out of the source
- * (preserving line structure and column positions) and collect the
- * comment text per line — suppression directives live in comments.
- */
-StrippedFile
-stripSource(const std::string &src)
-{
-    StrippedFile out;
-    std::string code, comment;
-    enum class St { Code, Line, Block, Str, Chr, Raw } st = St::Code;
-
-    auto flushLine = [&] {
-        out.code.push_back(code);
-        out.comment.push_back(comment);
-        code.clear();
-        comment.clear();
-    };
-
-    for (std::size_t i = 0; i < src.size(); ++i) {
-        const char c = src[i];
-        const char n = i + 1 < src.size() ? src[i + 1] : '\0';
-        if (c == '\n') {
-            flushLine();
-            if (st == St::Line)
-                st = St::Code;
-            continue;
-        }
-        switch (st) {
-        case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::Line;
-                code += "  ";
-                ++i;
-            } else if (c == '/' && n == '*') {
-                st = St::Block;
-                code += "  ";
-                ++i;
-            } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
-                st = St::Raw;
-                code += ' ';
-            } else if (c == '"') {
-                st = St::Str;
-                code += '"';
-            } else if (c == '\'') {
-                st = St::Chr;
-                code += '\'';
-            } else {
-                code += c;
-            }
-            break;
-        case St::Line:
-            comment += c;
-            code += ' ';
-            break;
-        case St::Block:
-            comment += c;
-            code += ' ';
-            if (c == '*' && n == '/') {
-                st = St::Code;
-                code += ' ';
-                ++i;
-            }
-            break;
-        case St::Str:
-            if (c == '\\') {
-                code += "  ";
-                ++i;
-            } else if (c == '"') {
-                code += '"';
-                st = St::Code;
-            } else {
-                code += ' ';
-            }
-            break;
-        case St::Chr:
-            if (c == '\\') {
-                code += "  ";
-                ++i;
-            } else if (c == '\'') {
-                code += '\'';
-                st = St::Code;
-            } else {
-                code += ' ';
-            }
-            break;
-        case St::Raw:
-            code += ' ';
-            if (c == ')' && n == '"') {
-                code += ' ';
-                ++i;
-                st = St::Code;
-            }
-            break;
-        }
-    }
-    flushLine();
-    return out;
-}
-
-// ---------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------
-
-struct Tok
-{
-    std::string text;
-    std::uint32_t line = 0;  ///< 1-based.
-};
-
-bool
-isIdentStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-isIdent(const std::string &t)
-{
-    return !t.empty() && isIdentStart(t[0]);
-}
-
-/** Two-character operators kept as one token. */
-bool
-mergePair(char a, char b)
-{
-    return (a == ':' && b == ':') || (a == '-' && b == '>') ||
-           (a == '+' && b == '=') || (a == '-' && b == '=') ||
-           (a == '*' && b == '=') || (a == '/' && b == '=') ||
-           (a == '=' && b == '=') || (a == '!' && b == '=') ||
-           (a == '&' && b == '&') || (a == '|' && b == '|') ||
-           (a == '+' && b == '+') || (a == '-' && b == '-');
-}
-
-std::vector<Tok>
-tokenize(const std::vector<std::string> &lines)
-{
-    std::vector<Tok> toks;
-    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-        const std::string &s = lines[ln];
-        const std::uint32_t lineNo = static_cast<std::uint32_t>(ln + 1);
-        std::size_t i = 0;
-        while (i < s.size()) {
-            const char c = s[i];
-            if (std::isspace(static_cast<unsigned char>(c))) {
-                ++i;
-            } else if (isIdentStart(c)) {
-                std::size_t j = i + 1;
-                while (j < s.size() && isIdentChar(s[j]))
-                    ++j;
-                toks.push_back({s.substr(i, j - i), lineNo});
-                i = j;
-            } else if (std::isdigit(static_cast<unsigned char>(c))) {
-                std::size_t j = i + 1;
-                while (j < s.size() &&
-                       (isIdentChar(s[j]) || s[j] == '.' ||
-                        s[j] == '\''))
-                    ++j;
-                toks.push_back({s.substr(i, j - i), lineNo});
-                i = j;
-            } else if (i + 1 < s.size() && mergePair(c, s[i + 1])) {
-                toks.push_back({s.substr(i, 2), lineNo});
-                i += 2;
-            } else {
-                toks.push_back({std::string(1, c), lineNo});
-                ++i;
-            }
-        }
-    }
-    return toks;
-}
-
-// ---------------------------------------------------------------------
-// Small helpers over token streams and paths
+// Small helpers over paths
 // ---------------------------------------------------------------------
 
 bool
@@ -277,21 +109,6 @@ bool
 pathContains(const std::string &path, const std::string &needle)
 {
     return path.find(needle) != std::string::npos;
-}
-
-/** Index of the matching closer for the opener at @p open, or npos. */
-std::size_t
-matchForward(const std::vector<Tok> &t, std::size_t open,
-             const char *openSym, const char *closeSym)
-{
-    int depth = 0;
-    for (std::size_t i = open; i < t.size(); ++i) {
-        if (t[i].text == openSym)
-            ++depth;
-        else if (t[i].text == closeSym && --depth == 0)
-            return i;
-    }
-    return std::string::npos;
 }
 
 // ---------------------------------------------------------------------
@@ -357,7 +174,8 @@ parseDirective(const std::string &file, std::uint32_t lineNo,
                    ? std::string()
                    : name.substr(b, e - b + 1);
         Rule r;
-        if (!ruleFromName(name, r) || r == Rule::BadSuppression) {
+        if (!ruleFromName(name, r) || r == Rule::BadSuppression ||
+            r == Rule::DeadSuppression) {
             out.defects.push_back(
                 {file, lineNo, Rule::BadSuppression,
                  "suppression names unknown rule '" + name + "'"});
@@ -459,27 +277,6 @@ collectFutureVars(const std::vector<Tok> &t)
         }
     }
     return names;
-}
-
-/** Identifiers annotated SB_SECRET (fields and accessors). */
-void
-collectSecrets(const std::vector<Tok> &t, std::set<std::string> &out)
-{
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i].text != "SB_SECRET")
-            continue;
-        std::string last;
-        for (std::size_t j = i + 1; j < t.size(); ++j) {
-            const std::string &x = t[j].text;
-            if (x == "(" || x == ";" || x == "=" || x == "{") {
-                if (!last.empty())
-                    out.insert(last);
-                break;
-            }
-            if (isIdent(x))
-                last = x;
-        }
-    }
 }
 
 /**
@@ -615,71 +412,6 @@ scanAmbientNondeterminism(const std::string &path,
                            "all randomness/config through the seeded "
                            "Rng or a constructor parameter"});
     }
-}
-
-void
-scanSecretBranch(const std::string &path, const std::vector<Tok> &t,
-                 const std::set<std::string> &secrets,
-                 std::vector<Finding> &out)
-{
-    if (secrets.empty())
-        return;
-    if (!startsWith(path, "src/oram/") &&
-        !startsWith(path, "src/shadow/"))
-        return;
-
-    auto secretAt = [&](std::size_t j) {
-        return isIdent(t[j].text) && secrets.count(t[j].text) != 0;
-    };
-
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        const std::string &x = t[i].text;
-        // if/while/switch condition containing a secret accessor.
-        if ((x == "if" || x == "while" || x == "switch") &&
-            i + 1 < t.size() && t[i + 1].text == "(") {
-            const std::size_t close =
-                matchForward(t, i + 1, "(", ")");
-            if (close == std::string::npos)
-                continue;
-            for (std::size_t j = i + 2; j < close; ++j) {
-                if (secretAt(j)) {
-                    out.push_back(
-                        {path, t[j].line, Rule::SecretBranch,
-                         "'" + x + "' condition reads SB_SECRET '" +
-                             t[j].text +
-                             "' — secret-dependent control flow"});
-                    break;
-                }
-            }
-        }
-        // Ternary / short-circuit with a secret on the same line.
-        if (x == "?" || x == "&&" || x == "||") {
-            for (std::size_t j = 0; j < t.size(); ++j) {
-                if (t[j].line == t[i].line && secretAt(j)) {
-                    out.push_back(
-                        {path, t[j].line, Rule::SecretBranch,
-                         "'" + x + "' operates on SB_SECRET '" +
-                             t[j].text +
-                             "' — secret-dependent control flow"});
-                    i = t.size();  // One finding per line is enough.
-                    break;
-                }
-            }
-        }
-    }
-    // Deduplicate per (line, rule): dense conditions repeat.
-    std::sort(out.begin(), out.end(),
-              [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line, a.message) <
-                         std::tie(b.file, b.line, b.message);
-              });
-    out.erase(std::unique(out.begin(), out.end(),
-                          [](const Finding &a, const Finding &b) {
-                              return a.file == b.file &&
-                                     a.line == b.line &&
-                                     a.rule == b.rule;
-                          }),
-              out.end());
 }
 
 void
@@ -1221,26 +953,34 @@ ruleName(Rule rule)
 std::vector<Finding>
 lintSources(const std::vector<SourceFile> &sources)
 {
-    // Cross-file pre-pass: the SB_SECRET annotation set and the
-    // unordered-container variable set.  Declarations live in headers
-    // (Block.hh, Stash.hh); uses live in .cc files, so both sets are
-    // the union over every input.
-    std::set<std::string> secrets;
+    // Cross-file pre-pass: lex every input once; the token streams
+    // feed both the per-line scanners and the whole-program model.
     std::set<std::string> unorderedVars;
     std::set<std::string> metricNames;
+    std::vector<std::string> paths;
     std::vector<StrippedFile> stripped;
     std::vector<std::vector<Tok>> tokens;
+    paths.reserve(sources.size());
     stripped.reserve(sources.size());
     tokens.reserve(sources.size());
     for (const SourceFile &src : sources) {
+        paths.push_back(src.path);
         stripped.push_back(stripSource(src.content));
         tokens.push_back(tokenize(stripped.back().code));
-        collectSecrets(tokens.back(), secrets);
         const auto vars = collectUnorderedVars(tokens.back());
         unorderedVars.insert(vars.begin(), vars.end());
         if (pathEndsWith(src.path, "obs/MetricNames.hh"))
             collectMetricNames(tokens.back(), metricNames);
     }
+
+    // Whole-program passes: taint-to-fixed-point over the call graph
+    // plus transitive hot-path-alloc.  Findings come back raw (no
+    // suppression applied) and are bucketed per file so the per-file
+    // suppression/dead-suppression logic below sees them.
+    const Program program = buildProgram(tokens);
+    std::map<std::string, std::vector<Finding>> flowByFile;
+    for (Finding &fd : runDataflow(program, paths, tokens))
+        flowByFile[fd.file].push_back(std::move(fd));
 
     std::vector<Finding> all;
     for (std::size_t f = 0; f < sources.size(); ++f) {
@@ -1250,7 +990,6 @@ lintSources(const std::vector<SourceFile> &sources)
         std::vector<Finding> raw;
         scanUnorderedIteration(path, t, unorderedVars, raw);
         scanAmbientNondeterminism(path, t, raw);
-        scanSecretBranch(path, t, secrets, raw);
         scanUncheckedSerde(path, t, raw);
         scanRawNewDelete(path, t, raw);
         scanBannedFn(path, t, raw);
@@ -1260,6 +999,10 @@ lintSources(const std::vector<SourceFile> &sources)
         scanHotPathAlloc(path, t, unorderedVars, raw);
         scanSwallowedException(path, t, raw);
         scanUnboundedWait(path, t, collectFutureVars(t), raw);
+        const auto fb = flowByFile.find(path);
+        if (fb != flowByFile.end())
+            raw.insert(raw.end(), fb->second.begin(),
+                       fb->second.end());
 
         const Suppressions sup =
             collectSuppressions(path, stripped[f]);
@@ -1268,6 +1011,29 @@ lintSources(const std::vector<SourceFile> &sources)
             if (it != sup.allow.end() && it->second.count(fd.rule))
                 continue;
             all.push_back(fd);
+        }
+        // Dead suppressions: an allow that matched nothing on its
+        // target line is itself a finding — it documents a violation
+        // that no longer exists (or a rule-name typo the grammar
+        // check cannot catch).
+        for (const auto &entry : sup.allow) {
+            for (const Rule r : entry.second) {
+                bool hit = false;
+                for (const Finding &fd : raw) {
+                    if (fd.line == entry.first && fd.rule == r) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if (!hit) {
+                    all.push_back(
+                        {path, entry.first, Rule::DeadSuppression,
+                         std::string("suppression of '") +
+                             ruleName(r) +
+                             "' matches no finding on this line — "
+                             "remove the stale allow"});
+                }
+            }
         }
         all.insert(all.end(), sup.defects.begin(),
                    sup.defects.end());

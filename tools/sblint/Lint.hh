@@ -2,24 +2,31 @@
  * @file
  * sblint — the repo-specific static analyzer.
  *
- * A token/line-level scanner (no libclang) that mechanically enforces
- * the contracts every result in this repo rests on: deterministic
- * iteration in sequence-sensitive modules, no ambient randomness, no
- * secret-dependent control flow in the modelled hardware, checked
- * serde reads, pooled allocation, constant-time tag comparison,
- * justified floating-point accumulation, and lock discipline around
- * the ExperimentRunner's shared state.
+ * A whole-program analyzer (no libclang) that mechanically enforces
+ * the contracts every result in this repo rests on.  Version 2 grew
+ * a real dataflow core: a lexer feeds a per-TU function index and a
+ * cross-file call graph (Program.hh), over which a forward taint
+ * pass seeded from SB_SECRET annotations runs to a fixed point
+ * (Taint.hh).  Secret-dependent branches, indexing, loop bounds, and
+ * variable-length operations are findings that carry the full
+ * propagation chain; SB_DECLASSIFY(expr) is the audited sanitizer.
+ * The same call graph makes hot-path-alloc transitive.  The v1
+ * token/line rules (deterministic iteration, ambient randomness,
+ * checked serde, pooled allocation, constant-time compares, lock
+ * discipline, ...) still run unchanged.
  *
  * Violations that are intentional carry a per-line suppression with a
- * mandatory written justification:
+ * mandatory written justification, as a `//` line comment:
  *
  *     code();  // sblint:allow(rule-name): why this is sound
  *     // sblint:allow-next-line(rule-name): why the next line is sound
  *     code();
  *
  * A suppression naming an unknown rule, or carrying no justification
- * text, is itself a finding (`bad-suppression`) — the analyzer never
- * silently ignores a typo.
+ * text, is itself a finding (`bad-suppression`), and a suppression
+ * that matches no raw finding on its target line is dead
+ * (`dead-suppression`) — the analyzer never silently ignores a typo
+ * or a stale allow.
  *
  * The scanner is deliberately a library (sb_lint) with a thin CLI on
  * top so the unit tests can lint in-memory fixture snippets without
@@ -41,7 +48,10 @@ enum class Rule : std::uint8_t
 {
     UnorderedIteration,   ///< unordered-iteration
     AmbientNondeterminism,///< ambient-nondeterminism
-    SecretBranch,         ///< secret-branch
+    TaintedBranch,        ///< tainted-branch
+    TaintedIndex,         ///< tainted-index
+    TaintedLoopBound,     ///< tainted-loop-bound
+    TaintedLength,        ///< tainted-length
     UncheckedSerde,       ///< unchecked-serde
     RawNewDelete,         ///< raw-new-delete
     BannedFn,             ///< banned-fn
@@ -51,6 +61,7 @@ enum class Rule : std::uint8_t
     HotPathAlloc,         ///< hot-path-alloc
     SwallowedException,   ///< swallowed-exception
     UnboundedWait,        ///< unbounded-wait
+    DeadSuppression,      ///< dead-suppression (meta rule; never allowed)
     BadSuppression,       ///< bad-suppression (meta rule; never allowed)
 };
 

@@ -1,0 +1,546 @@
+#include "Program.hh"
+
+#include <algorithm>
+
+namespace sboram {
+namespace lint {
+
+namespace {
+
+/** Names that look like `name (` but never open a function body. */
+const std::set<std::string> &
+notFnNames()
+{
+    static const std::set<std::string> k = {
+        "if",     "for",      "while",   "switch",   "catch",
+        "return", "sizeof",   "alignof", "decltype", "defined",
+        "throw",  "noexcept", "assert",  "static_assert"};
+    return k;
+}
+
+/** Tokens that may sit between `)` and the body `{`. */
+bool
+isFnQualifier(const std::string &x)
+{
+    return x == "const" || x == "noexcept" || x == "override" ||
+           x == "final" || x == "mutable" || x == "&" || x == "&&";
+}
+
+/** Keywords that precede an identifier without declaring it. */
+const std::set<std::string> &
+nonTypePrev()
+{
+    static const std::set<std::string> k = {
+        "return",    "throw",   "case",     "goto",    "new",
+        "delete",    "else",    "do",       "sizeof",  "typename",
+        "using",     "namespace", "operator", "break",  "continue",
+        "public",    "private", "protected", "if",     "while",
+        "for",       "switch",  "include",  "define",  "enum"};
+    return k;
+}
+
+/** Type-ish identifiers that mean "this parameter is unnamed". */
+const std::set<std::string> &
+typeWords()
+{
+    static const std::set<std::string> k = {
+        "void",   "bool",   "char",   "int",      "float",
+        "double", "long",   "short",  "signed",   "unsigned",
+        "auto",   "size_t", "int8_t", "int16_t",  "int32_t",
+        "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t"};
+    return k;
+}
+
+struct ClassSpan
+{
+    std::string name;
+    std::size_t open;
+    std::size_t close;
+};
+
+/** `class/struct Name ... { ... }` spans, for in-class method quals. */
+std::vector<ClassSpan>
+collectClassSpans(const std::vector<Tok> &t)
+{
+    std::vector<ClassSpan> spans;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].text != "class" && t[i].text != "struct")
+            continue;
+        if (!isIdent(t[i + 1].text))
+            continue;
+        std::size_t j = i + 2;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";")
+            ++j;
+        if (j >= t.size() || t[j].text != "{")
+            continue;  // Forward declaration or local object.
+        const std::size_t close = matchForward(t, j, "{", "}");
+        if (close == std::string::npos)
+            continue;
+        spans.push_back({t[i + 1].text, j, close});
+    }
+    return spans;
+}
+
+/** Innermost class span containing token @p at, or "". */
+std::string
+enclosingClass(const std::vector<ClassSpan> &spans, std::size_t at)
+{
+    std::string best;
+    std::size_t bestLen = std::string::npos;
+    for (const ClassSpan &s : spans) {
+        if (s.open < at && at < s.close &&
+            s.close - s.open < bestLen) {
+            best = s.name;
+            bestLen = s.close - s.open;
+        }
+    }
+    return best;
+}
+
+/** Does any of SB_HOT / SB_SECRET annotate the def whose name is at
+ *  @p nameTok?  Scans back to the previous statement boundary. */
+void
+scanAnnotations(const std::vector<Tok> &t, std::size_t nameTok,
+                bool &hot, bool &secret)
+{
+    hot = secret = false;
+    const std::size_t stop = nameTok > 24 ? nameTok - 24 : 0;
+    for (std::size_t k = nameTok; k-- > stop;) {
+        const std::string &x = t[k].text;
+        if (x == ";" || x == "{" || x == "}")
+            return;
+        if (x == "SB_HOT")
+            hot = true;
+        else if (x == "SB_SECRET")
+            secret = true;
+    }
+}
+
+/** Split (open..close) into top-level comma-separated ranges. */
+std::vector<std::pair<std::size_t, std::size_t>>
+splitArgs(const std::vector<Tok> &t, std::size_t open,
+          std::size_t close)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    if (open + 1 >= close)
+        return out;
+    int depth = 0;
+    std::size_t start = open + 1;
+    for (std::size_t j = open + 1; j < close; ++j) {
+        const std::string &x = t[j].text;
+        if (x == "(" || x == "[" || x == "{")
+            ++depth;
+        else if (x == ")" || x == "]" || x == "}")
+            --depth;
+        else if (x == "," && depth == 0) {
+            out.push_back({start, j});
+            start = j + 1;
+        }
+    }
+    out.push_back({start, close});
+    return out;
+}
+
+/** Parse one parameter declaration range into a Param. */
+Param
+parseParam(const std::vector<Tok> &t, std::size_t first,
+           std::size_t last)
+{
+    Param p;
+    // Truncate at a default argument and at an array extent.
+    std::size_t end = last;
+    for (std::size_t j = first; j < last; ++j) {
+        if (t[j].text == "=" || t[j].text == "[") {
+            end = j;
+            break;
+        }
+    }
+    std::string name;
+    for (std::size_t j = first; j < end; ++j) {
+        const std::string &x = t[j].text;
+        if (x == "&" || x == "&&")
+            p.isRef = true;
+        else if (isIdent(x))
+            name = x;
+    }
+    if (!name.empty() && !typeWords().count(name))
+        p.name = name;
+    return p;
+}
+
+/**
+ * From the `)` closing a candidate's parameter list, find the body
+ * `{` — skipping cv/ref qualifiers, a trailing return type, and a
+ * constructor member-init list.  Returns npos when the shape is not
+ * a definition (declaration, macro call, expression, ...).
+ */
+std::size_t
+findBodyOpen(const std::vector<Tok> &t, std::size_t closeParen)
+{
+    std::size_t j = closeParen + 1;
+    while (j < t.size()) {
+        const std::string &x = t[j].text;
+        if (isFnQualifier(x)) {
+            ++j;
+            continue;
+        }
+        if (x == "->") {
+            // Trailing return type: consume type-ish tokens.
+            ++j;
+            while (j < t.size()) {
+                const std::string &y = t[j].text;
+                if (y == "<") {
+                    const std::size_t g =
+                        matchForward(t, j, "<", ">");
+                    if (g == std::string::npos)
+                        return std::string::npos;
+                    j = g + 1;
+                } else if (isIdent(y) || y == "::" || y == "*" ||
+                           y == "&" || y == "const") {
+                    ++j;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    if (j >= t.size())
+        return std::string::npos;
+    if (t[j].text == "{")
+        return j;
+    if (t[j].text != ":")
+        return std::string::npos;
+
+    // Constructor member-init list: name(args) / name{args}, comma
+    // separated, then the body brace.
+    std::size_t k = j + 1;
+    for (;;) {
+        while (k < t.size() &&
+               (isIdent(t[k].text) || t[k].text == "::"))
+            ++k;
+        if (k < t.size() && t[k].text == "<") {
+            const std::size_t g = matchForward(t, k, "<", ">");
+            if (g == std::string::npos)
+                return std::string::npos;
+            k = g + 1;
+        }
+        if (k >= t.size() ||
+            (t[k].text != "(" && t[k].text != "{"))
+            return std::string::npos;
+        const bool paren = t[k].text == "(";
+        const std::size_t g = paren ? matchForward(t, k, "(", ")")
+                                    : matchForward(t, k, "{", "}");
+        if (g == std::string::npos)
+            return std::string::npos;
+        k = g + 1;
+        if (k < t.size() && t[k].text == ",") {
+            ++k;
+            continue;
+        }
+        break;
+    }
+    if (k < t.size() && t[k].text == "{")
+        return k;
+    return std::string::npos;
+}
+
+/** Declared names inside [open, close): params come in separately. */
+void
+collectLocals(const std::vector<Tok> &t, std::size_t open,
+              std::size_t close, std::set<std::string> &out)
+{
+    static const std::set<std::string> kDeclNext = {
+        "=", ";", ",", ")", "{", ":"};
+    for (std::size_t j = open + 1; j + 1 < close; ++j) {
+        const std::string &x = t[j].text;
+        // Structured bindings: auto [&|&&|const]* [ a, b, ... ].
+        if (x == "auto") {
+            std::size_t k = j + 1;
+            while (k < close &&
+                   (t[k].text == "&" || t[k].text == "&&" ||
+                    t[k].text == "const"))
+                ++k;
+            if (k < close && t[k].text == "[") {
+                const std::size_t e = matchForward(t, k, "[", "]");
+                if (e != std::string::npos && e < close)
+                    for (std::size_t b = k + 1; b < e; ++b)
+                        if (isIdent(t[b].text))
+                            out.insert(t[b].text);
+            }
+            continue;
+        }
+        if (!isIdent(x) || j == open + 1)
+            continue;
+        const std::string &prev = t[j - 1].text;
+        bool declPrev = false;
+        if (isIdent(prev) && !nonTypePrev().count(prev))
+            declPrev = true;
+        else if (prev == ">" || prev == "*")
+            declPrev = true;
+        else if ((prev == "&" || prev == "&&") && j >= 2 &&
+                 (isIdent(t[j - 2].text) || t[j - 2].text == ">"))
+            declPrev = true;
+        if (!declPrev)
+            continue;
+        if (kDeclNext.count(t[j + 1].text))
+            out.insert(x);
+    }
+}
+
+/** Call sites inside [open, close). */
+void
+collectCalls(const std::vector<Tok> &t, std::size_t open,
+             std::size_t close, std::vector<CallSite> &out)
+{
+    for (std::size_t j = open + 1; j + 1 < close; ++j) {
+        if (!isIdent(t[j].text) || t[j + 1].text != "(")
+            continue;
+        if (notFnNames().count(t[j].text))
+            continue;
+        const std::size_t end = matchForward(t, j + 1, "(", ")");
+        if (end == std::string::npos || end > close)
+            continue;
+        CallSite c;
+        c.callee = t[j].text;
+        c.nameTok = j;
+        c.openParen = j + 1;
+        c.closeParen = end;
+        c.line = t[j].line;
+        if (j >= 2 &&
+            (t[j - 1].text == "." || t[j - 1].text == "->") &&
+            isIdent(t[j - 2].text))
+            c.recv = t[j - 2].text;
+        c.args = splitArgs(t, j + 1, end);
+        out.push_back(std::move(c));
+    }
+}
+
+/** SB_SECRET annotations: the next identifier before `(` is a
+ *  secret-returning function; before `;`/`=`/`{` a secret field. */
+void
+collectSecretAnnotations(const std::vector<Tok> &t,
+                         std::set<std::string> &fields,
+                         std::set<std::string> &fns)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].text != "SB_SECRET")
+            continue;
+        if (i > 0 && t[i - 1].text == "define")
+            continue;  // The macro's own definition.
+        std::string last;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            const std::string &x = t[j].text;
+            if (x == "(") {
+                if (!last.empty())
+                    fns.insert(last);
+                break;
+            }
+            if (x == ";" || x == "=" || x == "{") {
+                if (!last.empty())
+                    fields.insert(last);
+                break;
+            }
+            if (x == "<") {
+                const std::size_t g = matchForward(t, j, "<", ">");
+                if (g == std::string::npos)
+                    break;
+                j = g;
+                continue;
+            }
+            if (isIdent(x))
+                last = x;
+        }
+    }
+}
+
+/** map/set/unordered_map/unordered_set variable declarations. */
+void
+collectAssociative(const std::vector<Tok> &t,
+                   std::set<std::string> &out,
+                   std::set<std::string> &unordered)
+{
+    static const std::set<std::string> kAssoc = {
+        "map", "set", "multimap", "multiset", "unordered_map",
+        "unordered_set", "unordered_multimap", "unordered_multiset"};
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!kAssoc.count(t[i].text) || t[i + 1].text != "<")
+            continue;
+        const bool isUnordered =
+            t[i].text.compare(0, 10, "unordered_") == 0;
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
+        std::size_t j = close + 1;
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "const"))
+            ++j;
+        if (j < t.size() && isIdent(t[j].text) &&
+            (j + 1 >= t.size() || t[j + 1].text != "(")) {
+            out.insert(t[j].text);
+            if (isUnordered)
+                unordered.insert(t[j].text);
+        }
+    }
+}
+
+/** `Type _member;`-style declarations -> varType entries. */
+void
+collectVarTypes(const std::vector<Tok> &t,
+                std::map<std::string, std::string> &out)
+{
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+        const std::string &x = t[i].text;
+        if (!isIdent(x) || x[0] != '_')
+            continue;
+        const std::string &next = t[i + 1].text;
+        if (next != ";" && next != "{" && next != "=")
+            continue;
+        const std::string &prev = t[i - 1].text;
+        if (isIdent(prev) && !nonTypePrev().count(prev)) {
+            out[x] = prev;
+        } else if (prev == ">") {
+            const std::size_t open =
+                matchBackward(t, i - 1, "<", ">");
+            if (open != std::string::npos && open > 0 &&
+                isIdent(t[open - 1].text))
+                out[x] = t[open - 1].text;
+        }
+    }
+}
+
+void
+collectDeclassified(const std::vector<Tok> &t, std::vector<bool> &out)
+{
+    out.assign(t.size(), false);
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].text != "SB_DECLASSIFY" || t[i + 1].text != "(")
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "(", ")");
+        if (close == std::string::npos)
+            continue;
+        for (std::size_t j = i; j <= close; ++j)
+            out[j] = true;
+    }
+}
+
+} // namespace
+
+std::vector<std::size_t>
+Program::resolve(const FunctionDef &caller, const CallSite &call) const
+{
+    const auto it = byName.find(call.callee);
+    if (it == byName.end())
+        return {};
+    std::vector<std::size_t> out;
+    if (!call.recv.empty() && call.recv != "this") {
+        const auto vt = varType.find(call.recv);
+        if (vt == varType.end())
+            return {};  // Unknown receiver: stay precise, not sound.
+        for (std::size_t idx : it->second)
+            if (fns[idx].qual == vt->second)
+                out.push_back(idx);
+        return out;
+    }
+    // Free or self call: same-class methods plus free functions.
+    for (std::size_t idx : it->second)
+        if (fns[idx].qual == caller.qual || fns[idx].qual.empty())
+            out.push_back(idx);
+    return out;
+}
+
+Program
+buildProgram(const std::vector<std::vector<Tok>> &tokens)
+{
+    Program p;
+    p.declassified.resize(tokens.size());
+
+    for (std::size_t f = 0; f < tokens.size(); ++f) {
+        const std::vector<Tok> &t = tokens[f];
+        collectSecretAnnotations(t, p.secretFields, p.secretFns);
+        p.associativeByFile.emplace_back();
+        collectAssociative(t, p.associativeByFile.back(),
+                           p.unorderedVars);
+        p.associativeVars.insert(p.associativeByFile.back().begin(),
+                                 p.associativeByFile.back().end());
+        collectVarTypes(t, p.varType);
+        collectDeclassified(t, p.declassified[f]);
+
+        const std::vector<ClassSpan> spans = collectClassSpans(t);
+        std::vector<FunctionDef> defs;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (t[i].text != "(")
+                continue;
+            const std::string &name = t[i - 1].text;
+            if (!isIdent(name) || notFnNames().count(name))
+                continue;
+            if (i >= 2 && (t[i - 2].text == "." ||
+                           t[i - 2].text == "->" ||
+                           t[i - 2].text == "~"))
+                continue;  // Member call or destructor.
+            std::string qual;
+            if (i >= 3 && t[i - 2].text == "::" &&
+                isIdent(t[i - 3].text))
+                qual = t[i - 3].text;
+            const std::size_t closeParen =
+                matchForward(t, i, "(", ")");
+            if (closeParen == std::string::npos)
+                continue;
+            const std::size_t bodyOpen = findBodyOpen(t, closeParen);
+            if (bodyOpen == std::string::npos)
+                continue;
+            const std::size_t bodyClose =
+                matchForward(t, bodyOpen, "{", "}");
+            if (bodyClose == std::string::npos)
+                continue;
+
+            FunctionDef fn;
+            fn.fileIdx = f;
+            fn.name = name;
+            fn.qual = !qual.empty()
+                          ? qual
+                          : enclosingClass(spans, i - 1);
+            fn.line = t[i - 1].line;
+            fn.bodyOpen = bodyOpen;
+            fn.bodyClose = bodyClose;
+            scanAnnotations(t, i - 1, fn.isHot, fn.isSecret);
+            for (const auto &[a, b] : splitArgs(t, i, closeParen)) {
+                Param prm = parseParam(t, a, b);
+                if (!prm.name.empty())
+                    fn.locals.insert(prm.name);
+                fn.params.push_back(std::move(prm));
+            }
+            collectLocals(t, bodyOpen, bodyClose, fn.locals);
+            collectCalls(t, bodyOpen, bodyClose, fn.calls);
+            defs.push_back(std::move(fn));
+        }
+
+        // Drop candidates nested inside another candidate's body —
+        // expression shapes misread as definitions.
+        std::vector<char> nested(defs.size(), 0);
+        for (std::size_t a = 0; a < defs.size(); ++a)
+            for (std::size_t b = 0; b < defs.size(); ++b)
+                if (a != b && defs[b].bodyOpen < defs[a].bodyOpen &&
+                    defs[a].bodyClose < defs[b].bodyClose)
+                    nested[a] = 1;
+        for (std::size_t a = 0; a < defs.size(); ++a)
+            if (!nested[a])
+                p.fns.push_back(std::move(defs[a]));
+    }
+
+    for (std::size_t i = 0; i < p.fns.size(); ++i)
+        p.byName[p.fns[i].name].push_back(i);
+
+    // A function annotated at its declaration counts everywhere the
+    // name resolves (the definition site rarely repeats SB_SECRET).
+    for (const FunctionDef &fn : p.fns)
+        if (fn.isSecret)
+            p.secretFns.insert(fn.name);
+
+    return p;
+}
+
+} // namespace lint
+} // namespace sboram

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * sblint whole-program model: per-TU function index, symbol tables,
+ * and the cross-file call graph the dataflow passes run over.
+ *
+ * Built from token streams only (no libclang): function definitions
+ * are recognized by the `name ( params ) [qualifiers] {` shape,
+ * methods get a `Class::name` qualified identity from either the
+ * out-of-line qualifier or the in-class context, and call sites are
+ * `name (` occurrences inside a body.  Receiver expressions of the
+ * form `member.method(...)` resolve through a best-effort
+ * member-name -> class-name table so `_stash.insert(...)` binds to
+ * `Stash::insert` rather than every `insert` in the repo.  What the
+ * heuristics cannot see (function pointers, virtual dispatch,
+ * templates instantiated under another name) is documented in
+ * DESIGN.md §8 as a soundness limit.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_PROGRAM_HH
+#define SBORAM_TOOLS_SBLINT_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "Lex.hh"
+
+namespace sboram {
+namespace lint {
+
+/** One formal parameter of an indexed function. */
+struct Param
+{
+    std::string name;   ///< Empty when unnamed/unrecognized.
+    bool isRef = false; ///< Declared with & / && (out-param shape).
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee;  ///< Unqualified name at the call.
+    std::string recv;    ///< Receiver ident for `recv.callee(...)`.
+    std::size_t nameTok = 0;   ///< Token index of the callee name.
+    std::size_t openParen = 0; ///< Token index of '('.
+    std::size_t closeParen = 0;
+    std::uint32_t line = 0;
+    /** Top-level argument token ranges, [first, last) per argument. */
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+};
+
+/** One function definition found in some input file. */
+struct FunctionDef
+{
+    std::size_t fileIdx = 0;
+    std::string name;  ///< Unqualified.
+    std::string qual;  ///< Enclosing class for methods, else "".
+    std::uint32_t line = 0;
+    std::size_t bodyOpen = 0;  ///< Token index of '{'.
+    std::size_t bodyClose = 0; ///< Token index of matching '}'.
+    std::vector<Param> params;
+    bool isHot = false;    ///< SB_HOT-annotated definition.
+    bool isSecret = false; ///< SB_SECRET-annotated definition.
+    /** Names declared inside the body (plus parameter names). */
+    std::set<std::string> locals;
+    std::vector<CallSite> calls;
+};
+
+/** The whole lint unit, indexed. */
+struct Program
+{
+    std::vector<FunctionDef> fns;
+    /** Unqualified name -> indices into fns. */
+    std::map<std::string, std::vector<std::size_t>> byName;
+    /** Member/variable name -> declared class/template name. */
+    std::map<std::string, std::string> varType;
+    /** Data members annotated SB_SECRET (name-keyed). */
+    std::set<std::string> secretFields;
+    /** Functions annotated SB_SECRET (secret-returning accessors). */
+    std::set<std::string> secretFns;
+    /** Names declared as (unordered_)map/set — structural ops on
+     *  these are size/shape reads, not element reads.  Program-wide
+     *  union; sound only for finding-*producing* consumers. */
+    std::set<std::string> associativeVars;
+    /** Per file (index = fileIdx): the associative names declared in
+     *  that TU.  Taint exemptions for plain local names consult this
+     *  instead of the union, so one file's `std::set<...> &out`
+     *  parameter cannot exempt a same-named secret buffer in another
+     *  file.  Shared-convention names (`_`/`g_`) still use the union:
+     *  members are declared in headers and used in .cc files. */
+    std::vector<std::set<std::string>> associativeByFile;
+    /** The unordered subset of associativeVars (hash containers,
+     *  whose mutation allocates/frees nodes). */
+    std::set<std::string> unorderedVars;
+    /** Per file: token indices covered by SB_DECLASSIFY(...). */
+    std::vector<std::vector<bool>> declassified;
+
+    /**
+     * Candidate callees for @p call made from inside @p caller.
+     * Receiver-typed when varType knows the receiver; otherwise
+     * free/self calls resolve to same-class methods and free
+     * functions, and unknown-receiver calls resolve to nothing.
+     */
+    std::vector<std::size_t> resolve(const FunctionDef &caller,
+                                     const CallSite &call) const;
+};
+
+/** Index every file of the lint unit. */
+Program buildProgram(const std::vector<std::vector<Tok>> &tokens);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_PROGRAM_HH

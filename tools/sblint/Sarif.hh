@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SARIF 2.1.0 export for sblint findings.
+ *
+ * One run, one driver ("sblint"), the full rule registry under
+ * tool.driver.rules, and one result per finding with a
+ * physicalLocation region.  The output is strict JSON — the repo's
+ * own obs/Json.hh validator gates it in the test suite — so CI can
+ * hand the file to any SARIF consumer (GitHub code scanning, IDE
+ * plugins) without post-processing.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_SARIF_HH
+#define SBORAM_TOOLS_SBLINT_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "Lint.hh"
+
+namespace sboram {
+namespace lint {
+
+/** Render @p findings as a SARIF 2.1.0 document. */
+std::string findingsToSarif(const std::vector<Finding> &findings);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_SARIF_HH

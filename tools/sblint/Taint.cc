@@ -1,0 +1,828 @@
+#include "Taint.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace sboram {
+namespace lint {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Files whose sinks are reported: the modelled hardware + service. */
+bool
+inSinkScope(const std::string &path)
+{
+    return startsWith(path, "src/oram/") ||
+           startsWith(path, "src/shadow/") ||
+           startsWith(path, "src/svc/");
+}
+
+/** Symbols shared across functions (members / globals by the repo's
+ *  naming convention) rather than per-function locals. */
+bool
+isSharedName(const std::string &name)
+{
+    return !name.empty() &&
+           (name[0] == '_' || startsWith(name, "g_"));
+}
+
+/** Calls that are taint-transparent: result taint == arg taint. */
+const std::set<std::string> &
+identityFns()
+{
+    static const std::set<std::string> k = {"move", "forward", "min",
+                                            "max",  "clamp"};
+    return k;
+}
+
+/** Member calls that read structure (size/shape/membership), not
+ *  element values — exempt on associative containers, whose shape is
+ *  public bookkeeping in this codebase. */
+const std::set<std::string> &
+structuralOps()
+{
+    static const std::set<std::string> k = {
+        "find",  "count", "contains", "erase",       "size",
+        "empty", "clear", "begin",    "end",         "cbegin",
+        "cend",  "lower_bound",       "upper_bound", "emplace",
+        "insert"};
+    return k;
+}
+
+/** Member calls that insert their arguments into the receiver. */
+const std::set<std::string> &
+insertingOps()
+{
+    static const std::set<std::string> k = {
+        "push_back", "emplace_back", "push_front", "insert",
+        "emplace",   "assign",       "append"};
+    return k;
+}
+
+/** One node of a propagation chain. */
+struct Step
+{
+    std::string sym;
+    std::string file;
+    std::uint32_t line = 0;
+    int parent = -1;
+};
+
+/** Per-function taint summary over the call graph. */
+struct Summary
+{
+    std::vector<int> param;  ///< Step id per formal, -1 = clean.
+    /** Step id per by-ref formal the callee body itself taints
+     *  (`out = e.payload;` in the callee), -1 = clean.  Call sites
+     *  back-propagate this onto plain-identifier arguments. */
+    std::vector<int> paramOut;
+    int ret = -1;            ///< Step id of the return flow.
+};
+
+class Engine
+{
+  public:
+    Engine(const Program &p, const std::vector<std::string> &paths,
+           const std::vector<std::vector<Tok>> &tokens)
+        : _p(p), _paths(paths), _tokens(tokens)
+    {
+        _summaries.resize(p.fns.size());
+        for (std::size_t i = 0; i < p.fns.size(); ++i) {
+            _summaries[i].param.assign(p.fns[i].params.size(), -1);
+            _summaries[i].paramOut.assign(p.fns[i].params.size(), -1);
+        }
+        _locals.resize(p.fns.size());
+    }
+
+    void run();
+    void scanSinks(std::vector<Finding> &out);
+    void scanTransitiveHotAlloc(std::vector<Finding> &out);
+
+  private:
+    // --- propagation ------------------------------------------------
+    void analyzeFn(std::size_t fi);
+    void handleCall(std::size_t fi, const CallSite &call);
+    int atomIn(std::size_t fi, std::size_t first, std::size_t last);
+    int lookup(std::size_t fi, const std::string &name) const;
+    int newStep(const std::string &sym, const std::string &file,
+                std::uint32_t line, int parent);
+    int seedStep(std::size_t fileIdx, std::size_t tok,
+                 const std::string &sym);
+    bool bind(std::size_t fi, const std::string &name, int step);
+    bool taint(std::size_t fi, const std::string &name, int parent,
+               std::uint32_t line);
+
+    // --- sinks ------------------------------------------------------
+    std::string chain(int step) const;
+    void sinkFinding(std::vector<Finding> &out, std::size_t fi,
+                     Rule rule, std::uint32_t line,
+                     const std::string &what, int step);
+
+    // --- transitive hot-path-alloc ---------------------------------
+    struct AllocFact
+    {
+        bool present = false;
+        std::string desc;  ///< "raw 'new' at src/...:12" etc.
+    };
+    const AllocFact &factOf(std::size_t fi);
+    AllocFact directFact(std::size_t fi) const;
+
+    const Program &_p;
+    const std::vector<std::string> &_paths;
+    const std::vector<std::vector<Tok>> &_tokens;
+
+    std::vector<Step> _steps;
+    std::map<std::string, int> _shared;
+    std::vector<std::map<std::string, int>> _locals;
+    std::vector<Summary> _summaries;
+    std::map<std::pair<std::size_t, std::size_t>, int> _seedAt;
+    std::vector<int> _factState;  ///< 0 unknown, 1 computing, 2 done.
+    std::vector<AllocFact> _facts;
+    bool _changed = false;
+};
+
+int
+Engine::newStep(const std::string &sym, const std::string &file,
+                std::uint32_t line, int parent)
+{
+    _steps.push_back({sym, file, line, parent});
+    return static_cast<int>(_steps.size()) - 1;
+}
+
+int
+Engine::seedStep(std::size_t fileIdx, std::size_t tok,
+                 const std::string &sym)
+{
+    const auto key = std::make_pair(fileIdx, tok);
+    const auto it = _seedAt.find(key);
+    if (it != _seedAt.end())
+        return it->second;
+    const int s = newStep(sym, _paths[fileIdx],
+                          _tokens[fileIdx][tok].line, -1);
+    _seedAt.emplace(key, s);
+    return s;
+}
+
+int
+Engine::lookup(std::size_t fi, const std::string &name) const
+{
+    if (isSharedName(name)) {
+        const auto it = _shared.find(name);
+        return it == _shared.end() ? -1 : it->second;
+    }
+    const auto it = _locals[fi].find(name);
+    return it == _locals[fi].end() ? -1 : it->second;
+}
+
+bool
+Engine::bind(std::size_t fi, const std::string &name, int step)
+{
+    auto &m = isSharedName(name) ? _shared : _locals[fi];
+    if (m.count(name))
+        return false;
+    m.emplace(name, step);
+    _changed = true;
+    return true;
+}
+
+bool
+Engine::taint(std::size_t fi, const std::string &name, int parent,
+              std::uint32_t line)
+{
+    auto &m = isSharedName(name) ? _shared : _locals[fi];
+    if (m.count(name))
+        return false;
+    m.emplace(name,
+              newStep(name, _paths[_p.fns[fi].fileIdx], line, parent));
+    _changed = true;
+    return true;
+}
+
+/**
+ * First secret-tainted atom in [first, last), or -1.
+ *
+ * Atoms: SB_SECRET field accesses (`x.payload`, or a bare field name
+ * that is not shadowed by a local), already-tainted symbols, calls
+ * of SB_SECRET accessors, and calls whose summary says the return is
+ * tainted.  Arguments of calls that resolve to an untainted-return
+ * function are *not* scanned — `verifyDecrypt(view, e.payload)` in a
+ * branch condition is a branch on the verdict, not the payload.
+ * Arguments of unresolvable calls are skipped too (precision over
+ * recall), except the taint-transparent identity functions.
+ * Structural ops on associative containers are exempt, and anything
+ * wrapped in SB_DECLASSIFY() is clean by fiat.
+ */
+int
+Engine::atomIn(std::size_t fi, std::size_t first, std::size_t last)
+{
+    const FunctionDef &fn = _p.fns[fi];
+    const std::vector<Tok> &t = _tokens[fn.fileIdx];
+    const std::vector<bool> &dcls = _p.declassified[fn.fileIdx];
+    last = std::min(last, t.size());
+    for (std::size_t j = first; j < last; ++j) {
+        if (j < dcls.size() && dcls[j])
+            continue;
+        const std::string &x = t[j].text;
+        if (!isIdent(x))
+            continue;
+        const std::string next = j + 1 < last ? t[j + 1].text : "";
+        if (next == "(") {
+            if (_p.secretFns.count(x))
+                return seedStep(fn.fileIdx, j, x + "()");
+            CallSite c;
+            c.callee = x;
+            if (j >= 2 &&
+                (t[j - 1].text == "." || t[j - 1].text == "->") &&
+                isIdent(t[j - 2].text))
+                c.recv = t[j - 2].text;
+            const std::vector<std::size_t> cands =
+                _p.resolve(fn, c);
+            for (std::size_t cand : cands)
+                if (_summaries[cand].ret >= 0)
+                    return _summaries[cand].ret;
+            if (!c.recv.empty() || !cands.empty() ||
+                !identityFns().count(x)) {
+                // Skip the argument list: the call's result is
+                // clean, so its inputs do not taint this context.
+                const std::size_t close =
+                    matchForward(t, j + 1, "(", ")");
+                if (close != std::string::npos)
+                    j = std::min(close, last);
+                continue;
+            }
+            continue;  // Identity fn: fall through into the args.
+        }
+        const std::string prev = j > 0 ? t[j - 1].text : "";
+        if (prev == "." || prev == "->") {
+            if (_p.secretFields.count(x))
+                return seedStep(fn.fileIdx, j, x);
+            continue;
+        }
+        if (prev == "::")
+            continue;
+        const int s = lookup(fi, x);
+        if (s >= 0) {
+            // Structural op on an associative container: shape, not
+            // contents.  The exemption is scoped: plain local names
+            // must be declared associative in *this* TU (another
+            // file's `std::set<...> &out` parameter must not exempt
+            // a secret buffer named `out` here); shared-convention
+            // members use the program-wide union since they are
+            // declared in headers.
+            const bool assoc =
+                isSharedName(x)
+                    ? _p.associativeVars.count(x) != 0
+                    : _p.associativeByFile[fn.fileIdx].count(x) != 0;
+            if (assoc && (next == "." || next == "->") &&
+                j + 3 < t.size() &&
+                structuralOps().count(t[j + 2].text) &&
+                t[j + 3].text == "(")
+                continue;
+            return s;
+        }
+        if (_p.secretFields.count(x) && !fn.locals.count(x))
+            return seedStep(fn.fileIdx, j, x);
+    }
+    return -1;
+}
+
+void
+Engine::handleCall(std::size_t fi, const CallSite &call)
+{
+    const FunctionDef &fn = _p.fns[fi];
+    const std::vector<Tok> &t = _tokens[fn.fileIdx];
+
+    // std::swap taints each side with the other's flow.
+    if (call.callee == "swap" && call.args.size() == 2) {
+        const int a0 = atomIn(fi, call.args[0].first,
+                              call.args[0].second);
+        const int a1 = atomIn(fi, call.args[1].first,
+                              call.args[1].second);
+        auto baseIdent = [&](std::size_t which) -> std::string {
+            for (std::size_t j = call.args[which].first;
+                 j < call.args[which].second; ++j)
+                if (isIdent(t[j].text) && t[j].text != "std" &&
+                    !identityFns().count(t[j].text))
+                    return t[j].text;
+            return {};
+        };
+        // A member-access side (`e.payload` / `e->payload`) receives
+        // into a *field*; tainting the base object would smear the
+        // whole struct (the model is field-name-keyed, and plain
+        // field stores `x.f = rhs` are dropped the same way).
+        auto isFieldAccess = [&](std::size_t which) {
+            for (std::size_t j = call.args[which].first;
+                 j < call.args[which].second; ++j)
+                if (t[j].text == "." || t[j].text == "->")
+                    return true;
+            return false;
+        };
+        if (a0 >= 0 && !isFieldAccess(1)) {
+            const std::string b = baseIdent(1);
+            if (!b.empty())
+                taint(fi, b, a0, call.line);
+        }
+        if (a1 >= 0 && !isFieldAccess(0)) {
+            const std::string b = baseIdent(0);
+            if (!b.empty())
+                taint(fi, b, a1, call.line);
+        }
+        return;
+    }
+
+    // Inserting a tainted value taints the receiving container.
+    if (!call.recv.empty() && insertingOps().count(call.callee)) {
+        for (const auto &[a, b] : call.args) {
+            const int s = atomIn(fi, a, b);
+            if (s >= 0) {
+                taint(fi, call.recv, s, call.line);
+                break;
+            }
+        }
+    }
+
+    // Flow into parameter summaries, and back out of reference
+    // out-params.
+    for (std::size_t cand : _p.resolve(fn, call)) {
+        const FunctionDef &callee = _p.fns[cand];
+        Summary &sum = _summaries[cand];
+        const std::size_t n =
+            std::min(call.args.size(), callee.params.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const int s =
+                atomIn(fi, call.args[i].first, call.args[i].second);
+            if (s >= 0 && sum.param[i] < 0) {
+                const std::string pname =
+                    callee.params[i].name.empty()
+                        ? callee.name + "#arg" + std::to_string(i)
+                        : callee.params[i].name;
+                sum.param[i] = newStep(pname,
+                                       _paths[callee.fileIdx],
+                                       callee.line, s);
+                _changed = true;
+            }
+            const int back =
+                sum.param[i] >= 0 ? sum.param[i] : sum.paramOut[i];
+            if (back >= 0 && callee.params[i].isRef) {
+                // `f(x)` with a tainted by-ref formal taints x —
+                // whether the taint arrived from another call site
+                // or the callee body wrote it (an out-param).  Only
+                // plain-identifier arguments (possibly wrapped in
+                // std::move).
+                std::size_t a = call.args[i].first;
+                std::size_t b = call.args[i].second;
+                if (b - a == 4 && t[a].text == "std" &&
+                    t[a + 1].text == "::" && t[a + 2].text == "move")
+                    continue;  // move(x): x is dead after the call.
+                if (b - a == 1 && isIdent(t[a].text))
+                    taint(fi, t[a].text, back, call.line);
+            }
+        }
+    }
+}
+
+void
+Engine::analyzeFn(std::size_t fi)
+{
+    const FunctionDef &fn = _p.fns[fi];
+    const std::vector<Tok> &t = _tokens[fn.fileIdx];
+
+    // Seed formals from the merged call-site summary.
+    for (std::size_t i = 0; i < fn.params.size(); ++i)
+        if (_summaries[fi].param[i] >= 0 &&
+            !fn.params[i].name.empty())
+            bind(fi, fn.params[i].name, _summaries[fi].param[i]);
+
+    for (std::size_t j = fn.bodyOpen + 1; j < fn.bodyClose; ++j) {
+        const std::string &x = t[j].text;
+
+        // Assignment / initialization / compound assignment.
+        const bool isAssign =
+            (x == "=" && j > 0 && t[j - 1].text != "<" &&
+             t[j - 1].text != ">" && t[j - 1].text != "!") ||
+            x == "+=" || x == "-=" || x == "*=" || x == "/=";
+        if (isAssign && j > fn.bodyOpen + 1) {
+            std::size_t k = j - 1;
+            if (t[k].text == "]") {
+                const std::size_t b = matchBackward(t, k, "[", "]");
+                if (b == std::string::npos || b == 0)
+                    continue;
+                k = b - 1;
+            }
+            if (!isIdent(t[k].text))
+                continue;
+            if (k > 0 &&
+                (t[k - 1].text == "." || t[k - 1].text == "->"))
+                continue;  // Field store: dropped (see DESIGN §8).
+            std::size_t end = j + 1;
+            while (end < fn.bodyClose && t[end].text != ";" &&
+                   end - j < 256)
+                ++end;
+            const int s = atomIn(fi, j + 1, end);
+            if (s >= 0)
+                taint(fi, t[k].text, s, t[j].line);
+            continue;
+        }
+
+        // Range-for over a tainted container taints the bindings.
+        if (x == "for" && j + 1 < fn.bodyClose &&
+            t[j + 1].text == "(") {
+            const std::size_t close =
+                matchForward(t, j + 1, "(", ")");
+            if (close == std::string::npos || close > fn.bodyClose)
+                continue;
+            std::size_t colon = std::string::npos;
+            int depth = 0;
+            for (std::size_t k = j + 2; k < close; ++k) {
+                const std::string &y = t[k].text;
+                if (y == "(" || y == "[" || y == "{")
+                    ++depth;
+                else if (y == ")" || y == "]" || y == "}")
+                    --depth;
+                else if (y == ":" && depth == 0) {
+                    colon = k;
+                    break;
+                }
+            }
+            if (colon == std::string::npos)
+                continue;
+            const int s = atomIn(fi, colon + 1, close);
+            if (s < 0)
+                continue;
+            for (std::size_t k = j + 2; k < colon; ++k)
+                if (isIdent(t[k].text) &&
+                    fn.locals.count(t[k].text))
+                    taint(fi, t[k].text, s, t[j].line);
+            continue;
+        }
+
+        // Return flow.
+        if (x == "return") {
+            std::size_t end = j + 1;
+            while (end < fn.bodyClose && t[end].text != ";" &&
+                   end - j < 256)
+                ++end;
+            const int s = atomIn(fi, j + 1, end);
+            if (s >= 0 && _summaries[fi].ret < 0) {
+                _summaries[fi].ret = s;
+                _changed = true;
+            }
+        }
+    }
+
+    for (const CallSite &call : fn.calls)
+        handleCall(fi, call);
+
+    // Export by-ref formals the body tainted (`out = e.payload;`)
+    // into the summary, so call sites can back-propagate onto their
+    // arguments on the next pass.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (!fn.params[i].isRef || fn.params[i].name.empty())
+            continue;
+        const int s = lookup(fi, fn.params[i].name);
+        if (s >= 0 && _summaries[fi].paramOut[i] < 0) {
+            _summaries[fi].paramOut[i] = s;
+            _changed = true;
+        }
+    }
+}
+
+void
+Engine::run()
+{
+    for (int pass = 0; pass < 24; ++pass) {
+        _changed = false;
+        for (std::size_t fi = 0; fi < _p.fns.size(); ++fi)
+            analyzeFn(fi);
+        if (!_changed)
+            return;
+    }
+}
+
+std::string
+Engine::chain(int step) const
+{
+    std::vector<int> order;
+    for (int s = step; s >= 0; s = _steps[s].parent)
+        order.push_back(s);
+    std::reverse(order.begin(), order.end());
+    std::string out;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const Step &s = _steps[order[i]];
+        if (i == 0) {
+            out += s.sym;
+        } else {
+            out += " -> " + s.sym + " at " + s.file + ":" +
+                   std::to_string(s.line);
+        }
+    }
+    return out;
+}
+
+void
+Engine::sinkFinding(std::vector<Finding> &out, std::size_t fi,
+                    Rule rule, std::uint32_t line,
+                    const std::string &what, int step)
+{
+    static const std::map<Rule, const char *> kWhy = {
+        {Rule::TaintedBranch,
+         "the modelled hardware must not branch on block contents"},
+        {Rule::TaintedIndex,
+         "secret-dependent addressing leaks through the access "
+         "trace"},
+        {Rule::TaintedLoopBound,
+         "a secret-dependent iteration count leaks through trace "
+         "length"},
+        {Rule::TaintedLength,
+         "a secret-dependent size leaks through operation length"},
+    };
+    out.push_back({_paths[_p.fns[fi].fileIdx], line, rule,
+                   what + " is secret-tainted (flow: " + chain(step) +
+                       ") — " + kWhy.at(rule) +
+                       "; restructure, or sanitize the justified "
+                       "exit with SB_DECLASSIFY"});
+}
+
+void
+Engine::scanSinks(std::vector<Finding> &out)
+{
+    for (std::size_t fi = 0; fi < _p.fns.size(); ++fi) {
+        const FunctionDef &fn = _p.fns[fi];
+        if (!inSinkScope(_paths[fn.fileIdx]))
+            continue;
+        const std::vector<Tok> &t = _tokens[fn.fileIdx];
+
+        for (std::size_t j = fn.bodyOpen + 1; j < fn.bodyClose;
+             ++j) {
+            const std::string &x = t[j].text;
+            const bool paren =
+                j + 1 < fn.bodyClose && t[j + 1].text == "(";
+
+            if ((x == "if" || x == "switch") && paren) {
+                const std::size_t close =
+                    matchForward(t, j + 1, "(", ")");
+                if (close == std::string::npos)
+                    continue;
+                const int s = atomIn(fi, j + 2, close);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedBranch,
+                                t[j].line,
+                                "'" + x + "' condition", s);
+            } else if (x == "while" && paren) {
+                const std::size_t close =
+                    matchForward(t, j + 1, "(", ")");
+                if (close == std::string::npos)
+                    continue;
+                const int s = atomIn(fi, j + 2, close);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedLoopBound,
+                                t[j].line, "'while' condition", s);
+            } else if (x == "for" && paren) {
+                const std::size_t close =
+                    matchForward(t, j + 1, "(", ")");
+                if (close == std::string::npos)
+                    continue;
+                // Condition clause = between the two top-level ';'.
+                std::size_t semi1 = 0, semi2 = 0;
+                int depth = 0;
+                for (std::size_t k = j + 2; k < close; ++k) {
+                    const std::string &y = t[k].text;
+                    if (y == "(" || y == "[" || y == "{")
+                        ++depth;
+                    else if (y == ")" || y == "]" || y == "}")
+                        --depth;
+                    else if (y == ";" && depth == 0) {
+                        if (!semi1)
+                            semi1 = k;
+                        else if (!semi2) {
+                            semi2 = k;
+                            break;
+                        }
+                    }
+                }
+                if (!semi1 || !semi2)
+                    continue;
+                const int s = atomIn(fi, semi1 + 1, semi2);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedLoopBound,
+                                t[j].line, "'for' loop bound", s);
+            } else if (x == "?" || x == "&&" || x == "||") {
+                // Same-line scan: conditional evaluation outside an
+                // if/while head (ternaries, short-circuit exprs).
+                std::size_t a = j, b = j;
+                while (a > fn.bodyOpen + 1 &&
+                       t[a - 1].line == t[j].line)
+                    --a;
+                while (b + 1 < fn.bodyClose &&
+                       t[b + 1].line == t[j].line)
+                    ++b;
+                const int s = atomIn(fi, a, b + 1);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedBranch,
+                                t[j].line,
+                                "'" + x + "' operand", s);
+            } else if (x == "[" && j > fn.bodyOpen + 1) {
+                const std::string &prev = t[j - 1].text;
+                if (!isIdent(prev) && prev != "]" && prev != ")")
+                    continue;  // Lambda intro / attribute, not a
+                               // subscript.
+                const std::size_t close =
+                    matchForward(t, j, "[", "]");
+                if (close == std::string::npos)
+                    continue;
+                const int s = atomIn(fi, j + 1, close);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedIndex,
+                                t[j].line, "subscript index", s);
+            }
+        }
+
+        // Variable-length operations.
+        static const std::set<std::string> kLenMethods = {
+            "resize", "reserve", "substr", "acquire"};
+        static const std::set<std::string> kLenFns = {
+            "memcpy", "memmove", "memset", "strncpy"};
+        for (const CallSite &call : fn.calls) {
+            if (!call.recv.empty() &&
+                kLenMethods.count(call.callee)) {
+                for (const auto &[a, b] : call.args) {
+                    const int s = atomIn(fi, a, b);
+                    if (s >= 0) {
+                        sinkFinding(out, fi, Rule::TaintedLength,
+                                    call.line,
+                                    "length argument of '" +
+                                        call.callee + "'",
+                                    s);
+                        break;
+                    }
+                }
+            } else if (call.recv.empty() &&
+                       kLenFns.count(call.callee) &&
+                       call.args.size() >= 3) {
+                const int s = atomIn(fi, call.args[2].first,
+                                     call.args[2].second);
+                if (s >= 0)
+                    sinkFinding(out, fi, Rule::TaintedLength,
+                                call.line,
+                                "byte count of '" + call.callee +
+                                    "'",
+                                s);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transitive hot-path-alloc
+// ---------------------------------------------------------------------
+
+Engine::AllocFact
+Engine::directFact(std::size_t fi) const
+{
+    const FunctionDef &fn = _p.fns[fi];
+    const std::string &path = _paths[fn.fileIdx];
+    AllocFact none;
+    // The pool is the sanctioned allocator: its cold-path refills
+    // are the whole point of routing hot-path buffers through it.
+    if (path == "src/common/VectorPool.hh")
+        return none;
+    const std::vector<Tok> &t = _tokens[fn.fileIdx];
+    auto at = [&](std::size_t j, const std::string &what) {
+        AllocFact f;
+        f.present = true;
+        f.desc = what + " at " + path + ":" +
+                 std::to_string(t[j].line);
+        return f;
+    };
+    for (std::size_t j = fn.bodyOpen + 1; j < fn.bodyClose; ++j) {
+        const std::string &x = t[j].text;
+        const std::string &prev = t[j - 1].text;
+        if (x == "new" && prev != "operator" && prev != "=")
+            return at(j, "raw 'new'");
+        if ((x == "make_unique" || x == "make_shared") &&
+            j + 1 < fn.bodyClose &&
+            (t[j + 1].text == "<" || t[j + 1].text == "("))
+            return at(j, "'" + x + "'");
+        if (x == "vector" && j + 1 < fn.bodyClose &&
+            t[j + 1].text == "<") {
+            const std::size_t gt = matchForward(t, j + 1, "<", ">");
+            if (gt == std::string::npos || gt + 1 >= fn.bodyClose)
+                continue;
+            const std::string &after = t[gt + 1].text;
+            if (after != "&" && after != "*" && isIdent(after))
+                return at(j, "std::vector construction");
+        }
+        if (isIdent(x) && _p.unorderedVars.count(x) &&
+            j + 2 < fn.bodyClose) {
+            const std::string &nx = t[j + 1].text;
+            if (nx == "[")
+                return at(j, "operator[] on unordered '" + x + "'");
+            if ((nx == "." || nx == "->") &&
+                (t[j + 2].text == "insert" ||
+                 t[j + 2].text == "emplace" ||
+                 t[j + 2].text == "erase" ||
+                 t[j + 2].text == "try_emplace"))
+                return at(j, "'" + t[j + 2].text +
+                                 "' on unordered '" + x + "'");
+        }
+    }
+    return none;
+}
+
+const Engine::AllocFact &
+Engine::factOf(std::size_t fi)
+{
+    if (_factState.empty()) {
+        _factState.assign(_p.fns.size(), 0);
+        _facts.assign(_p.fns.size(), AllocFact{});
+    }
+    if (_factState[fi] == 2)
+        return _facts[fi];
+    if (_factState[fi] == 1)
+        return _facts[fi];  // Cycle: treat as clean while computing.
+    _factState[fi] = 1;
+    AllocFact f = directFact(fi);
+    if (!f.present) {
+        const FunctionDef &fn = _p.fns[fi];
+        for (const CallSite &call : fn.calls) {
+            for (std::size_t cand : _p.resolve(fn, call)) {
+                const AllocFact &sub = factOf(cand);
+                if (sub.present) {
+                    f.present = true;
+                    f.desc = sub.desc + " (via '" + call.callee +
+                             "')";
+                    break;
+                }
+            }
+            if (f.present)
+                break;
+        }
+    }
+    _facts[fi] = std::move(f);
+    _factState[fi] = 2;
+    return _facts[fi];
+}
+
+void
+Engine::scanTransitiveHotAlloc(std::vector<Finding> &out)
+{
+    for (std::size_t fi = 0; fi < _p.fns.size(); ++fi) {
+        const FunctionDef &fn = _p.fns[fi];
+        if (!fn.isHot)
+            continue;
+        for (const CallSite &call : fn.calls) {
+            for (std::size_t cand : _p.resolve(fn, call)) {
+                if (_p.fns[cand].isHot)
+                    continue;  // Hot callees are audited directly.
+                const AllocFact &f = factOf(cand);
+                if (!f.present)
+                    continue;
+                out.push_back(
+                    {_paths[fn.fileIdx], call.line,
+                     Rule::HotPathAlloc,
+                     "SB_HOT '" + fn.name + "' calls '" +
+                         call.callee + "', which allocates: " +
+                         f.desc +
+                         " — the per-access hot path must be "
+                         "allocation-free end to end"});
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+runDataflow(const Program &p, const std::vector<std::string> &paths,
+            const std::vector<std::vector<Tok>> &tokens)
+{
+    Engine e(p, paths, tokens);
+    e.run();
+    std::vector<Finding> out;
+    e.scanSinks(out);
+    e.scanTransitiveHotAlloc(out);
+    // One finding per (file, line, rule): dense expressions repeat.
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Finding &a, const Finding &b) {
+                              return a.file == b.file &&
+                                     a.line == b.line &&
+                                     a.rule == b.rule;
+                          }),
+              out.end());
+    return out;
+}
+
+} // namespace lint
+} // namespace sboram

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * sblint forward taint engine for the obliviousness contract.
+ *
+ * Sources are `SB_SECRET` annotations (data members and
+ * secret-returning accessors).  Taint propagates through
+ * assignments, initializers, compound assignment, std::swap,
+ * container inserts, call arguments (into parameter summaries, to a
+ * fixed point over the cross-file call graph), reference out-params,
+ * and return values.  `SB_DECLASSIFY(expr)` is the sanitizer: atoms
+ * inside its parens never seed or extend a flow.
+ *
+ * Sinks — reported only inside the modelled hardware + service
+ * layers (src/oram, src/shadow, src/svc) — are the four classic
+ * side channels:
+ *
+ *   tainted-branch      if/switch/ternary/short-circuit conditions
+ *   tainted-index       array/pointer subscripts
+ *   tainted-loop-bound  while/for conditions
+ *   tainted-length      resize/reserve/substr/pool-acquire sizes and
+ *                       mem{cpy,move,set}/strncpy byte counts
+ *
+ * Every finding carries the full propagation chain
+ * (`payload -> tmp at Stash.cc:112 -> idx at TinyOram.cc:409`) so a
+ * reviewer can audit the flow without re-running the analysis.
+ *
+ * The same call graph powers the transitive `hot-path-alloc` pass:
+ * an SB_HOT function calling (through any depth) a helper that
+ * allocates — raw new, make_unique/make_shared, constructing a
+ * std::vector, or mutating an unordered container — is a finding at
+ * the call site.  VectorPool is exempt: it *is* the sanctioned
+ * allocator.
+ *
+ * The lattice is the powerset of program symbols ordered by
+ * inclusion; every transfer function only adds taint, so the global
+ * fixed point terminates even on recursive call graphs.  Explicit
+ * flows only — control-dependence (implicit) flows and
+ * iterator-mediated flows are out of scope; DESIGN.md §8 documents
+ * the full soundness story.
+ */
+
+#ifndef SBORAM_TOOLS_SBLINT_TAINT_HH
+#define SBORAM_TOOLS_SBLINT_TAINT_HH
+
+#include <string>
+#include <vector>
+
+#include "Lint.hh"
+#include "Program.hh"
+
+namespace sboram {
+namespace lint {
+
+/**
+ * Run taint propagation to a fixed point and scan the sinks, then
+ * run the transitive hot-path-alloc pass.  @p paths maps file index
+ * to the repo-relative path (for scoping and chain rendering).
+ * Returns raw findings (suppression handling is the caller's job).
+ */
+std::vector<Finding>
+runDataflow(const Program &p, const std::vector<std::string> &paths,
+            const std::vector<std::vector<Tok>> &tokens);
+
+} // namespace lint
+} // namespace sboram
+
+#endif // SBORAM_TOOLS_SBLINT_TAINT_HH

@@ -2,13 +2,20 @@
  * @file
  * sblint CLI.
  *
- *     sblint [--json] [--list-rules] [--root DIR] PATH...
+ *     sblint [--json] [--sarif FILE] [--diff-base REV]
+ *            [--list-rules] [--root DIR] PATH...
  *
  * Each PATH is a file or directory (directories are walked for
  * .cc/.hh sources), resolved relative to --root (default: the
  * current directory).  Exit status: 0 clean, 1 findings, 2 usage
  * error.  Paths are reported repo-relative so rule scoping
  * (src/oram/..., bench/...) works from any checkout location.
+ *
+ * --sarif FILE writes the findings as SARIF 2.1.0 alongside the
+ * normal output.  --diff-base REV restricts *reported* findings to
+ * lines changed since REV (`git diff -U0 REV`) — the analysis still
+ * runs whole-program, only the report is filtered, so incremental
+ * runs see cross-file taint but stay quiet about pre-existing debt.
  */
 
 #include <algorithm>
@@ -23,7 +30,9 @@
 #include <dirent.h>
 #include <sys/stat.h>
 
+#include "DiffFilter.hh"
 #include "Lint.hh"
+#include "Sarif.hh"
 
 namespace {
 
@@ -84,6 +93,25 @@ collect(const std::string &root, const std::string &rel,
     return ok;
 }
 
+/** `git diff -U0 <rev>` over the lint root; empty on failure. */
+bool
+gitDiffSince(const std::string &root, const std::string &rev,
+             std::string &out)
+{
+    std::string cmd = "git";
+    if (!root.empty())
+        cmd += " -C '" + root + "'";
+    cmd += " diff -U0 '" + rev + "' 2>/dev/null";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return false;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    return ::pclose(pipe) == 0;
+}
+
 } // namespace
 
 int
@@ -91,8 +119,13 @@ main(int argc, char **argv)
 {
     bool json = false;
     std::string root;
+    std::string sarifPath;
+    std::string diffBase;
     std::vector<std::string> paths;
 
+    const char *kUsage =
+        "usage: sblint [--json] [--sarif FILE] [--diff-base REV] "
+        "[--list-rules] [--root DIR] PATH...\n";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
@@ -108,9 +141,22 @@ main(int argc, char **argv)
                 return 2;
             }
             root = argv[i];
+        } else if (arg == "--sarif") {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "sblint: --sarif needs a file path\n");
+                return 2;
+            }
+            sarifPath = argv[i];
+        } else if (arg == "--diff-base") {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "sblint: --diff-base needs a revision\n");
+                return 2;
+            }
+            diffBase = argv[i];
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: sblint [--json] [--list-rules] "
-                        "[--root DIR] PATH...\n");
+            std::printf("%s", kUsage);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "sblint: unknown option '%s'\n",
@@ -121,9 +167,7 @@ main(int argc, char **argv)
         }
     }
     if (paths.empty()) {
-        std::fprintf(stderr,
-                     "usage: sblint [--json] [--list-rules] "
-                     "[--root DIR] PATH...\n");
+        std::fprintf(stderr, "%s", kUsage);
         return 2;
     }
 
@@ -161,7 +205,30 @@ main(int argc, char **argv)
         sources.push_back({rel, body.str()});
     }
 
-    const auto findings = sboram::lint::lintSources(sources);
+    auto findings = sboram::lint::lintSources(sources);
+
+    if (!diffBase.empty()) {
+        std::string diffText;
+        if (!gitDiffSince(root, diffBase, diffText)) {
+            std::fprintf(stderr,
+                         "sblint: git diff against '%s' failed\n",
+                         diffBase.c_str());
+            return 2;
+        }
+        findings = sboram::lint::filterToDiff(
+            findings, sboram::lint::parseUnifiedDiff(diffText));
+    }
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "sblint: cannot write '%s'\n",
+                         sarifPath.c_str());
+            return 2;
+        }
+        out << sboram::lint::findingsToSarif(findings);
+    }
+
     if (json) {
         std::fputs(sboram::lint::findingsToJson(findings).c_str(),
                    stdout);
