@@ -28,6 +28,7 @@
 #include "common/Stats.hh"
 #include "common/Table.hh"
 #include "common/Version.hh"
+#include "obs/FlightRecorder.hh"
 #include "obs/Observer.hh"
 #include "sim/ExperimentRunner.hh"
 #include "sim/System.hh"
@@ -179,13 +180,23 @@ normalize(const RunMetrics &m, const RunMetrics &base)
  * supplies a @p fallback synthesized from its structured fields.
  * The line is always emitted on a fatal exit (not only under
  * SB_PANIC) so harnesses can classify any dead process.
+ *
+ * Every line unconditionally carries the service-forensics fields
+ * (pressure latch, degraded latch, last watchdog tick) — cheap,
+ * always current, and exactly the context a post-mortem wants first.
+ * When the failing run handed its flight ring to the panic slot, a
+ * second `panic-flight:` line dumps the last control events in full.
  */
 inline void
 emitPanicDiag(const std::string &fallback)
 {
     const std::string &diag = panicDiag();
-    std::fprintf(stderr, "panic-diag: %s\n",
-                 diag.empty() ? fallback.c_str() : diag.c_str());
+    std::fprintf(stderr, "panic-diag: %s%s\n",
+                 diag.empty() ? fallback.c_str() : diag.c_str(),
+                 obs::forensicsSuffix().c_str());
+    const std::string flight = obs::panicFlight();
+    if (!flight.empty())
+        std::fprintf(stderr, "panic-flight: %s\n", flight.c_str());
 }
 
 /**
@@ -375,6 +386,19 @@ guardedMain(int argc, char **argv, int (*body)())
     const int code = guardedMain(body);
     const std::string dir = obsDir.empty() ? "." : obsDir;
     obs::writeRunnerTrace(dir + "/trace-runner.json");
+    // Flight-recorder artifact: every published ring dump, plus the
+    // panic dump when the run died (a clean exit keeps its artifact
+    // free of the "panic" key so harnesses can grep for it).
+    const std::string flightArtifact =
+        obs::renderFlightArtifact(code != 0);
+    if (!flightArtifact.empty()) {
+        const std::string flightPath =
+            dir + "/flightrec-" + benchName(argv[0]) + ".json";
+        if (obs::writeTextFile(flightPath, flightArtifact))
+            obs::recordArtifact(flightPath);
+        else
+            SB_WARN("cannot write %s", flightPath.c_str());
+    }
     writeManifest(dir, benchName(argv[0]), argc, argv, code,
                   obs::wallMicros() - t0);
     return code;

@@ -281,6 +281,34 @@ struct PointResult
 static int
 runBench()
 {
+    // Forced-panic drill: one unprotected point — heavy fault storm,
+    // Throw policy, no rollback budget, no session — so the
+    // CorruptionError escapes runSystem and unwinds all the way to
+    // guardedMain.  This exercises the real panic path end to end:
+    // exit code 2, panic-diag + panic-flight on stderr, and a
+    // flightrec artifact carrying the "panic" dump.  The drill's
+    // simulated outcome is itself deterministic (PRF faults, fixed
+    // trace); the switch only selects which experiment runs.
+    // sblint:allow-next-line(ambient-nondeterminism): panic-drill on/off switch, not an experiment knob
+    if (const char *drill = std::getenv("SB_CHAOS_FORCE_PANIC")) {
+        if (drill[0] == '1') {
+            SystemConfig cfg = chaosSystem();
+            cfg.scheme = Scheme::Tiny;
+            cfg.oram.fault.rate = 0.05;
+            cfg.oram.fault.seed = 7;
+            cfg.oram.fault.onUnrecoverable =
+                UnrecoverablePolicy::Throw;
+            cfg.maxAutoRollbacks = 0;
+            const SharedTrace trace = cachedTrace("mcf", 600,
+                                                  kBenchSeed);
+            runSystem(cfg, *trace);
+            std::fprintf(stderr,
+                         "chaos_storm: forced-panic drill survived — "
+                         "the storm did not corrupt anything\n");
+            return 1;
+        }
+    }
+
     const std::vector<Profile> profiles = makeProfiles();
     const std::string workload = "mcf";
     // Phase length is an experiment parameter, not a throughput knob:

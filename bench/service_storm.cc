@@ -35,6 +35,9 @@
 #include <vector>
 
 #include "BenchUtil.hh"
+#include "ckpt/Serde.hh"
+#include "obs/Observer.hh"
+#include "obs/RequestTrace.hh"
 #include "svc/Service.hh"
 
 using namespace sboram;
@@ -161,16 +164,33 @@ outcomeFingerprint(const PointOutcome &o)
     if (o.stalled)
         return 0x57a11ULL;
     const svc::ServiceStats &s = o.s;
-    return s.finishTime + s.completed * 31 + s.requestsShed * 37 +
-           s.shedAdmission * 41 + s.shedDeadline * 43 +
-           s.dedupJoins * 7 + s.shadowEarlyCompletions * 11 +
-           s.retries * 13 + s.deadlineMisses * 17 +
-           s.maxQueueDepth * 19 + s.backpressureEntries * 23 +
-           s.issuedAccesses * 29 + s.latencyP50 * 3 +
-           s.latencyP99 * 5 + s.latencyP999 * 53 + s.latencyMax * 59 +
-           s.oram.pathReads * 61 + s.oram.shadowForwards * 67 +
-           s.oram.faultsDetected * 71 + s.oram.faultsRecovered * 73 +
-           s.oram.faultsUnrecoverable * 79;
+    std::uint64_t h =
+        s.finishTime + s.completed * 31 + s.requestsShed * 37 +
+        s.shedAdmission * 41 + s.shedDeadline * 43 +
+        s.dedupJoins * 7 + s.shadowEarlyCompletions * 11 +
+        s.retries * 13 + s.deadlineMisses * 17 +
+        s.maxQueueDepth * 19 + s.backpressureEntries * 23 +
+        s.issuedAccesses * 29 + s.latencyP50 * 3 +
+        s.latencyP99 * 5 + s.latencyP999 * 53 + s.latencyMax * 59 +
+        s.oram.pathReads * 61 + s.oram.shadowForwards * 67 +
+        s.oram.faultsDetected * 71 + s.oram.faultsRecovered * 73 +
+        s.oram.faultsUnrecoverable * 79;
+    // Attribution and observability outputs are part of the outcome:
+    // the two passes must agree on the stage cuts, the SLO verdicts
+    // and the exemplar/flight artifacts byte-for-byte.
+    h += s.stageBalanceViolations * 83 + s.sloWindows * 89 +
+         s.sloBreaches * 97 + s.sloWorstBurnMilli * 101;
+    for (std::size_t i = 0; i < obs::kStageIdCount; ++i)
+        h += s.stages[i].total * (103 + 2 * i) +
+             s.stages[i].count * (131 + 2 * i) +
+             s.stages[i].p999 * (151 + 2 * i);
+    h ^= ckpt::fnv1a(reinterpret_cast<const std::uint8_t *>(
+                         s.exemplarsJsonl.data()),
+                     s.exemplarsJsonl.size());
+    h ^= ckpt::fnv1a(
+        reinterpret_cast<const std::uint8_t *>(s.flightJson.data()),
+        s.flightJson.size(), 0x9e3779b97f4a7c15ULL);
+    return h;
 }
 
 /** Run one point.  Self-contained for defer(): capture by value.  A
@@ -281,6 +301,10 @@ runBench()
             cfg.requests = requests;
             if (profile.deadline)
                 cfg.deadline = profile.deadline;
+            // SLO: a request is good iff it completes within the
+            // point's deadline; windows/thresholds keep the SloConfig
+            // defaults.  Deterministic — pure function of the config.
+            cfg.slo.latencyBound = cfg.deadline;
             if (profile.faults) {
                 // Fail-operational: duplication heals what it can,
                 // quarantine retires repeat offenders, and a loss
@@ -362,6 +386,48 @@ runBench()
         "duplicating policies beating tiny on p99 is the paper's "
         "forwarding argument measured as tail latency\n");
 
+    // Tail attribution: the same completions, cut per causal stage —
+    // this is the "where does p999 live" table.  Every row's stage
+    // totals sum exactly to its measured latency (the balance gate
+    // below fails the bench otherwise).
+    Table at("Tail attribution — per-stage latency decomposition");
+    at.header({"profile", "policy", "stage", "count", "p50", "p99",
+               "p999", "max"});
+    std::uint64_t balanceViolations = 0;
+    std::uint64_t sloBreachTotal = 0;
+    for (const Row &row : rows) {
+        balanceViolations += row.o.s.stageBalanceViolations;
+        sloBreachTotal += row.o.s.sloBreaches;
+        for (std::size_t i = 0; i < obs::kStageIdCount; ++i) {
+            const obs::StageCut &cut = row.o.s.stages[i];
+            if (cut.count == 0)
+                continue;
+            at.beginRow(row.profile);
+            at.cell(row.policy);
+            at.cell(obs::stageName(static_cast<obs::StageId>(i)));
+            at.cell(cut.count);
+            at.cell(static_cast<std::uint64_t>(cut.p50));
+            at.cell(static_cast<std::uint64_t>(cut.p99));
+            at.cell(static_cast<std::uint64_t>(cut.p999));
+            at.cell(static_cast<std::uint64_t>(cut.max));
+        }
+    }
+    at.print();
+    if (balanceViolations != 0) {
+        std::fprintf(stderr,
+                     "service_storm: %llu completion(s) whose stage "
+                     "totals do not sum to the measured latency — the "
+                     "attribution is lying\n",
+                     static_cast<unsigned long long>(
+                         balanceViolations));
+        return 1;
+    }
+    std::printf("stage-balance: ok (every completion's stage totals "
+                "sum to its latency)\n");
+    std::printf("slo: %llu burn-rate breach(es) across all points "
+                "(deadline-bound objective, default windows)\n",
+                static_cast<unsigned long long>(sloBreachTotal));
+
     if (FILE *f = std::fopen("BENCH_latency.json", "w")) {
         std::fprintf(f,
                      "{\n"
@@ -392,7 +458,7 @@ runBench()
                 "\"latency_p50\": %llu, \"latency_p99\": %llu, "
                 "\"latency_p999\": %llu, \"latency_max\": %llu, "
                 "\"latency_mean\": %.2f, "
-                "\"finish_time\": %llu}%s\n",
+                "\"finish_time\": %llu, ",
                 rows[i].profile, rows[i].policy, s.availability(),
                 static_cast<unsigned long long>(s.completed),
                 static_cast<unsigned long long>(s.requestsShed),
@@ -413,8 +479,39 @@ runBench()
                 static_cast<unsigned long long>(s.latencyP999),
                 static_cast<unsigned long long>(s.latencyMax),
                 s.latencyMean,
-                static_cast<unsigned long long>(s.finishTime),
-                i + 1 < rows.size() ? "," : "");
+                static_cast<unsigned long long>(s.finishTime));
+            std::fprintf(
+                f,
+                "\"stage_balance_violations\": %llu, "
+                "\"slo_windows\": %llu, \"slo_breaches\": %llu, "
+                "\"slo_worst_burn_milli\": %llu, \"stages\": {",
+                static_cast<unsigned long long>(
+                    s.stageBalanceViolations),
+                static_cast<unsigned long long>(s.sloWindows),
+                static_cast<unsigned long long>(s.sloBreaches),
+                static_cast<unsigned long long>(s.sloWorstBurnMilli));
+            bool firstStage = true;
+            for (std::size_t j = 0; j < obs::kStageIdCount; ++j) {
+                const obs::StageCut &cut = s.stages[j];
+                if (cut.count == 0)
+                    continue;
+                std::fprintf(
+                    f,
+                    "%s\"%s\": {\"count\": %llu, \"total\": %llu, "
+                    "\"p50\": %llu, \"p99\": %llu, \"p999\": %llu, "
+                    "\"max\": %llu}",
+                    firstStage ? "" : ", ",
+                    obs::stageName(static_cast<obs::StageId>(j)),
+                    static_cast<unsigned long long>(cut.count),
+                    static_cast<unsigned long long>(cut.total),
+                    static_cast<unsigned long long>(cut.p50),
+                    static_cast<unsigned long long>(cut.p99),
+                    static_cast<unsigned long long>(cut.p999),
+                    static_cast<unsigned long long>(cut.max));
+                firstStage = false;
+            }
+            std::fprintf(f, "}}%s\n",
+                         i + 1 < rows.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
@@ -422,6 +519,32 @@ runBench()
         std::fprintf(stderr,
                      "service_storm: cannot write "
                      "BENCH_latency.json\n");
+    }
+
+    // Exemplar traces: a header line per point, then that point's
+    // PRF-sampled exemplar rows — each links a high log2 latency bin
+    // to a concrete request timeline.  Pure virtual-time content, so
+    // the file is byte-identical at any SB_BENCH_THREADS.
+    {
+        std::string jsonl;
+        for (const Row &row : rows) {
+            jsonl += "{\"point\": {\"profile\": \"";
+            jsonl += row.profile;
+            jsonl += "\", \"policy\": \"";
+            jsonl += row.policy;
+            jsonl += "\"}}\n";
+            jsonl += row.o.s.exemplarsJsonl;
+        }
+        const std::string dir = obs::dirOverride();
+        const std::string path =
+            (dir.empty() ? std::string(".") : dir) +
+            "/exemplars-service_storm.jsonl";
+        if (obs::writeTextFile(path, jsonl))
+            obs::recordArtifact(path);
+        else
+            std::fprintf(stderr,
+                         "service_storm: cannot write %s\n",
+                         path.c_str());
     }
 
     if (watchdogTrips != 0) {

@@ -39,14 +39,18 @@
 namespace sboram {
 namespace ckpt {
 
-/** Current snapshot format version.  Version 4: the RecoveryManager
- *  state grew the service-pressure latch, and service-mode snapshots
- *  add the kSectionSvc cursor (arrival-generator state, admitted
- *  queue, latency samples).  Version 3 added the recovery ladder's
- *  state, the tier-3 reseed generation and resilience counters.  Old
+/** Current snapshot format version.  Version 5: histograms gained a
+ *  binning-kind tag in their serialized form and the new
+ *  kSectionReqObs carries the request-observability state (timeline
+ *  pool, stage accumulator, exemplar reservoir, SLO monitor, flight
+ *  recorder).  Version 4: the RecoveryManager state grew the
+ *  service-pressure latch, and service-mode snapshots add the
+ *  kSectionSvc cursor (arrival-generator state, admitted queue,
+ *  latency samples).  Version 3 added the recovery ladder's state,
+ *  the tier-3 reseed generation and resilience counters.  Old
  *  snapshots are rejected with CkptVersionError before any state is
  *  mutated and fall back per the existing recovery tiers. */
-constexpr std::uint32_t kSnapshotVersion = 4;
+constexpr std::uint32_t kSnapshotVersion = 5;
 
 /** Well-known section ids used by sim/System and friends. */
 enum SectionId : std::uint32_t
@@ -60,6 +64,8 @@ enum SectionId : std::uint32_t
     kSectionMem = 7,      ///< InsecureMemory baseline state.
     kSectionObs = 8,      ///< Observability counters/sampler (optional).
     kSectionSvc = 9,      ///< Service pipeline (arrivals cursor, queue).
+    kSectionReqObs = 10,  ///< Request observability (timelines, exemplars,
+                          ///< SLO monitor, flight recorder).
     kSectionResult = 100, ///< Final RunMetrics of a completed point.
 };
 

@@ -58,6 +58,8 @@ inline constexpr char kMetricSvcDeadlineMisses[] =
 inline constexpr char kMetricSvcRetries[] = "svc.retries";
 /** Reads completed by fanning out another reader's path access. */
 inline constexpr char kMetricSvcDedupJoins[] = "svc.dedup_joins";
+/** SLO burn-rate windows whose burn crossed the breach threshold. */
+inline constexpr char kMetricSvcSloBreaches[] = "svc.slo_breaches";
 
 // --- Gauges (instantaneous, polled at each sample) -------------------
 
@@ -89,6 +91,27 @@ inline constexpr char kMetricSvcBackpressure[] = "svc.backpressure";
 inline constexpr char kMetricReqLatency[] = "req.latency";
 /** Service latency (cycles from arrival to data forward). */
 inline constexpr char kMetricSvcLatency[] = "svc.latency";
+
+// --- Request stages (RequestTrace timelines) -------------------------
+//
+// Stage names label per-request timeline segments and double as the
+// per-stage latency histogram names in the attribution table.  Like
+// metric names they must come from this header: sblint's
+// untracked-metric rule also checks the first argument of every
+// TimelineRecord::stage() call and treats kStage* identifiers
+// declared here as the canonical stage vocabulary.
+
+/** Waiting in the admission queue, eligible or not yet issued. */
+inline constexpr char kStageQueueWait[] = "svc.stage.queue_wait";
+/** Parked in the PRF-jittered backoff window after a deadline miss. */
+inline constexpr char kStageRetryBackoff[] = "svc.stage.retry_backoff";
+/** Riding another reader's in-flight path access (dedup fan-out). */
+inline constexpr char kStageDedupJoin[] = "svc.stage.dedup_join";
+/** Own path access, data forwarded at the natural path position. */
+inline constexpr char kStagePathAccess[] = "svc.stage.path_access";
+/** Own path access, data forwarded early by a shadow copy. */
+inline constexpr char kStageShadowForward[] =
+    "svc.stage.shadow_forward";
 
 } // namespace obs
 } // namespace sboram

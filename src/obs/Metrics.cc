@@ -46,6 +46,16 @@ MetricRegistry::histogram(const char *name, std::size_t bins,
     return _histograms.back().item;
 }
 
+HistogramSink &
+MetricRegistry::histogramLog2(const char *name, std::size_t bins)
+{
+    for (auto &h : _histograms)
+        if (h.name == name)
+            return h.item;
+    _histograms.push_back({name, HistogramSink::makeLog2(bins)});
+    return _histograms.back().item;
+}
+
 std::vector<double>
 MetricRegistry::sampleValues() const
 {
@@ -155,8 +165,10 @@ IntervalSampler::renderJsonl() const
         out += "}\n";
     }
     for (const auto &h : _registry.histograms()) {
-        out += "{\"histogram\": \"" + h.name +
-               "\", \"bin_width\": " +
+        const bool log2 =
+            h.sink->kind() == HistogramSink::Kind::Log2;
+        out += "{\"histogram\": \"" + h.name + "\", \"kind\": \"" +
+               (log2 ? "log2" : "linear") + "\", \"bin_width\": " +
                formatDouble(h.sink->binWidth()) +
                ", \"samples\": " + std::to_string(h.sink->samples()) +
                ", \"counts\": [";

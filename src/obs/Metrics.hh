@@ -38,25 +38,108 @@ struct Counter
     void add(std::uint64_t delta = 1) { value += delta; }
 };
 
-/** Fixed-bin histogram over [0, bins*width) with an overflow bin. */
+/** Sub-buckets per octave of the Log2 (HDR-style) histogram kind: a
+ *  power of two, giving a fixed <= 12.5% relative bin width at any
+ *  magnitude. */
+inline constexpr std::size_t kLog2SubBuckets = 8;
+
+/** Default bin count for log-bucketed latency histograms: 192 bins of
+ *  8 sub-buckets cover values up to ~2^26 cycles before the overflow
+ *  bin — storm-profile retry latencies sit mid-range instead of
+ *  clipping as they did under 64 linear bins. */
+inline constexpr std::size_t kDefaultLog2Bins = 192;
+
+/**
+ * Fixed-capacity histogram with an overflow bin.  Two binning kinds:
+ *  - Linear: bin i covers [i*width, (i+1)*width) — the PR 5 layout;
+ *  - Log2: HDR-style log-bucketed bins, kLog2SubBuckets per octave,
+ *    exact integer boundaries (values are virtual cycles), so tail
+ *    percentile bins stay ~12.5% wide at any latency magnitude.
+ * The serialized form leads with a kind tag; snapshot version 5 gates
+ * the format change (older snapshots are rejected before any state
+ * mutates and the run replays from scratch).
+ */
 class HistogramSink
 {
   public:
+    enum class Kind : std::uint8_t { Linear = 0, Log2 = 1 };
+
     HistogramSink(std::size_t bins, double width)
         : _width(width <= 0.0 ? 1.0 : width), _counts(bins + 1, 0) {}
+
+    /** Log2-binned sink with @p bins bins plus overflow. */
+    static HistogramSink
+    makeLog2(std::size_t bins)
+    {
+        HistogramSink h(bins, 1.0);
+        h._kind = Kind::Log2;
+        return h;
+    }
 
     void
     sample(double v)
     {
-        std::size_t bin = v < 0
-            ? 0
-            : static_cast<std::size_t>(v / _width);
+        std::size_t bin;
+        if (_kind == Kind::Log2) {
+            bin = log2BinOf(
+                v < 0 ? 0 : static_cast<std::uint64_t>(v),
+                _counts.size() - 1);
+        } else {
+            bin = v < 0 ? 0 : static_cast<std::size_t>(v / _width);
+        }
         if (bin >= _counts.size() - 1)
             bin = _counts.size() - 1;
         ++_counts[bin];
         ++_n;
     }
 
+    /**
+     * Log2 bin index of @p v among @p bins bins (values >= the top
+     * boundary land in the clamped last bin).  Shared with the
+     * exemplar reservoir so "high histogram bin" means the same thing
+     * in the histogram footer and the exemplar rows.
+     */
+    static std::size_t
+    log2BinOf(std::uint64_t v, std::size_t bins)
+    {
+        std::size_t bin;
+        if (v < kLog2SubBuckets) {
+            bin = static_cast<std::size_t>(v);
+        } else {
+            unsigned msb = 0;
+            for (std::uint64_t x = v; x > 1; x >>= 1)
+                ++msb;
+            // log2(kLog2SubBuckets) low bits become the sub-bucket.
+            unsigned k = 0;
+            for (std::size_t s = kLog2SubBuckets; s > 1; s >>= 1)
+                ++k;
+            const std::uint64_t sub =
+                (v >> (msb - k)) & (kLog2SubBuckets - 1);
+            bin = static_cast<std::size_t>(msb - k + 1) *
+                      kLog2SubBuckets +
+                  static_cast<std::size_t>(sub);
+        }
+        return bin >= bins ? bins - 1 : bin;
+    }
+
+    /** Inclusive-lo / exclusive-hi value boundaries of a log2 bin. */
+    static void
+    log2BinBounds(std::size_t bin, std::uint64_t &lo,
+                  std::uint64_t &hi)
+    {
+        if (bin < kLog2SubBuckets) {
+            lo = bin;
+            hi = bin + 1;
+            return;
+        }
+        const std::size_t octave = bin / kLog2SubBuckets;
+        const std::size_t sub = bin % kLog2SubBuckets;
+        lo = static_cast<std::uint64_t>(kLog2SubBuckets + sub)
+             << (octave - 1);
+        hi = lo + (std::uint64_t(1) << (octave - 1));
+    }
+
+    Kind kind() const { return _kind; }
     const std::vector<std::uint64_t> &counts() const { return _counts; }
     std::uint64_t samples() const { return _n; }
     double binWidth() const { return _width; }
@@ -64,6 +147,7 @@ class HistogramSink
     void
     saveState(ckpt::Serializer &out) const
     {
+        out.u8(static_cast<std::uint8_t>(_kind));
         out.f64(_width);
         out.u64(_n);
         out.vecU64(_counts);
@@ -72,12 +156,14 @@ class HistogramSink
     void
     loadState(ckpt::Deserializer &in)
     {
+        _kind = static_cast<Kind>(in.u8());
         _width = in.f64();
         _n = in.u64();
         _counts = in.vecU64();
     }
 
   private:
+    Kind _kind = Kind::Linear;
     double _width;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _n = 0;
@@ -100,6 +186,9 @@ class MetricRegistry
     /** Histogram under @p name (created on first use). */
     HistogramSink &histogram(const char *name, std::size_t bins,
                              double width);
+
+    /** Log2-binned histogram under @p name (created on first use). */
+    HistogramSink &histogramLog2(const char *name, std::size_t bins);
 
     /**
      * Current value of every counter and gauge, in registration

@@ -105,6 +105,13 @@ setDirOverride(const std::string &dir)
 }
 
 std::string
+dirOverride()
+{
+    std::lock_guard<std::mutex> lock(g_obsMutex);
+    return g_dirOverride;
+}
+
+std::string
 makeLabel(const std::string &workload, std::uint64_t fingerprint)
 {
     std::string label;
@@ -178,8 +185,8 @@ RunObserver::RunObserver(const ObsConfig &cfg)
     if (_cfg.trace)
         _trace = std::make_unique<TraceSession>();
     if (_cfg.metrics)
-        _reqLatency =
-            &_registry.histogram(kMetricReqLatency, 64, 64.0);
+        _reqLatency = &_registry.histogramLog2(kMetricReqLatency,
+                                               kDefaultLog2Bins);
 }
 
 RunObserver::~RunObserver() = default;

@@ -129,6 +129,9 @@ void applyEnv(ObsConfig &cfg);
 /** --obs-dir: overrides SB_OBS_DIR for the whole process. */
 void setDirOverride(const std::string &dir);
 
+/** The process dir override, or empty when none is set. */
+std::string dirOverride();
+
 /** Stable artifact label: sanitized workload + config fingerprint. */
 std::string makeLabel(const std::string &workload,
                       std::uint64_t fingerprint);

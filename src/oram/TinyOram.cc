@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/Errors.hh"
+#include "obs/FlightRecorder.hh"
 #include "obs/Observer.hh"
 
 namespace sboram {
@@ -426,6 +427,11 @@ TinyOram::pathRead(LeafLabel leaf, ReadMode mode, Addr wantAddr,
                     // of one physical slot quarantine it.
                     if (_health.recordSlotFailure(slotIdx)) {
                         ++_stats.slotsQuarantined;
+                        if (_flight != nullptr)
+                            _flight->record(
+                                ready,
+                                obs::FlightKind::SlotQuarantine,
+                                slotIdx);
                         if (obs::TraceSession *t2 =
                                 _obs ? _obs->trace() : nullptr)
                             t2->instant(_obsPathTrack,
@@ -854,6 +860,10 @@ TinyOram::applyBackpressure(Cycles time)
     int change = _health.noteStashOccupancy(_stash.realCount());
     if (change > 0) {
         ++_stats.degradedEntries;
+        if (_flight != nullptr)
+            _flight->record(time, obs::FlightKind::DegradedEnter,
+                            _stash.realCount());
+        obs::forensics().degraded.store(1);
         if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
             t->instant(obs::kTrackEviction, "degraded_enter", time);
     }
@@ -875,6 +885,10 @@ TinyOram::applyBackpressure(Cycles time)
         change = _health.noteStashOccupancy(_stash.realCount());
     }
     if (change < 0) {
+        if (_flight != nullptr)
+            _flight->record(time, obs::FlightKind::DegradedExit,
+                            _stash.realCount());
+        obs::forensics().degraded.store(0);
         if (obs::TraceSession *t = _obs ? _obs->trace() : nullptr)
             t->instant(obs::kTrackEviction, "degraded_exit", time);
     }
@@ -914,8 +928,14 @@ TinyOram::scrubStorage()
                 // read path applies).
                 ++_stats.faultsDetected;
                 ++_stats.faultsRecovered;
-                if (_health.recordSlotFailure(slotIdx))
+                if (_health.recordSlotFailure(slotIdx)) {
                     ++_stats.slotsQuarantined;
+                    if (_flight != nullptr)
+                        _flight->record(
+                            _freeAt,
+                            obs::FlightKind::SlotQuarantine,
+                            slotIdx);
+                }
                 slot.clear();
                 _tree.eraseCipher(slotIdx);
                 continue;
@@ -962,8 +982,13 @@ TinyOram::scrubStorage()
             }
             ++_stats.faultsDetected;
             ++_stats.faultsRecovered;
-            if (_health.recordSlotFailure(slotIdx))
+            if (_health.recordSlotFailure(slotIdx)) {
                 ++_stats.slotsQuarantined;
+                if (_flight != nullptr)
+                    _flight->record(_freeAt,
+                                    obs::FlightKind::SlotQuarantine,
+                                    slotIdx);
+            }
             if (_health.quarantineActive() &&
                 _health.isQuarantined(slotIdx)) {
                 // The cell just crossed the quarantine threshold (or

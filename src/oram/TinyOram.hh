@@ -44,6 +44,7 @@
 namespace sboram {
 
 namespace obs {
+class FlightRecorder;
 class RunObserver;
 }
 
@@ -148,6 +149,17 @@ class TinyOram
      * instants.
      */
     void setObserver(obs::RunObserver *obs);
+
+    /**
+     * Attach a flight recorder for recovery-ladder events (slot
+     * quarantines, degraded-mode transitions).  Null (the default)
+     * disables the hooks; like the trace sink, the recorder only ever
+     * observes control decisions — never addresses or path positions.
+     */
+    void setFlightRecorder(obs::FlightRecorder *rec)
+    {
+        _flight = rec;
+    }
 
     /** Earliest time the controller can begin a new request. */
     Cycles freeAt() const { return _freeAt; }
@@ -367,6 +379,7 @@ class TinyOram
     std::vector<StashEntry> _evictShadows;
     TraceSink *_traceSink = nullptr;
     obs::RunObserver *_obs = nullptr;
+    obs::FlightRecorder *_flight = nullptr;
     /** Start time / trace track of the path access in flight, so the
      *  fault-injector callback (which has no cycle context) can
      *  timestamp its instant events. */

@@ -1,6 +1,7 @@
 #include "System.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <memory>
 
@@ -8,6 +9,7 @@
 #include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "mem/EnergyModel.hh"
+#include "obs/FlightRecorder.hh"
 #include "obs/MetricNames.hh"
 #include "obs/Observer.hh"
 #include "security/InvariantChecker.hh"
@@ -394,6 +396,20 @@ runSystem(const SystemConfig &cfg,
 
     TinyOram oram(cfg.oram, dram, std::move(policy));
 
+    // Always-on flight recorder for the recovery ladder: quarantines
+    // and degraded transitions from the controller, rollbacks and
+    // corruption rethrows from the tier-3 loop below.
+    obs::FlightRecorder flight;
+    std::string flightLabel = cfg.obs.label;
+    if (flightLabel.empty()) {
+        char labelBuf[24];
+        std::snprintf(labelBuf, sizeof(labelBuf), "sys-%016llx",
+                      static_cast<unsigned long long>(
+                          configFingerprint(cfg)));
+        flightLabel = labelBuf;
+    }
+    oram.setFlightRecorder(&flight);
+
     Cycles interval = cfg.tpInterval;
     if (cfg.timingProtection && interval == 0) {
         // Auto-size: one slot per average request service time
@@ -504,6 +520,7 @@ runSystem(const SystemConfig &cfg,
         met.u64(m.rollbacks);
         met.u64(m.replayedAccesses);
         met.vecU64(m.missRetireTimes);
+        flight.saveState(w.section(ckpt::kSectionReqObs));
         if (obsPtr != nullptr)
             obsPtr->saveState(w.section(ckpt::kSectionObs));
     };
@@ -526,6 +543,10 @@ runSystem(const SystemConfig &cfg,
         m.rollbacks = dMet.u64();
         m.replayedAccesses = dMet.u64();
         m.missRetireTimes = dMet.vecU64();
+        if (reader.hasSection(ckpt::kSectionReqObs)) {
+            auto dReq = reader.section(ckpt::kSectionReqObs);
+            flight.loadState(dReq);
+        }
         if (obsPtr != nullptr &&
             reader.hasSection(ckpt::kSectionObs)) {
             auto dObs = reader.section(ckpt::kSectionObs);
@@ -586,9 +607,19 @@ runSystem(const SystemConfig &cfg,
             r = runCpu(maybeRecord(port), makeHook(saveAll, scrubFn));
             break;
         } catch (const CorruptionError &) {
+            flight.record(cursor.partial.finishTime,
+                          obs::FlightKind::Corruption,
+                          cursor.accessesDone, rollbacksUsed);
             if (session == nullptr || cfg.maxAutoRollbacks == 0 ||
-                rollbacksUsed >= cfg.maxAutoRollbacks)
+                rollbacksUsed >= cfg.maxAutoRollbacks) {
+                // Fatal: hand the ring to the panic path before the
+                // rethrow unwinds this frame.
+                const std::string dump =
+                    flight.renderJson(flightLabel);
+                obs::publishFlightDump(flightLabel, dump);
+                obs::notePanicFlight(dump);
                 throw;
+            }
             const std::uint64_t failedAt = cursor.accessesDone;
             // Escalation within tier 3: when the replay reproduces
             // the failure at the same access, the restored snapshot
@@ -601,8 +632,13 @@ runSystem(const SystemConfig &cfg,
             if (!noProgress)
                 reader = session->loadLatest();
             if (!reader) {
-                if (pristineImage.empty())
+                if (pristineImage.empty()) {
+                    const std::string dump =
+                        flight.renderJson(flightLabel);
+                    obs::publishFlightDump(flightLabel, dump);
+                    obs::notePanicFlight(dump);
                     throw;
+                }
                 reader = std::make_unique<ckpt::SnapshotReader>(
                     pristineImage);
             }
@@ -618,6 +654,11 @@ runSystem(const SystemConfig &cfg,
             m.replayedAccesses =
                 priorReplayed + (failedAt - cursor.accessesDone);
             oram.shiftFaultRealization(rollbacksUsed);
+            // The restore just replaced the ring with the snapshot's;
+            // record the rollback after it so the event survives.
+            flight.record(cursor.partial.finishTime,
+                          obs::FlightKind::AutoRollback,
+                          rollbacksUsed, failedAt);
             if (obs::TraceSession *t =
                     obsPtr ? obsPtr->trace() : nullptr)
                 t->instant(obs::kTrackCheckpoint, "auto_rollback",
@@ -659,6 +700,11 @@ runSystem(const SystemConfig &cfg,
     // loop above (and restored from the snapshot on resume).
     if (shadowPolicy)
         m.finalPartitionLevel = shadowPolicy->partitionLevel();
+    // Empty rings stay out of the artifact: most batch points never
+    // touch the recovery ladder.
+    if (!flight.empty())
+        obs::publishFlightDump(flightLabel,
+                               flight.renderJson(flightLabel));
     if (obsPtr != nullptr) {
         obsPtr->finalSample(cursor.accessesDone, m.execTime);
         obsPtr->close();

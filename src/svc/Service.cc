@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
+#include <cstdio>
+
 #include "common/Errors.hh"
 #include "common/Logging.hh"
 #include "crypto/Prf.hh"
+#include "obs/FlightRecorder.hh"
 #include "obs/MetricNames.hh"
 #include "obs/Metrics.hh"
 #include "obs/Observer.hh"
@@ -44,6 +47,23 @@ retryBackoff(const ServiceConfig &cfg, std::uint64_t seq,
     const PrfKey key{0x7376632d72747279ULL, cfg.arrivals.seed};
     return (base << shift) + prf64(key, seq, attempt) % base;
 }
+
+/** Flight/exemplar artifact label: the configured obs label when one
+ *  is set, else the config fingerprint — stable across processes. */
+std::string
+flightLabelOf(const ServiceConfig &cfg)
+{
+    if (!cfg.obs.label.empty())
+        return cfg.obs.label;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "svc-%016llx",
+                  static_cast<unsigned long long>(
+                      serviceConfigFingerprint(cfg)));
+    return buf;
+}
+
+/** Exemplars kept per log2 latency bin. */
+constexpr std::size_t kExemplarsPerBin = 4;
 
 } // namespace
 
@@ -138,6 +158,24 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
     std::uint64_t resolved = 0;
     bool pressureOn = false;
 
+    // --- Request-level observability (always on; DESIGN.md §13) -----
+    // The pool is preallocated here (cold path) and sized to the
+    // admission-queue capacity: an issuing request is popped before
+    // any further admission can happen, so the number of live
+    // timeline records never exceeds the queue bound.
+    obs::TimelinePool pool(cfg.queueCapacity);
+    obs::StageAccumulator stageAcc;
+    obs::ExemplarReservoir exemplars(
+        PrfKey{0x7376632d6578656dULL /* "svc-exem" */,
+               cfg.arrivals.seed},
+        kExemplarsPerBin, obs::kDefaultLog2Bins);
+    obs::SloMonitor slo(cfg.slo);
+    obs::FlightRecorder flight;
+    const std::string flightLabel = flightLabelOf(cfg);
+    // Recovery-ladder events (quarantines, degraded transitions) land
+    // in the same ring as the scheduler's own control events.
+    oram.setFlightRecorder(&flight);
+
     // One-record lookahead over the arrival source, so "is the next
     // arrival due" is a field compare instead of a generator call.
     ArrivalRecord pending;
@@ -160,6 +198,8 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
     std::unique_ptr<obs::RunObserver> observer;
     obs::RunObserver *obsPtr = nullptr;
     obs::HistogramSink *latencyHist = nullptr;
+    obs::Counter *sloBreachCounter = nullptr;
+    std::array<obs::HistogramSink *, obs::kStageIdCount> stageHists{};
     if (cfg.obs.any()) {
         observer = std::make_unique<obs::RunObserver>(cfg.obs);
         obsPtr = observer.get();
@@ -191,14 +231,60 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
             reg.gauge(obs::kMetricSvcBackpressure, [&pressureOn] {
                 return pressureOn ? 1.0 : 0.0;
             });
-            latencyHist = &reg.histogram(
-                obs::kMetricSvcLatency, 64,
-                static_cast<double>(
-                    std::max<Cycles>(1, cfg.deadline / 32)));
+            sloBreachCounter =
+                &reg.counter(obs::kMetricSvcSloBreaches);
+            latencyHist = &reg.histogramLog2(obs::kMetricSvcLatency,
+                                             obs::kDefaultLog2Bins);
+            // Per-stage latency decomposition, one log2 histogram per
+            // stage (registered individually: metric names must be
+            // kStage* constants for the untracked-metric lint rule).
+            stageHists[obs::kStageIdQueueWait] = &reg.histogramLog2(
+                obs::kStageQueueWait, obs::kDefaultLog2Bins);
+            stageHists[obs::kStageIdRetryBackoff] =
+                &reg.histogramLog2(obs::kStageRetryBackoff,
+                                   obs::kDefaultLog2Bins);
+            stageHists[obs::kStageIdDedupJoin] = &reg.histogramLog2(
+                obs::kStageDedupJoin, obs::kDefaultLog2Bins);
+            stageHists[obs::kStageIdPathAccess] = &reg.histogramLog2(
+                obs::kStagePathAccess, obs::kDefaultLog2Bins);
+            stageHists[obs::kStageIdShadowForward] =
+                &reg.histogramLog2(obs::kStageShadowForward,
+                                   obs::kDefaultLog2Bins);
         }
         obsPtr->sealRegistry();
     }
     obs::TraceSession *traceS = obsPtr ? obsPtr->trace() : nullptr;
+
+    /**
+     * Close the open queue-side interval of a request's timeline up
+     * to @p t.  Outside a backoff window the whole interval is queue
+     * wait; inside one it splits at the (pre-update) notBefore into
+     * backoff then renewed wait.  Must run before notBefore changes.
+     */
+    auto closeOpenUntil = [](obs::TimelineRecord &rec,
+                             const Request &r, Cycles t) {
+        if (rec.inBackoff()) {
+            rec.stage(obs::kStageRetryBackoff, rec.openStart(),
+                      std::min(t, r.notBefore));
+            if (t > r.notBefore)
+                rec.stage(obs::kStageQueueWait, r.notBefore, t);
+        } else {
+            rec.stage(obs::kStageQueueWait, rec.openStart(), t);
+        }
+    };
+
+    /** React to a closed SLO window that breached the objective. */
+    auto noteSloBurn = [&](std::int64_t burnMilli) {
+        if (burnMilli < 0)
+            return;
+        flight.record(now, obs::FlightKind::SloBurn,
+                      static_cast<std::uint64_t>(burnMilli),
+                      slo.windows());
+        if (sloBreachCounter != nullptr)
+            sloBreachCounter->add();
+        if (traceS != nullptr)
+            traceS->instant(obs::kTrackService, "slo_burn", now);
+    };
 
     auto notePressure = [&]() {
         if (!pressureOn && cfg.queueHighWatermark != 0 &&
@@ -206,6 +292,9 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
             pressureOn = true;
             ++stats.backpressureEntries;
             oram.noteServicePressure(true);
+            flight.record(now, obs::FlightKind::PressureOn,
+                          queue.size());
+            obs::forensics().pressure.store(1);
             if (_controlLog != nullptr) {
                 ControlRecord rec;
                 rec.kind = ControlRecord::Kind::Pressure;
@@ -220,6 +309,9 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
             pressureOn = false;
             ++stats.backpressureExits;
             oram.noteServicePressure(false);
+            flight.record(now, obs::FlightKind::PressureOff,
+                          queue.size());
+            obs::forensics().pressure.store(0);
             if (_controlLog != nullptr) {
                 ControlRecord rec;
                 rec.kind = ControlRecord::Kind::Pressure;
@@ -241,6 +333,7 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         else
             ++stats.shedDeadline;
         ++resolved;
+        noteSloBurn(slo.onResolved(false));
         if (traceS != nullptr)
             traceS->instant(obs::kTrackService,
                             reason == ShedReason::AdmissionFull
@@ -259,6 +352,25 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
             ++stats.shadowEarlyCompletions;
         if (latencyHist != nullptr)
             latencyHist->sample(static_cast<double>(lat));
+        if (r.timelineSlot >= 0) {
+            const std::uint32_t slot =
+                static_cast<std::uint32_t>(r.timelineSlot);
+            const obs::TimelineRecord &rec = pool.at(slot);
+            // The timeline is exact by construction: the stage totals
+            // of a completion must reproduce its measured latency.
+            if (rec.totalAll() != lat)
+                ++stats.stageBalanceViolations;
+            stageAcc.addCompletion(rec);
+            exemplars.offer(rec, lat, usedShadow, r.attempts);
+            for (std::size_t i = 0; i < obs::kStageIdCount; ++i) {
+                const Cycles t =
+                    rec.total(static_cast<obs::StageId>(i));
+                if (stageHists[i] != nullptr && t != 0)
+                    stageHists[i]->sample(static_cast<double>(t));
+            }
+            pool.release(slot);
+        }
+        noteSloBurn(slo.onResolved(slo.isGood(lat)));
         if (traceS != nullptr)
             traceS->complete(obs::kTrackService, "request",
                              r.arrival, lat);
@@ -270,6 +382,9 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         while (pendingValid && pending.arrival <= now) {
             ++stats.arrivals;
             if (queue.size() >= cfg.queueCapacity) {
+                flight.record(std::max(now, pending.arrival),
+                              obs::FlightKind::ShedAdmission,
+                              pending.client, pending.arrival);
                 shed(pending.client, pending.arrival,
                      ShedReason::AdmissionFull);
             } else {
@@ -281,6 +396,10 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
                 r.arrival = pending.arrival;
                 r.notBefore = pending.arrival;
                 r.deadlineAt = pending.arrival + cfg.deadline;
+                r.timelineSlot =
+                    static_cast<std::int32_t>(pool.acquire());
+                pool.at(static_cast<std::uint32_t>(r.timelineSlot))
+                    .reset(r.seq, r.client, r.addr, r.arrival);
                 queue.push_back(r);
                 ++stats.admitted;
                 ++admitted;
@@ -334,7 +453,19 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         s.u64(stats.backpressureEntries);
         s.u64(stats.backpressureExits);
         s.u64(stats.issuedAccesses);
+        s.u64(stats.stageBalanceViolations);
         s.vecU64(latencies);
+        ckpt::Serializer &q = w.section(ckpt::kSectionReqObs);
+        // Timeline records travel in queue order; slots themselves
+        // are re-acquired deterministically on restore.
+        q.u64(queue.size());
+        for (const Request &r : queue)
+            pool.at(static_cast<std::uint32_t>(r.timelineSlot))
+                .saveState(q);
+        stageAcc.saveState(q);
+        exemplars.saveState(q);
+        slo.saveState(q);
+        flight.saveState(q);
         oram.saveState(w.section(ckpt::kSectionOram));
         if (_impl->shadowPolicy != nullptr)
             _impl->shadowPolicy->saveState(
@@ -347,6 +478,7 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         // Fetch every section first so a structurally wrong snapshot
         // is rejected before any state mutates.
         auto dSvc = reader.section(ckpt::kSectionSvc);
+        auto dReq = reader.section(ckpt::kSectionReqObs);
         auto dOram = reader.section(ckpt::kSectionOram);
         auto dDram = reader.section(ckpt::kSectionDram);
         if (_impl->shadowPolicy != nullptr) {
@@ -392,7 +524,24 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         stats.backpressureEntries = dSvc.u64();
         stats.backpressureExits = dSvc.u64();
         stats.issuedAccesses = dSvc.u64();
+        stats.stageBalanceViolations = dSvc.u64();
         latencies = dSvc.vecU64();
+        const std::uint64_t recs = dReq.u64();
+        SB_ASSERT(recs == queue.size(),
+                  "request-obs section carries %llu timeline records "
+                  "for a queue of depth %zu",
+                  static_cast<unsigned long long>(recs),
+                  queue.size());
+        for (Request &r : queue) {
+            r.timelineSlot = static_cast<std::int32_t>(pool.acquire());
+            pool.at(static_cast<std::uint32_t>(r.timelineSlot))
+                .loadState(dReq);
+        }
+        stageAcc.loadState(dReq);
+        exemplars.loadState(dReq);
+        slo.loadState(dReq);
+        flight.loadState(dReq);
+        obs::forensics().pressure.store(pressureOn ? 1 : 0);
         oram.loadState(dOram);
         _impl->dram.loadState(dDram);
         if (obsPtr != nullptr &&
@@ -493,6 +642,12 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
                 Request &r = queue[pick];
                 ++stats.deadlineMisses;
                 if (r.attempts >= cfg.maxRetries) {
+                    flight.record(now,
+                                  obs::FlightKind::ShedDeadline,
+                                  r.seq, r.attempts);
+                    if (r.timelineSlot >= 0)
+                        pool.release(static_cast<std::uint32_t>(
+                            r.timelineSlot));
                     shed(r.client, r.arrival,
                          ShedReason::DeadlineExhausted);
                     queue.erase(queue.begin() +
@@ -501,9 +656,18 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
                 } else {
                     ++r.attempts;
                     ++stats.retries;
+                    if (r.timelineSlot >= 0) {
+                        obs::TimelineRecord &rec =
+                            pool.at(static_cast<std::uint32_t>(
+                                r.timelineSlot));
+                        closeOpenUntil(rec, r, now);
+                        rec.markBackoff(now);
+                    }
                     r.notBefore =
                         now + retryBackoff(cfg, r.seq, r.attempts);
                     r.deadlineAt = r.notBefore + cfg.deadline;
+                    flight.record(now, obs::FlightKind::Retry,
+                                  r.seq, r.attempts);
                 }
                 progress = true;
                 maybeCheckpoint();
@@ -526,8 +690,21 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
                     issueAt);
                 ++stats.issuedAccesses;
                 now = std::max(now, res.completeAt);
-                complete(r, r.isWrite ? res.completeAt : res.forwardAt,
-                         res.usedShadow);
+                const Cycles doneAt =
+                    r.isWrite ? res.completeAt : res.forwardAt;
+                if (r.timelineSlot >= 0) {
+                    obs::TimelineRecord &rec =
+                        pool.at(static_cast<std::uint32_t>(
+                            r.timelineSlot));
+                    closeOpenUntil(rec, r, issueAt);
+                    if (res.usedShadow)
+                        rec.stage(obs::kStageShadowForward, issueAt,
+                                  doneAt);
+                    else
+                        rec.stage(obs::kStagePathAccess, issueAt,
+                                  doneAt);
+                }
+                complete(r, doneAt, res.usedShadow);
                 if (!r.isWrite) {
                     for (auto it = queue.begin();
                          it != queue.end();) {
@@ -537,6 +714,14 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
                                 traceS->instant(obs::kTrackService,
                                                 "dedup_join",
                                                 res.forwardAt);
+                            if (it->timelineSlot >= 0) {
+                                obs::TimelineRecord &rec = pool.at(
+                                    static_cast<std::uint32_t>(
+                                        it->timelineSlot));
+                                closeOpenUntil(rec, *it, issueAt);
+                                rec.stage(obs::kStageDedupJoin,
+                                          issueAt, res.forwardAt);
+                            }
                             complete(*it, res.forwardAt,
                                      res.usedShadow);
                             it = queue.erase(it);
@@ -556,13 +741,33 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
 
         if (progress) {
             idleIters = 0;
-        } else if (++idleIters > cfg.watchdogBound) {
-            throw ServiceStallError(
-                "no admission, completion or time advance for " +
-                    std::to_string(idleIters) + " scheduler "
-                    "iterations at cycle " + std::to_string(now),
-                queue.size(), eligibleCount(), stats.requestsShed,
-                stats.deadlineMisses, stats.completed);
+        } else {
+            ++idleIters;
+            // Liveness heartbeat: a tick every quarter of the bound,
+            // so the flight recorder and the panic-diag forensics
+            // show how long the scheduler was wedged before the trip.
+            const std::uint64_t tickEvery =
+                std::max<std::uint64_t>(1, cfg.watchdogBound / 4);
+            if (idleIters % tickEvery == 0) {
+                flight.record(now, obs::FlightKind::WatchdogTick,
+                              idleIters);
+                obs::forensics().watchdogTickCycle.store(now);
+            }
+            if (idleIters > cfg.watchdogBound) {
+                flight.record(now, obs::FlightKind::WatchdogTrip,
+                              queue.size(), idleIters);
+                const std::string dump =
+                    flight.renderJson(flightLabel);
+                obs::publishFlightDump(flightLabel, dump);
+                obs::notePanicFlight(dump);
+                throw ServiceStallError(
+                    "no admission, completion or time advance for " +
+                        std::to_string(idleIters) + " scheduler "
+                        "iterations at cycle " + std::to_string(now),
+                    queue.size(), eligibleCount(),
+                    stats.requestsShed, stats.deadlineMisses,
+                    stats.completed);
+            }
         }
     }
 
@@ -572,6 +777,9 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
         pressureOn = false;
         ++stats.backpressureExits;
         oram.noteServicePressure(false);
+        flight.record(now, obs::FlightKind::PressureOff,
+                      queue.size());
+        obs::forensics().pressure.store(0);
         if (_controlLog != nullptr) {
             ControlRecord rec;
             rec.kind = ControlRecord::Kind::Pressure;
@@ -579,6 +787,16 @@ ServicePipeline::run(ckpt::CheckpointSession *session)
             _controlLog->push_back(rec);
         }
     }
+
+    noteSloBurn(slo.flush());
+    stats.sloWindows = slo.windows();
+    stats.sloBreaches = slo.breaches();
+    stats.sloWorstBurnMilli = slo.worstBurnMilli();
+    stats.stages = stageAcc.finalize();
+    stats.exemplarsJsonl = exemplars.renderJsonl();
+    stats.flightJson = flight.renderJson(flightLabel);
+    if (!flight.empty())
+        obs::publishFlightDump(flightLabel, stats.flightJson);
 
     stats.finishTime = now;
     stats.oram = oram.stats();

@@ -30,9 +30,11 @@
 #ifndef SBORAM_SVC_SERVICE_HH
 #define SBORAM_SVC_SERVICE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ckpt/Checkpoint.hh"
@@ -40,6 +42,8 @@
 #include "mem/DramModel.hh"
 #include "mem/DramTiming.hh"
 #include "obs/ObsConfig.hh"
+#include "obs/RequestTrace.hh"
+#include "obs/Slo.hh"
 #include "oram/TinyOram.hh"
 #include "shadow/ShadowPolicy.hh"
 #include "sim/System.hh"
@@ -108,6 +112,10 @@ struct ServiceConfig
 
     /** Observability (never part of the fingerprint). */
     obs::ObsConfig obs;
+
+    /** Latency/availability objective; latencyBound 0 disables.  Not
+     *  fingerprinted — monitoring must not change the run. */
+    obs::SloConfig slo;
 };
 
 /** One admitted request waiting in the queue. */
@@ -122,6 +130,10 @@ struct Request
     Cycles notBefore = 0;
     Cycles deadlineAt = 0;
     unsigned attempts = 0;  ///< Deadline expiries consumed so far.
+    /** Timeline-pool slot carrying this request's stage record; -1
+     *  until admission assigns one.  Not serialized — slots are
+     *  re-acquired in queue order on resume. */
+    std::int32_t timelineSlot = -1;
 };
 
 /**
@@ -167,6 +179,25 @@ struct ServiceStats
     Cycles latencyP999 = 0;
     Cycles latencyMax = 0;
     double latencyMean = 0.0;
+
+    /** Per-stage latency attribution (index = obs::StageId): exact
+     *  nearest-rank cuts over the per-completion stage totals. */
+    std::array<obs::StageCut, obs::kStageIdCount> stages{};
+    /** Completions whose stage totals did not sum to the measured
+     *  latency.  The causal timeline is exact by construction, so
+     *  anything nonzero is an accounting bug; benches gate on 0. */
+    std::uint64_t stageBalanceViolations = 0;
+
+    /** SLO monitor outcome (all zero when the monitor is off). */
+    std::uint64_t sloWindows = 0;
+    std::uint64_t sloBreaches = 0;
+    std::uint64_t sloWorstBurnMilli = 0;
+
+    /** Rendered exemplar rows (JSONL) — the PRF-sampled per-bin
+     *  request traces; empty when no request completed. */
+    std::string exemplarsJsonl;
+    /** Rendered flight-recorder dump (one JSON object). */
+    std::string flightJson;
 
     /** Final controller statistics. */
     OramStats oram;

@@ -627,7 +627,9 @@ namespace {
 /** The metric vocabulary fixture shared by the untracked-metric tests. */
 const SourceFile kMetricNamesFixture = {
     "src/obs/MetricNames.hh",
-    "inline constexpr char kMetricRequests[] = \"oram.requests\";\n"};
+    "inline constexpr char kMetricRequests[] = \"oram.requests\";\n"
+    "inline constexpr char kStageQueueWait[] = "
+    "\"svc.stage.queue_wait\";\n"};
 
 } // namespace
 
@@ -664,6 +666,37 @@ TEST(SbLintRules, DeclaredMetricConstantIsClean)
           "void f(obs::MetricRegistry &reg) {\n"
           "    reg.counter(obs::kMetricRequests);\n"
           "    reg.gauge(kMetricRequests, [] { return 0.0; });\n"
+          "}\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(SbLintRules, UntrackedMetricCoversStageAndLog2Registrars)
+{
+    // The rule grew with the request-observability layer: timeline
+    // stage() appends and histogramLog2() registrations carry names
+    // from the same vocabulary file.
+    const auto fs = lintSources(
+        {kMetricNamesFixture,
+         {"src/svc/X.cc",
+          "void f(obs::TimelineRecord &rec, "
+          "obs::MetricRegistry &reg) {\n"
+          "    rec.stage(\"adhoc.stage\", 0, 1);\n"
+          "    reg.histogramLog2(kMetricBogus, 192);\n"
+          "}\n"}});
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, Rule::UntrackedMetric);
+    EXPECT_EQ(fs[1].rule, Rule::UntrackedMetric);
+}
+
+TEST(SbLintRules, DeclaredStageConstantIsClean)
+{
+    const auto fs = lintSources(
+        {kMetricNamesFixture,
+         {"src/svc/X.cc",
+          "void f(obs::TimelineRecord &rec, "
+          "obs::MetricRegistry &reg) {\n"
+          "    rec.stage(obs::kStageQueueWait, 0, 1);\n"
+          "    reg.histogramLog2(obs::kMetricRequests, 192);\n"
           "}\n"}});
     EXPECT_TRUE(fs.empty());
 }

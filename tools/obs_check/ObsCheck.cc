@@ -8,8 +8,12 @@
  * *.jsonl argument must be valid JSON Lines.  Chrome-trace files
  * (*.json containing a traceEvents array) are additionally checked
  * for begin/end balance: equally many "ph": "B" and "ph": "E"
- * markers.  Exit 0 when every file passes; the first failure prints
- * a diagnostic with the byte offset and exits 1.
+ * markers.  Flight-recorder dumps (path contains "flightrec") must
+ * carry "label" and "events" keys; exemplar-trace files (path
+ * contains "exemplars") must carry "seq" and "stages" keys — a
+ * schema smoke on top of the syntax check.  Exit 0 when every file
+ * passes; the first failure prints a diagnostic with the byte offset
+ * and exits 1.
  */
 
 #include <cstdio>
@@ -80,6 +84,28 @@ main(int argc, char **argv)
                          path.c_str(), v.error.c_str(),
                          v.errorOffset);
             return 1;
+        }
+        if (path.find("flightrec") != std::string::npos) {
+            for (const char *key : {"\"label\"", "\"events\""}) {
+                if (text.find(key) == std::string::npos) {
+                    std::fprintf(stderr,
+                                 "obs_check: %s: flight-recorder "
+                                 "dump lacks a %s key\n",
+                                 path.c_str(), key);
+                    return 1;
+                }
+            }
+        }
+        if (path.find("exemplars") != std::string::npos) {
+            for (const char *key : {"\"seq\"", "\"stages\""}) {
+                if (text.find(key) == std::string::npos) {
+                    std::fprintf(stderr,
+                                 "obs_check: %s: exemplar traces "
+                                 "lack a %s key\n",
+                                 path.c_str(), key);
+                    return 1;
+                }
+            }
         }
         if (!jsonl &&
             text.find("\"traceEvents\"") != std::string::npos) {

@@ -65,10 +65,11 @@ const std::vector<RuleInfo> kRegistry = {
      "the owning-thread seam: no by-reference captures in worker "
      "tasks; g_* state in src/sim needs a lock_guard in scope"},
     {Rule::UntrackedMetric, "untracked-metric",
-     "MetricRegistry counter/gauge/histogram registered under a name "
-     "that is not a kMetric* constant from src/obs/MetricNames.hh — "
-     "ad-hoc names fragment the time-series schema; declare the name "
-     "once and reference the constant"},
+     "MetricRegistry counter/gauge/histogram/histogramLog2 or a "
+     "timeline stage() registered under a name that is not a "
+     "kMetric*/kStage* constant from src/obs/MetricNames.hh — ad-hoc "
+     "names fragment the time-series and stage schema; declare the "
+     "name once and reference the constant"},
     {Rule::HotPathAlloc, "hot-path-alloc",
      "allocation or hash-container traffic inside a function "
      "annotated SB_HOT (the per-access hot path): raw new, "
@@ -288,7 +289,8 @@ collectMetricNames(const std::vector<Tok> &t,
                    std::set<std::string> &out)
 {
     for (const Tok &tok : t)
-        if (startsWith(tok.text, "kMetric"))
+        if (startsWith(tok.text, "kMetric") ||
+            startsWith(tok.text, "kStage"))
             out.insert(tok.text);
 }
 
@@ -816,7 +818,7 @@ scanUntrackedMetric(const std::string &path, const std::vector<Tok> &t,
         return;
 
     static const std::set<std::string> kRegistrars = {
-        "counter", "gauge", "histogram"};
+        "counter", "gauge", "histogram", "histogramLog2", "stage"};
     for (std::size_t i = 1; i + 2 < t.size(); ++i) {
         if (!kRegistrars.count(t[i].text))
             continue;
@@ -836,9 +838,9 @@ scanUntrackedMetric(const std::string &path, const std::vector<Tok> &t,
         if (arg.text == "\"") {
             out.push_back(
                 {path, arg.line, Rule::UntrackedMetric,
-                 "metric registered under a string literal — declare "
-                 "the name as a kMetric* constant in "
-                 "src/obs/MetricNames.hh and reference it"});
+                 "metric or stage registered under a string literal "
+                 "— declare the name as a kMetric*/kStage* constant "
+                 "in src/obs/MetricNames.hh and reference it"});
         } else if (isIdent(arg.text) && !metricNames.count(arg.text)) {
             out.push_back(
                 {path, arg.line, Rule::UntrackedMetric,
